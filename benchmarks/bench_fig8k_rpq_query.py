@@ -1,0 +1,38 @@
+"""Fig. 8(k) — RPQ, varying query size |Q| = 3..7, DBpedia, |ΔG| = 10%.
+
+Paper: IncRPQ answers within 190s for all sizes vs 1080s (RPQ_NFA) and
+326s (IncRPQn); Kleene stars barely matter because the NFA size depends
+only on the label occurrences.  Reproduced shape: IncRPQ fastest at every
+size; costs grow with |Q|.
+"""
+
+from benchmarks.harness import (
+    benchmark_incremental,
+    delta_for,
+    print_table,
+    rpq_point,
+)
+from repro.rpq import RPQIndex
+from repro.workloads import RPQ_SIZE_GRID, by_name, random_rpq_queries
+
+DATASET, SCALE, SEED = "dbpedia", 0.5, 0
+FRACTION = 0.10
+
+
+def test_fig8k_sweep(benchmark, capfd):
+    graph = by_name(DATASET, scale=SCALE, seed=SEED)
+    delta = delta_for(graph, FRACTION, SEED + 1)
+    rows = []
+    for size in RPQ_SIZE_GRID:
+        query = random_rpq_queries(
+            graph, count=1, size=size, stars=1, unions=1, seed=size
+        )[0]
+        rows.append(rpq_point(graph, query, delta, f"|Q|={size}"))
+    with capfd.disabled():
+        print_table(
+            "Fig. 8(k)  RPQ, dbpedia-like, vary |Q|, |ΔG| = 10%", "|Q|", rows
+        )
+    assert sum(r.inc_seconds for r in rows) <= 1.2 * sum(r.unit_seconds for r in rows)
+
+    query = random_rpq_queries(graph, count=1, size=4, stars=1, unions=1, seed=4)[0]
+    benchmark_incremental(benchmark, lambda: RPQIndex(graph.copy(), query), delta)

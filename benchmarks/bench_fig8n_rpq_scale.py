@@ -1,0 +1,44 @@
+"""Fig. 8(n) — RPQ, varying |G| (scale 0.2 → 1.0), synthetic.
+
+Exp-3 (paper): with |ΔG| fixed in absolute size, "all the incremental
+algorithms are less sensitive to |G| compared with their batch
+counterparts" — batch cost grows with the graph while incremental cost
+tracks the (fixed) update workload.  Reproduced shape: the incremental
+algorithm's cost grows strictly slower with |G| than the batch
+algorithm's (assert_batch_less_scale_sensitive).
+"""
+
+from benchmarks.harness import (
+    assert_batch_less_scale_sensitive,
+    benchmark_incremental,
+    print_table,
+    sweep_scales,
+    rpq_point,
+)
+from repro.rpq import RPQIndex
+from repro.workloads import by_name, random_rpq_queries
+from benchmarks.harness import delta_for
+
+SEED = 0
+DELTA_FRACTION_OF_FULL = 0.05
+
+
+def _make_args(scale: float):
+    graph = by_name("synthetic", scale=scale, seed=SEED)
+    query = random_rpq_queries(graph, count=1, size=4, stars=1, unions=1, seed=2)[0]
+    return (graph, query)
+
+
+def test_fig8n_sweep(benchmark, capfd):
+    rows = sweep_scales(rpq_point, _make_args, DELTA_FRACTION_OF_FULL, seed=SEED)
+    with capfd.disabled():
+        print_table(
+            "Fig. 8(n)  RPQ, synthetic, vary |G| (fixed |ΔG|)",
+            "scale",
+            rows,
+        )
+    assert_batch_less_scale_sensitive(rows)
+
+    graph, query = _make_args(1.0)
+    delta = delta_for(graph, 0.05, SEED + 3)
+    benchmark_incremental(benchmark, lambda: RPQIndex(graph.copy(), query), delta)

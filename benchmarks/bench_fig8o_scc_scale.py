@@ -1,0 +1,43 @@
+"""Fig. 8(o) — SCC, varying |G| (scale 0.2 → 1.0), synthetic.
+
+Exp-3 (paper): with |ΔG| fixed in absolute size, "all the incremental
+algorithms are less sensitive to |G| compared with their batch
+counterparts" — batch cost grows with the graph while incremental cost
+tracks the (fixed) update workload.  Reproduced shape: the incremental
+algorithm's cost grows strictly slower with |G| than the batch
+algorithm's (assert_batch_less_scale_sensitive).
+"""
+
+from benchmarks.harness import (
+    assert_batch_less_scale_sensitive,
+    benchmark_incremental,
+    print_table,
+    sweep_scales,
+    scc_point,
+)
+from repro.scc import SCCIndex
+from repro.workloads import by_name
+from benchmarks.harness import delta_for
+
+SEED = 0
+DELTA_FRACTION_OF_FULL = 0.05
+
+
+def _make_args(scale: float):
+    graph = by_name("synthetic", scale=scale, seed=SEED)
+    return (graph,)
+
+
+def test_fig8o_sweep(benchmark, capfd):
+    rows = sweep_scales(scc_point, _make_args, DELTA_FRACTION_OF_FULL, seed=SEED)
+    with capfd.disabled():
+        print_table(
+            "Fig. 8(o)  SCC, synthetic, vary |G| (fixed |ΔG|)",
+            "scale",
+            rows,
+        )
+    assert_batch_less_scale_sensitive(rows)
+
+    (graph,) = _make_args(1.0)
+    delta = delta_for(graph, 0.05, SEED + 3)
+    benchmark_incremental(benchmark, lambda: SCCIndex(graph.copy()), delta)

@@ -1,0 +1,47 @@
+"""Fig. 8(p) — ISO, varying |G| (scale 0.2 → 1.0), synthetic.
+
+Exp-3 (paper): with |ΔG| fixed in absolute size, "all the incremental
+algorithms are less sensitive to |G| compared with their batch
+counterparts" — batch cost grows with the graph while incremental cost
+tracks the (fixed) update workload.  Reproduced shape: the incremental
+algorithm's cost grows strictly slower with |G| than the batch
+algorithm's (assert_batch_less_scale_sensitive).
+"""
+
+from benchmarks.harness import (
+    assert_batch_less_scale_sensitive,
+    benchmark_incremental,
+    print_table,
+    sweep_scales,
+    iso_point,
+)
+from repro.iso import ISOIndex
+from repro.workloads import by_name
+from repro.workloads.datasets import with_selectivity
+from benchmarks.harness import delta_for, matching_pattern
+
+SEED = 0
+DELTA_FRACTION_OF_FULL = 0.05
+
+
+def _make_args(scale: float):
+    graph = with_selectivity(
+        by_name("synthetic", scale=scale, seed=SEED), 150, seed=3
+    )
+    pattern = matching_pattern(graph, (4, 6, 2), seed=5)
+    return (graph, pattern)
+
+
+def test_fig8p_sweep(benchmark, capfd):
+    rows = sweep_scales(iso_point, _make_args, DELTA_FRACTION_OF_FULL, seed=SEED)
+    with capfd.disabled():
+        print_table(
+            "Fig. 8(p)  ISO, synthetic, vary |G| (fixed |ΔG|)",
+            "scale",
+            rows,
+        )
+    assert_batch_less_scale_sensitive(rows)
+
+    graph, pattern = _make_args(1.0)
+    delta = delta_for(graph, 0.01, SEED + 3)
+    benchmark_incremental(benchmark, lambda: ISOIndex(graph.copy(), pattern), delta)

@@ -1,0 +1,374 @@
+"""Shared machinery for regenerating the paper's evaluation figures.
+
+Every figure bench follows the same recipe as Section 6:
+
+1. build the dataset profile and the workload (graph, query, ΔG),
+2. time the **incremental** algorithm (index prebuilt — the paper's
+   setting assumes Q(G) and auxiliaries exist, "we use a batch algorithm
+   T to compute Q(G) once, and then employ incremental T∆"),
+3. time the **unit-at-a-time** variant (IncKWSn / IncRPQn / IncSCCn /
+   IncISOn),
+4. time the **batch** recomputation on G ⊕ ΔG (BLINKS / RPQ_NFA / Tarjan
+   (+DynSCC) / VF2),
+5. cross-check that all maintained answers agree with the recomputation,
+6. print a paper-style series table.
+
+Absolute times are *not* expected to match the paper (authors: Java on an
+EC2 r3.4xlarge against multi-million-node graphs; here: pure Python at
+laptop scale).  The reproduced quantity is the *shape*: who wins, by
+roughly what factor, and where the crossover falls.  EXPERIMENTS.md keys
+every figure to the series these benches print.
+
+Tables are written through ``sys.__stdout__`` so they survive pytest's
+output capture and land in ``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+
+from repro.core.delta import Delta
+from repro.graph.digraph import DiGraph
+from repro.graph.updates import random_delta
+from repro.iso import ISOIndex, Pattern, inc_iso_n, vf2_matches
+from repro.kws import (
+    KWSIndex,
+    KWSQuery,
+    compute_kdist,
+    distance_profile,
+    inc_kws_n,
+)
+from repro.rpq import RPQIndex, inc_rpq_n, rpq_nfa
+from repro.scc import Condensation, DynSCC, SCCIndex, inc_scc_n, tarjan_scc
+from repro.workloads import by_name
+
+
+@dataclass
+class SweepRow:
+    """One x-axis point of a figure."""
+
+    label: str
+    inc_seconds: float
+    unit_seconds: float
+    batch_seconds: float
+    extras: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def speedup(self) -> float:
+        return self.batch_seconds / max(self.inc_seconds, 1e-9)
+
+
+def emit(text: str = "") -> None:
+    """Print a table line (callers disable pytest capture via capfd)."""
+    print(text, file=sys.stdout, flush=True)
+
+
+def print_table(title: str, x_label: str, rows: list[SweepRow]) -> None:
+    extra_keys = sorted({key for row in rows for key in row.extras})
+    header = (
+        f"{x_label:>12} | {'Inc (ms)':>9} | {'Inc-n (ms)':>10} | "
+        f"{'Batch (ms)':>10} | {'speedup':>7}"
+    )
+    for key in extra_keys:
+        header += f" | {key:>10}"
+    emit()
+    emit(f"== {title} ==")
+    emit(header)
+    emit("-" * len(header))
+    for row in rows:
+        line = (
+            f"{row.label:>12} | {row.inc_seconds * 1e3:9.1f} | "
+            f"{row.unit_seconds * 1e3:10.1f} | "
+            f"{row.batch_seconds * 1e3:10.1f} | {row.speedup:7.2f}"
+        )
+        for key in extra_keys:
+            line += f" | {row.extras.get(key, float('nan')) * 1e3:10.1f}"
+        emit(line)
+    emit()
+
+
+def timed(callable_) -> float:
+    """Wall-clock one call with the garbage collector paused (GC pauses
+    otherwise land randomly inside measurements and distort single-shot
+    millisecond-scale points)."""
+    import gc
+
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        started = time.perf_counter()
+        callable_()
+        return time.perf_counter() - started
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+
+# ----------------------------------------------------------------------
+# Per-class measurement points
+# ----------------------------------------------------------------------
+
+
+def kws_point(graph: DiGraph, query: KWSQuery, delta: Delta, label: str) -> SweepRow:
+    inc_index = KWSIndex(graph.copy(), query)
+    inc_seconds = timed(lambda: inc_index.apply(delta))
+
+    unit_index = KWSIndex(graph.copy(), query)
+    unit_seconds = timed(lambda: inc_kws_n(unit_index, delta))
+
+    patched = delta.applied(graph)
+    fresh: dict = {}
+
+    def run_batch() -> None:
+        fresh["index"] = compute_kdist(patched, query)
+
+    batch_seconds = timed(run_batch)
+    expected = distance_profile(fresh["index"])
+    assert inc_index.profile() == expected, f"{label}: IncKWS diverged"
+    assert unit_index.profile() == expected, f"{label}: IncKWSn diverged"
+    return SweepRow(label, inc_seconds, unit_seconds, batch_seconds)
+
+
+def rpq_point(graph: DiGraph, query, delta: Delta, label: str) -> SweepRow:
+    inc_index = RPQIndex(graph.copy(), query)
+    inc_seconds = timed(lambda: inc_index.apply(delta))
+
+    unit_index = RPQIndex(graph.copy(), query)
+    unit_seconds = timed(lambda: inc_rpq_n(unit_index, delta))
+
+    patched = delta.applied(graph)
+    fresh: dict = {}
+
+    def run_batch() -> None:
+        fresh["result"] = rpq_nfa(patched, query)
+
+    batch_seconds = timed(run_batch)
+    expected = fresh["result"].matches
+    assert inc_index.matches == expected, f"{label}: IncRPQ diverged"
+    assert unit_index.matches == expected, f"{label}: IncRPQn diverged"
+    return SweepRow(label, inc_seconds, unit_seconds, batch_seconds)
+
+
+def scc_point(graph: DiGraph, delta: Delta, label: str) -> SweepRow:
+    inc_index = SCCIndex(graph.copy())
+    inc_seconds = timed(lambda: inc_index.apply(delta))
+
+    unit_index = SCCIndex(graph.copy())
+    unit_seconds = timed(lambda: inc_scc_n(unit_index, delta))
+
+    dyn = DynSCC(graph.copy())
+    dyn_seconds = timed(lambda: dyn.apply(delta))
+
+    patched = delta.applied(graph)
+    fresh: dict = {}
+
+    def run_batch() -> None:
+        # Equal footing with the other query classes: recomputation must
+        # rebuild the full maintained state (SCC(G) plus the contracted
+        # graph with ranks), just as compute_kdist/rpq_nfa/vf2 rebuild
+        # kdist/markings/match sets.
+        result = tarjan_scc(patched)
+        Condensation.from_tarjan(patched, result)
+        fresh["partition"] = result.partition()
+
+    batch_seconds = timed(run_batch)
+    expected = fresh["partition"]
+    assert inc_index.components() == expected, f"{label}: IncSCC diverged"
+    assert unit_index.components() == expected, f"{label}: IncSCCn diverged"
+    assert dyn.components() == expected, f"{label}: DynSCC diverged"
+    return SweepRow(
+        label, inc_seconds, unit_seconds, batch_seconds, extras={"DynSCC": dyn_seconds}
+    )
+
+
+def iso_point(graph: DiGraph, pattern: Pattern, delta: Delta, label: str) -> SweepRow:
+    inc_index = ISOIndex(graph.copy(), pattern)
+    inc_seconds = timed(lambda: inc_index.apply(delta))
+
+    unit_index = ISOIndex(graph.copy(), pattern)
+    unit_seconds = timed(lambda: inc_iso_n(unit_index, delta))
+
+    patched = delta.applied(graph)
+    fresh: dict = {}
+
+    def run_batch() -> None:
+        fresh["matches"] = vf2_matches(patched, pattern)
+
+    batch_seconds = timed(run_batch)
+    expected = fresh["matches"]
+    assert inc_index.matches == expected, f"{label}: IncISO diverged"
+    assert unit_index.matches == expected, f"{label}: IncISOn diverged"
+    return SweepRow(label, inc_seconds, unit_seconds, batch_seconds)
+
+
+def matching_pattern(graph: DiGraph, shape: tuple[int, int, int], seed: int) -> Pattern:
+    """A pattern of the requested (|V_Q|, |E_Q|, d_Q) that has at least one
+    match in ``graph`` when possible (retry over seeds), so the batch VF2
+    comparator does real search work instead of failing instantly on the
+    first label scan.
+
+    When the data graph cannot host the exact shape, the diameter is
+    relaxed step by step (documented per run via the returned pattern's
+    ``shape()``), preferring real-edge patterns over fabricated ones.
+    """
+    from repro.workloads import QueryGenerationError, random_patterns
+
+    num_nodes, num_edges, diameter = shape
+    fallback: Pattern | None = None
+    diameters = [diameter] + [
+        d for offset in (1, 2, 3)
+        for d in (diameter - offset, diameter + offset)
+        if 1 <= d < num_nodes
+    ]
+    for try_diameter in diameters:
+        for fabricate in (False, True):
+            for attempt in range(seed, seed + 25):
+                try:
+                    candidate = random_patterns(
+                        graph,
+                        1,
+                        num_nodes,
+                        num_edges,
+                        try_diameter,
+                        seed=attempt,
+                        fabricate=fabricate,
+                    )[0]
+                except QueryGenerationError:
+                    continue
+                fallback = fallback or candidate
+                if vf2_matches(graph, candidate):
+                    return candidate
+        if fallback is not None and try_diameter != diameter:
+            break  # one relaxation step with a generable pattern suffices
+    if fallback is None:
+        raise RuntimeError(f"no pattern near shape {shape} could be generated")
+    return fallback
+
+
+# ----------------------------------------------------------------------
+# Exp-1 sweeps: vary |ΔG| as a fraction of |E| (Figures 8(a)-(i))
+# ----------------------------------------------------------------------
+
+#: the paper sweeps 5%..40%; we keep its range with a coarser grid, and
+#: prepend a 1% point because pure-Python batch algorithms have far
+#: smaller constants relative to per-update costs than the paper's Java
+#: system, shifting crossovers toward smaller |ΔG| (see EXPERIMENTS.md).
+DELTA_FRACTIONS = [0.01, 0.05, 0.10, 0.20, 0.40]
+
+
+def delta_for(graph: DiGraph, fraction: float, seed: int) -> Delta:
+    return random_delta(graph, round(graph.num_edges * fraction), seed=seed)
+
+
+def sweep_deltas_kws(dataset: str, scale: float, query: KWSQuery, seed: int = 0):
+    graph = by_name(dataset, scale=scale, seed=seed)
+    return [
+        kws_point(graph, query, delta_for(graph, fraction, seed + 1), f"{fraction:.0%}")
+        for fraction in DELTA_FRACTIONS
+    ]
+
+
+def sweep_deltas_rpq(dataset: str, scale: float, query, seed: int = 0):
+    graph = by_name(dataset, scale=scale, seed=seed)
+    return [
+        rpq_point(graph, query, delta_for(graph, fraction, seed + 1), f"{fraction:.0%}")
+        for fraction in DELTA_FRACTIONS
+    ]
+
+
+def sweep_deltas_scc(dataset: str, scale: float, seed: int = 0):
+    graph = by_name(dataset, scale=scale, seed=seed)
+    return [
+        scc_point(graph, delta_for(graph, fraction, seed + 1), f"{fraction:.0%}")
+        for fraction in DELTA_FRACTIONS
+    ]
+
+
+def sweep_deltas_iso(dataset: str, scale: float, pattern: Pattern, seed: int = 0):
+    graph = by_name(dataset, scale=scale, seed=seed)
+    return [
+        iso_point(graph, pattern, delta_for(graph, fraction, seed + 1), f"{fraction:.0%}")
+        for fraction in DELTA_FRACTIONS
+    ]
+
+
+# ----------------------------------------------------------------------
+# Exp-3 sweeps: vary |G| with a fixed ΔG size (Figures 8(m)-(p))
+# ----------------------------------------------------------------------
+
+SCALE_FACTORS = [0.2, 0.4, 0.6, 0.8, 1.0]
+
+
+def sweep_scales(point_fn, make_args, delta_fraction_of_full: float, seed: int = 0):
+    """Generic Exp-3 runner: the delta size is fixed in *absolute* terms
+    (a fraction of the full-scale graph's |E|), exactly like the paper's
+    fixed |ΔG| = 15M against varying |G|."""
+    rows = []
+    full_graph = make_args(1.0)[0]
+    delta_size = round(full_graph.num_edges * delta_fraction_of_full)
+    for scale in SCALE_FACTORS:
+        args = make_args(scale)
+        graph = args[0]
+        size = min(delta_size, graph.num_edges // 2)
+        delta = random_delta(graph, size, seed=seed + 3)
+        rows.append(point_fn(*args, delta, f"x{scale:.1f}"))
+    return rows
+
+
+def benchmark_incremental(benchmark, build_index, delta: Delta) -> None:
+    """pytest-benchmark hook: time one representative incremental apply,
+    with a fresh index per round (construction excluded from timing)."""
+
+    def setup():
+        return (build_index(),), {}
+
+    benchmark.pedantic(lambda index: index.apply(delta), setup=setup, rounds=3)
+
+
+# ----------------------------------------------------------------------
+# Shape assertions (the reproduced claims)
+# ----------------------------------------------------------------------
+
+
+def assert_incremental_wins_when_small(rows: list[SweepRow], slack: float = 1.0) -> None:
+    """At the smallest |ΔG| the incremental algorithm must beat batch —
+    the headline claim of every Exp-1 figure.  ``slack > 1`` relaxes the
+    check to parity for configurations that sit at the crossover at
+    pure-Python scale (documented per figure)."""
+    first = rows[0]
+    assert first.inc_seconds < first.batch_seconds * slack, (
+        f"incremental lost at {first.label}: "
+        f"{first.inc_seconds * 1e3:.1f}ms vs batch {first.batch_seconds * 1e3:.1f}ms"
+    )
+
+
+def assert_speedup_declines(rows: list[SweepRow], slack: float = 1.5) -> None:
+    """Speedup at the largest |ΔG| must not exceed the smallest's (times a
+    noise slack) — the paper's 'gap narrows as |ΔG| grows' shape."""
+    assert rows[-1].speedup <= rows[0].speedup * slack, (
+        f"speedup failed to decline: {rows[0].speedup:.2f} -> {rows[-1].speedup:.2f}"
+    )
+
+
+def assert_batch_beats_unit_variant(rows: list[SweepRow], slack: float = 1.2) -> None:
+    """The grouped batch algorithm must be no slower than unit-at-a-time
+    (paper: optimizations improve performance ~1.6x on average)."""
+    total_inc = sum(row.inc_seconds for row in rows)
+    total_unit = sum(row.unit_seconds for row in rows)
+    assert total_inc <= total_unit * slack, (
+        f"batched incremental slower than unit-at-a-time: "
+        f"{total_inc * 1e3:.1f}ms vs {total_unit * 1e3:.1f}ms"
+    )
+
+
+def assert_batch_less_scale_sensitive(rows: list[SweepRow], slack: float = 1.5) -> None:
+    """Exp-3 shape: growing |G| under a fixed ΔG hurts the batch algorithm
+    more than the incremental one."""
+    inc_growth = rows[-1].inc_seconds / max(rows[0].inc_seconds, 1e-9)
+    batch_growth = rows[-1].batch_seconds / max(rows[0].batch_seconds, 1e-9)
+    assert inc_growth <= batch_growth * slack, (
+        f"incremental grew faster with |G| than batch: "
+        f"{inc_growth:.2f}x vs {batch_growth:.2f}x"
+    )

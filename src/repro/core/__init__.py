@@ -1,0 +1,41 @@
+"""Core: updates, cost accounting, boundedness measures, SSRP."""
+
+from repro.core.boundedness import (
+    LocalityReport,
+    RelativeBoundednessReport,
+    changed,
+    check_locality,
+    fit_cost_against,
+)
+from repro.core.cost import NULL_METER, CostLedger, CostMeter, CostSnapshot
+from repro.core.delta import (
+    Delta,
+    InvalidDeltaError,
+    Update,
+    UpdateKind,
+    delete,
+    insert,
+    split_batch,
+)
+from repro.core.ssrp import ReachabilityIndex, reachable_from
+
+__all__ = [
+    "NULL_METER",
+    "CostLedger",
+    "CostMeter",
+    "CostSnapshot",
+    "Delta",
+    "InvalidDeltaError",
+    "LocalityReport",
+    "ReachabilityIndex",
+    "RelativeBoundednessReport",
+    "Update",
+    "UpdateKind",
+    "changed",
+    "check_locality",
+    "delete",
+    "fit_cost_against",
+    "insert",
+    "reachable_from",
+    "split_batch",
+]

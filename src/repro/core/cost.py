@@ -1,0 +1,150 @@
+"""Cost instrumentation for verifying the paper's complexity claims.
+
+The paper's contributions are *cost characterizations*: localizable
+algorithms touch only ``d_Q``-neighborhoods of ΔG (Section 4), relatively
+bounded algorithms do work polynomial in |AFF| (Section 5).  Wall-clock time
+alone cannot verify such claims on small instances, so every algorithm in
+this library threads an optional :class:`CostMeter` through its hot loops.
+
+A meter counts:
+
+* ``nodes_visited``   — distinct and total node visits (the *touched set*
+  is retained so locality tests can assert containment in a neighborhood);
+* ``edges_traversed`` — adjacency-list steps;
+* ``writes``          — mutations of auxiliary structures (kdist entries,
+  pmark markings, num/lowlink/rank assignments) — the operational measure
+  of |AFF|;
+* ``pq_ops``          — priority-queue pushes/pops (the log-factor source
+  in the O(|AFF| log |AFF|) bounds).
+
+``NULL_METER`` is a shared no-op used as the default so production paths
+pay one attribute lookup and a no-op call per event.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+from dataclasses import dataclass, field
+
+
+class CostMeter:
+    """Mutable counter bundle threaded through algorithm hot loops."""
+
+    __slots__ = ("node_visits", "edges_traversed", "writes", "pq_ops", "touched")
+
+    def __init__(self) -> None:
+        self.node_visits = 0
+        self.edges_traversed = 0
+        self.writes = 0
+        self.pq_ops = 0
+        self.touched: set[Hashable] = set()
+
+    # Hot-path hooks -----------------------------------------------------
+
+    def visit_node(self, node: Hashable) -> None:
+        self.node_visits += 1
+        self.touched.add(node)
+
+    def traverse_edge(self, count: int = 1) -> None:
+        self.edges_traversed += count
+
+    def write(self, count: int = 1) -> None:
+        self.writes += count
+
+    def pq_op(self, count: int = 1) -> None:
+        self.pq_ops += count
+
+    # Reporting ----------------------------------------------------------
+
+    @property
+    def distinct_nodes(self) -> int:
+        return len(self.touched)
+
+    def total(self) -> int:
+        """A single scalar 'work' figure: sum of all counted events."""
+        return self.node_visits + self.edges_traversed + self.writes + self.pq_ops
+
+    def snapshot(self) -> "CostSnapshot":
+        return CostSnapshot(
+            node_visits=self.node_visits,
+            distinct_nodes=self.distinct_nodes,
+            edges_traversed=self.edges_traversed,
+            writes=self.writes,
+            pq_ops=self.pq_ops,
+        )
+
+    def reset(self) -> None:
+        self.node_visits = 0
+        self.edges_traversed = 0
+        self.writes = 0
+        self.pq_ops = 0
+        self.touched.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"CostMeter(nodes={self.node_visits}, distinct={self.distinct_nodes}, "
+            f"edges={self.edges_traversed}, writes={self.writes}, pq={self.pq_ops})"
+        )
+
+
+class _NullMeter(CostMeter):
+    """No-op meter; all hooks discard their arguments.
+
+    Kept as a subclass so call-sites need no branching, while the shared
+    singleton keeps the default path allocation-free.
+    """
+
+    __slots__ = ()
+
+    def visit_node(self, node: Hashable) -> None:  # noqa: D102 - interface no-op
+        pass
+
+    def traverse_edge(self, count: int = 1) -> None:
+        pass
+
+    def write(self, count: int = 1) -> None:
+        pass
+
+    def pq_op(self, count: int = 1) -> None:
+        pass
+
+
+NULL_METER = _NullMeter()
+
+
+@dataclass(frozen=True)
+class CostSnapshot:
+    """Immutable copy of a meter's counters, for before/after comparisons."""
+
+    node_visits: int
+    distinct_nodes: int
+    edges_traversed: int
+    writes: int
+    pq_ops: int
+
+    def total(self) -> int:
+        return self.node_visits + self.edges_traversed + self.writes + self.pq_ops
+
+
+@dataclass
+class CostLedger:
+    """Accumulates named cost snapshots across a batch of runs.
+
+    Benchmarks use a ledger to report, e.g., measured |AFF| alongside times
+    for each sweep point.
+    """
+
+    entries: dict[str, list[CostSnapshot]] = field(default_factory=dict)
+
+    def record(self, name: str, meter: CostMeter) -> None:
+        self.entries.setdefault(name, []).append(meter.snapshot())
+
+    def mean_total(self, name: str) -> float:
+        snaps = self.entries.get(name, [])
+        if not snaps:
+            return 0.0
+        return sum(snap.total() for snap in snaps) / len(snaps)
+
+    def max_total(self, name: str) -> int:
+        snaps = self.entries.get(name, [])
+        return max((snap.total() for snap in snaps), default=0)

@@ -1,0 +1,176 @@
+"""SSRP — single-source reachability to all vertices (paper Section 3).
+
+SSRP decides, for a fixed source ``v_s``, whether each node ``v_t`` is
+reachable from ``v_s``; the answer is the Boolean vector ``r(·)``.  The
+paper uses SSRP as the *source* of its Δ-reductions because its incremental
+complexity is sharply understood [38]:
+
+* **unit insertions: bounded.**  Inserting ``(v, w)`` changes the output
+  only if ``r(v)`` and not ``r(w)``; the newly reachable set is exactly the
+  nodes BFS discovers from ``w`` through unreached nodes, so the work is
+  O(|ΔO| + edges incident to ΔO) — a function of |CHANGED|.
+* **unit deletions: unbounded.**  Deciding whether an alternative path
+  survives may require inspecting parts of G arbitrarily larger than the
+  change, for any locally persistent algorithm.
+
+:class:`ReachabilityIndex` maintains a BFS *spanning tree* of the reached
+region (``parent`` pointers).  Deleting a non-tree edge is a sound O(1)
+no-op — every reached node's tree path survives.  Deleting a tree edge
+triggers a full recomputation: that is the unavoidable (unbounded) step,
+and the gadget families in :mod:`repro.theory.lower_bounds` exhibit its
+Ω(n) cost at |CHANGED| = 1.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.core.cost import CostMeter, NULL_METER
+from repro.core.delta import Delta, Update
+from repro.graph.digraph import DiGraph, MissingNodeError, Node
+
+
+def reachable_from(
+    graph: DiGraph,
+    source: Node,
+    meter: CostMeter = NULL_METER,
+) -> set[Node]:
+    """Batch BFS: the set of nodes reachable from ``source`` (inclusive)."""
+    if source not in graph:
+        raise MissingNodeError(source)
+    seen = {source}
+    frontier = deque([source])
+    while frontier:
+        node = frontier.popleft()
+        meter.visit_node(node)
+        for successor in graph.successors(node):
+            meter.traverse_edge()
+            if successor not in seen:
+                seen.add(successor)
+                frontier.append(successor)
+    return seen
+
+
+def bfs_tree(
+    graph: DiGraph,
+    source: Node,
+    meter: CostMeter = NULL_METER,
+) -> dict[Node, Optional[Node]]:
+    """BFS spanning tree of the reachable region: node -> parent
+    (source maps to None)."""
+    if source not in graph:
+        raise MissingNodeError(source)
+    parent: dict[Node, Optional[Node]] = {source: None}
+    frontier = deque([source])
+    while frontier:
+        node = frontier.popleft()
+        meter.visit_node(node)
+        for successor in graph.successors(node):
+            meter.traverse_edge()
+            if successor not in parent:
+                parent[successor] = node
+                frontier.append(successor)
+    return parent
+
+
+class ReachabilityIndex:
+    """Incrementally maintained SSRP answer ``r(·)`` for a fixed source.
+
+    The graph handle passed in is *shared*: callers apply updates through
+    :meth:`apply`, which both mutates the graph and repairs the index.
+    """
+
+    def __init__(self, graph: DiGraph, source: Node, meter: CostMeter = NULL_METER) -> None:
+        self.graph = graph
+        self.source = source
+        self.meter = meter
+        self.parent: dict[Node, Optional[Node]] = bfs_tree(graph, source, meter=meter)
+
+    @property
+    def reached(self) -> set[Node]:
+        return set(self.parent)
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self.parent
+
+    def answer(self) -> dict[Node, bool]:
+        """The full Boolean vector r(·) over current nodes."""
+        return {node: node in self.parent for node in self.graph.nodes()}
+
+    # ------------------------------------------------------------------
+
+    def apply(self, delta: Delta) -> tuple[set[Node], set[Node]]:
+        """Apply a batch and return ``(gained, lost)`` node sets (ΔO).
+
+        ΔO is relative to the pre-batch answer: a node that flips twice
+        within the batch nets out.  Only flipped nodes are tracked, so the
+        bookkeeping is O(|changes|), preserving the insertion bound.
+        """
+        original: dict[Node, bool] = {}
+        for update in delta:
+            gained, lost = self._apply_unit(update)
+            for node in gained:
+                original.setdefault(node, False)  # unreached until now
+            for node in lost:
+                original.setdefault(node, True)   # reached until now
+        gained_total = {
+            node for node, was_reached in original.items()
+            if not was_reached and node in self.parent
+        }
+        lost_total = {
+            node for node, was_reached in original.items()
+            if was_reached and node not in self.parent
+        }
+        return gained_total, lost_total
+
+    def _apply_unit(self, update: Update) -> tuple[set[Node], set[Node]]:
+        if update.is_insert:
+            self.graph.add_edge(
+                update.source,
+                update.target,
+                source_label=update.source_label,
+                target_label=update.target_label,
+            )
+            return self._after_insert(update.source, update.target), set()
+        self.graph.remove_edge(update.source, update.target)
+        return set(), self._after_delete(update.source, update.target)
+
+    def _after_insert(self, source: Node, target: Node) -> set[Node]:
+        """Bounded repair: BFS from ``target`` through unreached nodes only.
+
+        Touches exactly the newly reachable nodes and their out-edges, i.e.
+        O(|ΔO| + adjacent edges) — the bounded incremental algorithm
+        of [38].
+        """
+        if self.source not in self.graph:
+            raise MissingNodeError(self.source)
+        if source not in self.parent or target in self.parent:
+            return set()
+        self.parent[target] = source
+        gained = {target}
+        frontier = deque([target])
+        while frontier:
+            node = frontier.popleft()
+            self.meter.visit_node(node)
+            for successor in self.graph.successors(node):
+                self.meter.traverse_edge()
+                if successor not in self.parent:
+                    self.parent[successor] = node
+                    gained.add(successor)
+                    frontier.append(successor)
+        return gained
+
+    def _after_delete(self, source: Node, target: Node) -> set[Node]:
+        """Deletion repair (not bounded — cannot be, per [38]).
+
+        A non-tree edge deletion is a sound O(1) no-op: every reached
+        node's spanning-tree path avoids the deleted edge.  A tree-edge
+        deletion rebuilds the tree from scratch — the unbounded step.
+        """
+        self.meter.visit_node(target)
+        if self.parent.get(target) != source:
+            return set()
+        old = self.parent
+        self.parent = bfs_tree(self.graph, self.source, meter=self.meter)
+        return set(old) - set(self.parent)

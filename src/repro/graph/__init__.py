@@ -1,0 +1,35 @@
+"""Graph substrate: labeled digraphs, neighborhoods, generators, workloads."""
+
+from repro.graph.digraph import (
+    DEFAULT_LABEL,
+    DiGraph,
+    DuplicateEdgeError,
+    Edge,
+    GraphError,
+    Label,
+    MissingEdgeError,
+    MissingNodeError,
+    Node,
+)
+from repro.graph.neighborhood import (
+    d_neighborhood,
+    neighborhood_of_updates,
+    nodes_within,
+    undirected_distance,
+)
+
+__all__ = [
+    "DEFAULT_LABEL",
+    "DiGraph",
+    "DuplicateEdgeError",
+    "Edge",
+    "GraphError",
+    "Label",
+    "MissingEdgeError",
+    "MissingNodeError",
+    "Node",
+    "d_neighborhood",
+    "neighborhood_of_updates",
+    "nodes_within",
+    "undirected_distance",
+]

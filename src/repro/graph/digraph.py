@@ -1,0 +1,325 @@
+"""Labeled directed graphs, the substrate shared by every query class.
+
+The paper (Section 2) models data as directed graphs ``G = (V, E, l)`` where
+``l`` assigns each node a label.  Incremental algorithms walk edges in both
+directions (e.g. ``IncKWS`` propagates along *predecessors*, ``IncSCC``
+searches forward and backward in the contracted graph), so :class:`DiGraph`
+maintains successor and predecessor adjacency simultaneously.
+
+Nodes may be any hashable value; benchmarks use integers.  Labels may be any
+hashable value; the paper draws them from a finite alphabet of strings.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator
+from typing import Optional
+
+Node = Hashable
+Label = Hashable
+Edge = tuple[Node, Node]
+
+DEFAULT_LABEL: Label = ""
+
+
+class GraphError(Exception):
+    """Base error for graph-structure violations."""
+
+
+class MissingNodeError(GraphError, KeyError):
+    """Raised when an operation references a node that is not in the graph."""
+
+    def __init__(self, node: Node) -> None:
+        super().__init__(node)
+        self.node = node
+
+    def __str__(self) -> str:  # KeyError quotes its repr; keep it readable.
+        return f"node {self.node!r} is not in the graph"
+
+
+class MissingEdgeError(GraphError, KeyError):
+    """Raised when an operation references an edge that is not in the graph."""
+
+    def __init__(self, edge: Edge) -> None:
+        super().__init__(edge)
+        self.edge = edge
+
+    def __str__(self) -> str:
+        return f"edge {self.edge!r} is not in the graph"
+
+
+class DuplicateEdgeError(GraphError, ValueError):
+    """Raised when inserting an edge that already exists."""
+
+    def __init__(self, edge: Edge) -> None:
+        super().__init__(f"edge {edge!r} is already in the graph")
+        self.edge = edge
+
+
+class DiGraph:
+    """A simple directed graph with node labels and bidirectional adjacency.
+
+    The graph is *simple*: at most one edge per ordered node pair and no
+    implicit self-loop restriction (self-loops are legal, as in the paper's
+    model).  All mutators keep the successor and predecessor maps in sync.
+
+    Example::
+
+        g = DiGraph()
+        g.add_node(1, label="a")
+        g.add_node(2, label="b")
+        g.add_edge(1, 2)
+        assert list(g.successors(1)) == [2]
+        assert list(g.predecessors(2)) == [1]
+    """
+
+    __slots__ = ("_succ", "_pred", "_labels", "_num_edges")
+
+    def __init__(
+        self,
+        edges: Optional[Iterable[Edge]] = None,
+        labels: Optional[dict[Node, Label]] = None,
+    ) -> None:
+        self._succ: dict[Node, set[Node]] = {}
+        self._pred: dict[Node, set[Node]] = {}
+        self._labels: dict[Node, Label] = {}
+        self._num_edges = 0
+        if labels:
+            for node, label in labels.items():
+                self.add_node(node, label=label)
+        if edges:
+            for source, target in edges:
+                self.add_edge(source, target)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_labeled_edges(
+        cls,
+        labels: dict[Node, Label],
+        edges: Iterable[Edge],
+    ) -> "DiGraph":
+        """Build a graph from a label map and an edge list in one call."""
+        return cls(edges=edges, labels=labels)
+
+    def copy(self) -> "DiGraph":
+        """Return an independent deep copy of the structure (labels shared)."""
+        clone = DiGraph()
+        clone._labels = dict(self._labels)
+        clone._succ = {node: set(targets) for node, targets in self._succ.items()}
+        clone._pred = {node: set(sources) for node, sources in self._pred.items()}
+        clone._num_edges = self._num_edges
+        return clone
+
+    # ------------------------------------------------------------------
+    # Nodes
+    # ------------------------------------------------------------------
+
+    def add_node(self, node: Node, label: Label = DEFAULT_LABEL) -> None:
+        """Add ``node`` with ``label``; re-adding updates the label only."""
+        if node not in self._succ:
+            self._succ[node] = set()
+            self._pred[node] = set()
+        self._labels[node] = label
+
+    def remove_node(self, node: Node) -> None:
+        """Remove ``node`` and every incident edge."""
+        if node not in self._succ:
+            raise MissingNodeError(node)
+        for target in tuple(self._succ[node]):
+            self.remove_edge(node, target)
+        for source in tuple(self._pred[node]):
+            self.remove_edge(source, node)
+        del self._succ[node]
+        del self._pred[node]
+        del self._labels[node]
+
+    def has_node(self, node: Node) -> bool:
+        return node in self._succ
+
+    def label(self, node: Node) -> Label:
+        """Return the label of ``node``."""
+        try:
+            return self._labels[node]
+        except KeyError:
+            raise MissingNodeError(node) from None
+
+    def set_label(self, node: Node, label: Label) -> None:
+        """Relabel an existing node."""
+        if node not in self._succ:
+            raise MissingNodeError(node)
+        self._labels[node] = label
+
+    def nodes(self) -> Iterator[Node]:
+        """Iterate over all nodes (insertion order)."""
+        return iter(self._succ)
+
+    def nodes_with_label(self, label: Label) -> Iterator[Node]:
+        """Iterate over nodes carrying ``label`` (linear scan)."""
+        return (node for node, node_label in self._labels.items() if node_label == label)
+
+    @property
+    def labels(self) -> dict[Node, Label]:
+        """Read-only view of the label map (do not mutate)."""
+        return self._labels
+
+    # ------------------------------------------------------------------
+    # Edges
+    # ------------------------------------------------------------------
+
+    def add_edge(
+        self,
+        source: Node,
+        target: Node,
+        source_label: Label = DEFAULT_LABEL,
+        target_label: Label = DEFAULT_LABEL,
+    ) -> None:
+        """Insert edge ``(source, target)``, creating endpoints if absent.
+
+        The paper's unit insertion "(insert e), possibly with new nodes"
+        (Section 2.2) is modeled by the implicit node creation; labels for
+        pre-existing endpoints are left untouched.
+        """
+        if source not in self._succ:
+            self.add_node(source, label=source_label)
+        if target not in self._succ:
+            self.add_node(target, label=target_label)
+        if target in self._succ[source]:
+            raise DuplicateEdgeError((source, target))
+        self._succ[source].add(target)
+        self._pred[target].add(source)
+        self._num_edges += 1
+
+    def remove_edge(self, source: Node, target: Node) -> None:
+        """Delete edge ``(source, target)``; endpoints remain."""
+        if source not in self._succ or target not in self._succ[source]:
+            raise MissingEdgeError((source, target))
+        self._succ[source].discard(target)
+        self._pred[target].discard(source)
+        self._num_edges -= 1
+
+    def has_edge(self, source: Node, target: Node) -> bool:
+        return source in self._succ and target in self._succ[source]
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over all edges as ``(source, target)`` pairs."""
+        for source, targets in self._succ.items():
+            for target in targets:
+                yield (source, target)
+
+    def successors(self, node: Node) -> Iterator[Node]:
+        """Iterate over ``w`` such that ``(node, w)`` is an edge."""
+        try:
+            return iter(self._succ[node])
+        except KeyError:
+            raise MissingNodeError(node) from None
+
+    def predecessors(self, node: Node) -> Iterator[Node]:
+        """Iterate over ``u`` such that ``(u, node)`` is an edge."""
+        try:
+            return iter(self._pred[node])
+        except KeyError:
+            raise MissingNodeError(node) from None
+
+    def successor_set(self, node: Node) -> frozenset[Node]:
+        try:
+            return frozenset(self._succ[node])
+        except KeyError:
+            raise MissingNodeError(node) from None
+
+    def predecessor_set(self, node: Node) -> frozenset[Node]:
+        try:
+            return frozenset(self._pred[node])
+        except KeyError:
+            raise MissingNodeError(node) from None
+
+    def out_degree(self, node: Node) -> int:
+        try:
+            return len(self._succ[node])
+        except KeyError:
+            raise MissingNodeError(node) from None
+
+    def in_degree(self, node: Node) -> int:
+        try:
+            return len(self._pred[node])
+        except KeyError:
+            raise MissingNodeError(node) from None
+
+    # ------------------------------------------------------------------
+    # Sizes and dunders
+    # ------------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._succ)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def size(self) -> int:
+        """Return ``|V| + |E|``, the paper's measure of ``|G|``."""
+        return self.num_nodes + self.num_edges
+
+    def __len__(self) -> int:
+        return self.num_nodes
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._succ
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DiGraph):
+            return NotImplemented
+        return (
+            self._labels == other._labels
+            and self._succ == other._succ
+        )
+
+    def __repr__(self) -> str:
+        return f"DiGraph(|V|={self.num_nodes}, |E|={self.num_edges})"
+
+    # ------------------------------------------------------------------
+    # Subgraphs
+    # ------------------------------------------------------------------
+
+    def subgraph(self, nodes: Iterable[Node]) -> "DiGraph":
+        """Return the subgraph *induced* by ``nodes`` (paper Section 2).
+
+        Edges are retained exactly when both endpoints lie in ``nodes``;
+        labels are inherited.
+        """
+        keep = set(nodes)
+        missing = keep - self._succ.keys()
+        if missing:
+            raise MissingNodeError(next(iter(missing)))
+        sub = DiGraph()
+        for node in keep:
+            sub.add_node(node, label=self._labels[node])
+        for node in keep:
+            for target in self._succ[node] & keep:
+                sub.add_edge(node, target)
+        return sub
+
+    def edge_subgraph(self, edges: Iterable[Edge]) -> "DiGraph":
+        """Return the (not necessarily induced) subgraph on ``edges``."""
+        sub = DiGraph()
+        for source, target in edges:
+            if not self.has_edge(source, target):
+                raise MissingEdgeError((source, target))
+            if source not in sub:
+                sub.add_node(source, label=self._labels[source])
+            if target not in sub:
+                sub.add_node(target, label=self._labels[target])
+            sub.add_edge(source, target)
+        return sub
+
+    def reverse(self) -> "DiGraph":
+        """Return a graph with every edge direction flipped."""
+        rev = DiGraph()
+        for node, label in self._labels.items():
+            rev.add_node(node, label=label)
+        for source, target in self.edges():
+            rev.add_edge(target, source)
+        return rev

@@ -1,0 +1,224 @@
+"""Synthetic labeled-digraph generators (paper Section 6, "Graphs").
+
+The paper evaluates on DBpedia, LiveJournal, and a synthetic generator
+"controlled by the number of nodes |V| (up to 50 million) and number of
+edges |E| (up to 100 million), with labels drawn from an alphabet Σ of 100
+symbols".  Real dumps are unavailable offline, so :mod:`repro.workloads.
+datasets` composes these primitives into profile-matched substitutes; the
+raw generators here are deterministic given a seed.
+
+All generators produce simple digraphs without parallel edges; self-loops
+are excluded (real-world graph snapshots rarely carry them and the paper's
+examples have none).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.graph.digraph import DiGraph, Label
+
+
+def label_alphabet(size: int, prefix: str = "L") -> list[str]:
+    """Return ``size`` distinct label symbols, e.g. ``L000..L099``."""
+    if size <= 0:
+        raise ValueError(f"alphabet size must be positive, got {size}")
+    width = max(3, len(str(size - 1)))
+    return [f"{prefix}{index:0{width}d}" for index in range(size)]
+
+
+def _assign_labels(
+    num_nodes: int,
+    alphabet: Sequence[Label],
+    rng: random.Random,
+    skew: float,
+) -> list[Label]:
+    """Draw one label per node.
+
+    ``skew = 0`` gives uniform label frequencies; larger values produce a
+    Zipf-like bias (real label distributions are heavily skewed — a few
+    types dominate DBpedia).
+    """
+    if skew <= 0:
+        return [rng.choice(alphabet) for _ in range(num_nodes)]
+    weights = [1.0 / (rank + 1) ** skew for rank in range(len(alphabet))]
+    return rng.choices(alphabet, weights=weights, k=num_nodes)
+
+
+def uniform_random_graph(
+    num_nodes: int,
+    num_edges: int,
+    alphabet: Sequence[Label],
+    seed: int = 0,
+    label_skew: float = 0.0,
+) -> DiGraph:
+    """G(n, m)-style digraph: ``num_edges`` distinct directed pairs chosen
+    uniformly at random (no self-loops)."""
+    if num_nodes < 1:
+        raise ValueError("need at least one node")
+    max_edges = num_nodes * (num_nodes - 1)
+    if num_edges > max_edges:
+        raise ValueError(
+            f"{num_edges} edges requested but a simple digraph on "
+            f"{num_nodes} nodes holds at most {max_edges}"
+        )
+    rng = random.Random(seed)
+    labels = _assign_labels(num_nodes, alphabet, rng, label_skew)
+    graph = DiGraph()
+    for node in range(num_nodes):
+        graph.add_node(node, label=labels[node])
+    added = 0
+    while added < num_edges:
+        source = rng.randrange(num_nodes)
+        target = rng.randrange(num_nodes)
+        if source == target or graph.has_edge(source, target):
+            continue
+        graph.add_edge(source, target)
+        added += 1
+    return graph
+
+
+def power_law_graph(
+    num_nodes: int,
+    num_edges: int,
+    alphabet: Sequence[Label],
+    seed: int = 0,
+    label_skew: float = 0.0,
+    out_exponent: float = 1.0,
+    forward_bias: float = 0.0,
+) -> DiGraph:
+    """Preferential-attachment style digraph with skewed in-degrees.
+
+    Targets are drawn from a growing repeat pool (Barabási–Albert flavour)
+    so popular nodes accumulate in-links, like hub pages in DBpedia or
+    celebrities in LiveJournal.  Sources are drawn near-uniformly with a
+    mild bias controlled by ``out_exponent``.
+
+    ``forward_bias`` is the probability that an edge is re-oriented from
+    the smaller to the larger node id.  Knowledge graphs are hierarchical
+    (few long cycles); a high bias keeps the strongly connected components
+    small without changing the degree distribution.
+    """
+    if num_nodes < 2:
+        raise ValueError("need at least two nodes")
+    if not 0.0 <= forward_bias <= 1.0:
+        raise ValueError("forward_bias must be within [0, 1]")
+    rng = random.Random(seed)
+    labels = _assign_labels(num_nodes, alphabet, rng, label_skew)
+    graph = DiGraph()
+    for node in range(num_nodes):
+        graph.add_node(node, label=labels[node])
+    # Repeat pool: every node appears once so isolated targets stay possible,
+    # then each edge's target is appended to bias future draws.
+    target_pool = list(range(num_nodes))
+    added = 0
+    attempts = 0
+    max_attempts = 50 * num_edges + 1000
+    while added < num_edges and attempts < max_attempts:
+        attempts += 1
+        if out_exponent == 1.0:
+            source = rng.randrange(num_nodes)
+        else:
+            source = min(
+                int(num_nodes * rng.random() ** out_exponent), num_nodes - 1
+            )
+        target = target_pool[rng.randrange(len(target_pool))]
+        if source == target:
+            continue
+        if forward_bias and source > target and rng.random() < forward_bias:
+            source, target = target, source
+        if graph.has_edge(source, target):
+            continue
+        graph.add_edge(source, target)
+        target_pool.append(target)
+        added += 1
+    if added < num_edges:
+        raise RuntimeError(
+            f"could only place {added}/{num_edges} edges after {attempts} attempts; "
+            "graph too dense for the preferential pool"
+        )
+    return graph
+
+
+def planted_scc_graph(
+    num_nodes: int,
+    num_edges: int,
+    alphabet: Sequence[Label],
+    giant_fraction: float,
+    seed: int = 0,
+    label_skew: float = 0.0,
+) -> DiGraph:
+    """Digraph with a planted giant strongly connected component.
+
+    LiveJournal's largest SCC covers ~77% of the graph (paper Section 6,
+    Exp-1(3)(c)); this generator plants a Hamiltonian cycle through a
+    ``giant_fraction`` share of the nodes so that fraction is guaranteed to
+    be one SCC, then sprinkles the remaining edges at random.
+    """
+    if not 0.0 < giant_fraction <= 1.0:
+        raise ValueError(f"giant_fraction must be in (0, 1], got {giant_fraction}")
+    core_size = max(2, int(num_nodes * giant_fraction))
+    if num_edges < core_size:
+        raise ValueError(
+            f"{num_edges} edges cannot carry a planted cycle of {core_size} nodes"
+        )
+    rng = random.Random(seed)
+    labels = _assign_labels(num_nodes, alphabet, rng, label_skew)
+    graph = DiGraph()
+    for node in range(num_nodes):
+        graph.add_node(node, label=labels[node])
+    core = list(range(num_nodes))
+    rng.shuffle(core)
+    core = core[:core_size]
+    for position, node in enumerate(core):
+        graph.add_edge(node, core[(position + 1) % core_size])
+    added = core_size
+    while added < num_edges:
+        source = rng.randrange(num_nodes)
+        target = rng.randrange(num_nodes)
+        if source == target or graph.has_edge(source, target):
+            continue
+        graph.add_edge(source, target)
+        added += 1
+    return graph
+
+
+def layered_dag(
+    layers: int,
+    width: int,
+    alphabet: Sequence[Label],
+    seed: int = 0,
+    inter_layer_prob: float = 0.3,
+) -> DiGraph:
+    """Acyclic layered digraph (for SCC merge/rank stress tests).
+
+    Nodes are arranged in ``layers`` rows of ``width``; edges go only from
+    layer ``i`` to layer ``i+1`` with probability ``inter_layer_prob``.
+    """
+    if layers < 1 or width < 1:
+        raise ValueError("layers and width must be positive")
+    rng = random.Random(seed)
+    graph = DiGraph()
+    for layer in range(layers):
+        for slot in range(width):
+            graph.add_node(layer * width + slot, label=rng.choice(alphabet))
+    for layer in range(layers - 1):
+        for slot in range(width):
+            for next_slot in range(width):
+                if rng.random() < inter_layer_prob:
+                    graph.add_edge(layer * width + slot, (layer + 1) * width + next_slot)
+    return graph
+
+
+def cycle_graph(num_nodes: int, label: Label = "c") -> DiGraph:
+    """A single directed cycle — the building block of Fig. 9 gadgets."""
+    if num_nodes < 1:
+        raise ValueError("need at least one node")
+    graph = DiGraph()
+    for node in range(num_nodes):
+        graph.add_node(node, label=label)
+    for node in range(num_nodes):
+        if num_nodes > 1:
+            graph.add_edge(node, (node + 1) % num_nodes)
+    return graph

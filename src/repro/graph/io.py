@@ -1,0 +1,151 @@
+"""Plain-text serialization for labeled digraphs and update batches.
+
+Format (one record per line, ``#`` comments allowed)::
+
+    n <node> <label>     # node declaration
+    e <source> <target>  # edge
+    + <source> <target> [<source_label> <target_label>]   # delta insert
+    - <source> <target>                                   # delta delete
+
+Node identifiers are written with ``repr``-free plain text; integers round-
+trip as integers, everything else as strings.  The format is deliberately
+trivial — it exists so examples can persist and reload scenario graphs and
+so failures in randomized tests can be dumped for inspection.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import TextIO, Union
+
+from repro.core.delta import Delta, delete, insert
+from repro.graph.digraph import DEFAULT_LABEL, DiGraph
+
+PathLike = Union[str, Path]
+
+
+class FormatError(ValueError):
+    """Malformed graph/delta text."""
+
+    def __init__(self, line_number: int, line: str, reason: str) -> None:
+        super().__init__(f"line {line_number}: {reason}: {line!r}")
+        self.line_number = line_number
+
+
+def _parse_node(token: str):
+    """Integers round-trip as ints; everything else stays a string."""
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def write_graph(graph: DiGraph, destination: Union[PathLike, TextIO]) -> None:
+    """Serialize ``graph`` (nodes first, then edges)."""
+    stream, owned = _open(destination, "w")
+    try:
+        stream.write(f"# repro graph |V|={graph.num_nodes} |E|={graph.num_edges}\n")
+        for node in graph.nodes():
+            stream.write(f"n {node} {graph.label(node)}\n")
+        for source, target in graph.edges():
+            stream.write(f"e {source} {target}\n")
+    finally:
+        if owned:
+            stream.close()
+
+
+def read_graph(source: Union[PathLike, TextIO]) -> DiGraph:
+    """Parse a graph written by :func:`write_graph`."""
+    stream, owned = _open(source, "r")
+    graph = DiGraph()
+    try:
+        for line_number, raw in enumerate(stream, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            fields = line.split()
+            tag = fields[0]
+            if tag == "n":
+                if len(fields) < 2:
+                    raise FormatError(line_number, line, "node record needs an id")
+                label = fields[2] if len(fields) > 2 else DEFAULT_LABEL
+                graph.add_node(_parse_node(fields[1]), label=label)
+            elif tag == "e":
+                if len(fields) != 3:
+                    raise FormatError(line_number, line, "edge record needs two endpoints")
+                graph.add_edge(_parse_node(fields[1]), _parse_node(fields[2]))
+            else:
+                raise FormatError(line_number, line, f"unknown record tag {tag!r}")
+    finally:
+        if owned:
+            stream.close()
+    return graph
+
+
+def write_delta(delta: Delta, destination: Union[PathLike, TextIO]) -> None:
+    """Serialize a batch update."""
+    stream, owned = _open(destination, "w")
+    try:
+        stream.write(f"# repro delta |dG|={len(delta)}\n")
+        for update in delta:
+            if update.is_insert:
+                stream.write(
+                    f"+ {update.source} {update.target} "
+                    f"{update.source_label} {update.target_label}\n"
+                )
+            else:
+                stream.write(f"- {update.source} {update.target}\n")
+    finally:
+        if owned:
+            stream.close()
+
+
+def read_delta(source: Union[PathLike, TextIO]) -> Delta:
+    """Parse a batch written by :func:`write_delta`."""
+    stream, owned = _open(source, "r")
+    updates = []
+    try:
+        for line_number, raw in enumerate(stream, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            fields = line.split()
+            tag = fields[0]
+            if tag == "+":
+                if len(fields) not in (3, 5):
+                    raise FormatError(line_number, line, "insert needs 2 or 4 operands")
+                source_label = fields[3] if len(fields) == 5 else DEFAULT_LABEL
+                target_label = fields[4] if len(fields) == 5 else DEFAULT_LABEL
+                updates.append(
+                    insert(
+                        _parse_node(fields[1]),
+                        _parse_node(fields[2]),
+                        source_label=source_label,
+                        target_label=target_label,
+                    )
+                )
+            elif tag == "-":
+                if len(fields) != 3:
+                    raise FormatError(line_number, line, "delete needs two operands")
+                updates.append(delete(_parse_node(fields[1]), _parse_node(fields[2])))
+            else:
+                raise FormatError(line_number, line, f"unknown record tag {tag!r}")
+    finally:
+        if owned:
+            stream.close()
+    return Delta(updates)
+
+
+def graph_to_string(graph: DiGraph) -> str:
+    """Serialize to an in-memory string (debug dumps in test failures)."""
+    buffer = io.StringIO()
+    write_graph(graph, buffer)
+    return buffer.getvalue()
+
+
+def _open(target: Union[PathLike, TextIO], mode: str) -> tuple[TextIO, bool]:
+    """Normalize a path-or-stream argument; report stream ownership."""
+    if isinstance(target, (str, Path)):
+        return open(target, mode, encoding="utf-8"), True
+    return target, False

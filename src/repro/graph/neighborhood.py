@@ -1,0 +1,121 @@
+"""d-hop neighborhoods — the locality primitive of Section 4.1.
+
+The paper defines, for a node ``v`` of ``G``:
+
+* ``V_d(v)``   — all nodes within ``d`` hops of ``v`` *treating G as
+  undirected* ("within d hops" uses ``dist`` over the undirected view);
+* ``G_d(v)``   — the subgraph of ``G`` induced by ``V_d(v)``; its edge set
+  is written ``E_d(v)``.
+
+Localizable incremental algorithms (Theorem 3) confine their work to the
+``d_Q``-neighborhoods of the endpoints of updated edges, so these helpers
+are used both by :mod:`repro.iso.incremental` and by the locality assertions
+in the test-suite.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable
+
+from repro.core.cost import CostMeter, NULL_METER
+from repro.graph.digraph import DiGraph, MissingNodeError, Node
+
+
+def nodes_within(
+    graph: DiGraph,
+    sources: Iterable[Node],
+    d: int,
+    meter: CostMeter = NULL_METER,
+) -> set[Node]:
+    """Return ``V_d`` of the union of ``sources``: nodes within ``d``
+    undirected hops of any source.
+
+    Sources absent from the graph raise :class:`MissingNodeError` — updates
+    referencing unknown nodes indicate a workload bug, not a silent no-op.
+    """
+    if d < 0:
+        raise ValueError(f"neighborhood radius must be non-negative, got {d}")
+    frontier: deque[tuple[Node, int]] = deque()
+    seen: set[Node] = set()
+    for source in sources:
+        if source not in graph:
+            raise MissingNodeError(source)
+        if source not in seen:
+            seen.add(source)
+            frontier.append((source, 0))
+    while frontier:
+        node, depth = frontier.popleft()
+        meter.visit_node(node)
+        if depth == d:
+            continue
+        for neighbor in graph.successors(node):
+            meter.traverse_edge()
+            if neighbor not in seen:
+                seen.add(neighbor)
+                frontier.append((neighbor, depth + 1))
+        for neighbor in graph.predecessors(node):
+            meter.traverse_edge()
+            if neighbor not in seen:
+                seen.add(neighbor)
+                frontier.append((neighbor, depth + 1))
+    return seen
+
+
+def d_neighborhood(
+    graph: DiGraph,
+    sources: Iterable[Node],
+    d: int,
+    meter: CostMeter = NULL_METER,
+) -> DiGraph:
+    """Return ``G_d`` of the union of ``sources`` — the induced subgraph on
+    :func:`nodes_within` (paper notation ``G_d(v)``)."""
+    return graph.subgraph(nodes_within(graph, sources, d, meter=meter))
+
+
+def neighborhood_of_updates(
+    graph: DiGraph,
+    edges: Iterable[tuple[Node, Node]],
+    d: int,
+    meter: CostMeter = NULL_METER,
+) -> DiGraph:
+    """Return the union of d-neighborhoods of both endpoints of ``edges``.
+
+    This is the region a localizable algorithm may inspect:
+    ``G_d(ΔG)`` in the paper's notation.  Endpoints not present in the
+    graph (e.g. an edge already deleted) are skipped rather than raising,
+    because batch updates may remove nodes before their neighborhood is
+    requested.
+    """
+    endpoints = [
+        node
+        for edge in edges
+        for node in edge
+        if node in graph
+    ]
+    if not endpoints:
+        return DiGraph()
+    return d_neighborhood(graph, endpoints, d, meter=meter)
+
+
+def undirected_distance(graph: DiGraph, source: Node, target: Node) -> int | None:
+    """Shortest hop count between two nodes in the undirected view of
+    ``graph`` or ``None`` if disconnected.  Used by tests and by pattern
+    diameter computation."""
+    if source not in graph:
+        raise MissingNodeError(source)
+    if target not in graph:
+        raise MissingNodeError(target)
+    if source == target:
+        return 0
+    seen = {source}
+    frontier = deque([(source, 0)])
+    while frontier:
+        node, depth = frontier.popleft()
+        for neighbor in set(graph.successors(node)) | set(graph.predecessors(node)):
+            if neighbor == target:
+                return depth + 1
+            if neighbor not in seen:
+                seen.add(neighbor)
+                frontier.append((neighbor, depth + 1))
+    return None

@@ -1,0 +1,194 @@
+"""Random update workloads (paper Section 6, "Updates").
+
+"Updates ΔG are randomly generated ... controlled by size |ΔG| and a ratio
+ρ of edge insertions to deletions.  We use ρ = 1 unless stated otherwise,
+i.e., the size of the data graphs G remain stable."
+
+The generator samples deletions from existing edges and insertions from
+fresh node pairs, interleaving them so a batch is a realistic mixed stream.
+It guarantees the batch is *normalized* (no insert+delete of one edge) and
+applicable in sequence order.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.core.delta import Delta, Update, delete, insert
+from repro.graph.digraph import DiGraph, Label
+
+
+class WorkloadError(RuntimeError):
+    """The requested update workload cannot be generated."""
+
+
+def random_delta(
+    graph: DiGraph,
+    size: int,
+    rho: float = 1.0,
+    seed: int = 0,
+    new_node_fraction: float = 0.0,
+    alphabet: Sequence[Label] | None = None,
+) -> Delta:
+    """Generate a batch ΔG of ``size`` unit updates against ``graph``.
+
+    Parameters
+    ----------
+    size:
+        |ΔG| — the number of unit updates.
+    rho:
+        Ratio of insertions to deletions.  ``rho = 1`` keeps |G| stable,
+        larger values grow the graph, smaller values shrink it.  The count
+        of insertions is ``round(size * rho / (1 + rho))``.
+    seed:
+        RNG seed; workloads are reproducible.
+    new_node_fraction:
+        Fraction of insertions whose target is a brand-new node (the
+        paper's "insert e, possibly with new nodes").  New nodes get labels
+        drawn from ``alphabet`` (falling back to existing graph labels).
+    alphabet:
+        Label pool for new nodes.
+
+    The graph itself is *not* modified; the returned delta applies cleanly
+    to a copy (enforced by construction: bookkeeping sets track the edge
+    set as the batch would evolve it).
+    """
+    if size < 0:
+        raise ValueError(f"|ΔG| must be non-negative, got {size}")
+    if rho < 0:
+        raise ValueError(f"rho must be non-negative, got {rho}")
+    if not 0.0 <= new_node_fraction <= 1.0:
+        raise ValueError("new_node_fraction must be within [0, 1]")
+
+    rng = random.Random(seed)
+    num_insertions = round(size * rho / (1.0 + rho)) if size else 0
+    num_deletions = size - num_insertions
+    if num_deletions > graph.num_edges:
+        raise WorkloadError(
+            f"cannot delete {num_deletions} edges from a graph with "
+            f"{graph.num_edges}"
+        )
+
+    nodes = list(graph.nodes())
+    if not nodes:
+        raise WorkloadError("cannot build a workload against an empty graph")
+    if alphabet is None:
+        alphabet = sorted({graph.label(node) for node in nodes}, key=repr)
+
+    # Evolving view of the edge set, so generated updates stay applicable
+    # and normalized regardless of interleaving.  An edge ever touched by
+    # the batch (inserted or deleted) is never touched again.
+    present: set[tuple] = set(graph.edges())
+    ever_touched: set[tuple] = set()
+    deletable: list[tuple] = list(present)
+    rng.shuffle(deletable)
+
+    next_new_node = _fresh_node_start(nodes)
+    plan = [True] * num_insertions + [False] * num_deletions
+    rng.shuffle(plan)
+
+    updates: list[Update] = []
+    for is_insert in plan:
+        if is_insert:
+            updates.append(
+                _draw_insert(
+                    rng,
+                    nodes,
+                    present,
+                    ever_touched,
+                    alphabet,
+                    new_node_fraction,
+                    next_new_node,
+                )
+            )
+            inserted_edge = updates[-1].edge
+            present.add(inserted_edge)
+            ever_touched.add(inserted_edge)
+            if updates[-1].target not in graph and updates[-1].target == next_new_node:
+                nodes.append(next_new_node)
+                next_new_node += 1
+        else:
+            edge = _draw_delete(rng, deletable, present, ever_touched)
+            updates.append(delete(*edge))
+            ever_touched.add(edge)
+            present.discard(edge)
+    batch = Delta(updates)
+    if not batch.is_normalized():  # pragma: no cover - defensive
+        raise WorkloadError("generated batch is unexpectedly unnormalized")
+    return batch
+
+
+def _fresh_node_start(nodes: list) -> int:
+    """Pick an integer id strictly above every existing integer node id."""
+    numeric = [node for node in nodes if isinstance(node, int)]
+    return (max(numeric) + 1) if numeric else len(nodes)
+
+
+def _draw_insert(
+    rng: random.Random,
+    nodes: list,
+    present: set,
+    ever_touched: set,
+    alphabet: Sequence[Label],
+    new_node_fraction: float,
+    next_new_node: int,
+) -> Update:
+    """Draw an applicable insertion, optionally to a brand-new node."""
+    if new_node_fraction and rng.random() < new_node_fraction:
+        source = nodes[rng.randrange(len(nodes))]
+        label = alphabet[rng.randrange(len(alphabet))]
+        return insert(source, next_new_node, target_label=label)
+    for _ in range(200 * max(10, len(nodes))):
+        source = nodes[rng.randrange(len(nodes))]
+        target = nodes[rng.randrange(len(nodes))]
+        edge = (source, target)
+        if source != target and edge not in present and edge not in ever_touched:
+            return insert(source, target)
+    raise WorkloadError("failed to find a free node pair to insert (graph too dense?)")
+
+
+def _draw_delete(
+    rng: random.Random,
+    deletable: list,
+    present: set,
+    ever_touched: set,
+) -> tuple:
+    """Draw an applicable deletion of an *original* edge.
+
+    Only edges untouched by this batch are deleted, preserving
+    normalization.
+    """
+    while deletable:
+        edge = deletable.pop()
+        if edge in present and edge not in ever_touched:
+            return edge
+    raise WorkloadError("ran out of deletable edges")
+
+
+def delta_fraction(graph: DiGraph, fraction: float, rho: float = 1.0, seed: int = 0) -> Delta:
+    """Batch sized as a fraction of |E| — the x-axis of Figures 8(a)-(i).
+
+    The paper varies |ΔG| as "5% to 40% of |G|"; its |G| axis is edge-count
+    dominated (50M/100M), and updates are edges, so we interpret the
+    percentage against |E|.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    return random_delta(graph, round(graph.num_edges * fraction), rho=rho, seed=seed)
+
+
+def unit_insert_workload(graph: DiGraph, count: int, seed: int = 0) -> list[Delta]:
+    """``count`` independent single-insert batches (Exp-1(5) unit updates)."""
+    base = random_delta(graph, count, rho=1e9, seed=seed)
+    return [Delta([update]) for update in base.insertions[:count]]
+
+
+def unit_delete_workload(graph: DiGraph, count: int, seed: int = 0) -> list[Delta]:
+    """``count`` independent single-delete batches (each against G itself)."""
+    rng = random.Random(seed)
+    edges = list(graph.edges())
+    if count > len(edges):
+        raise WorkloadError(f"graph has only {len(edges)} edges, {count} deletes requested")
+    rng.shuffle(edges)
+    return [Delta([delete(*edge)]) for edge in edges[:count]]

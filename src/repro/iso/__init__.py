@@ -1,0 +1,17 @@
+"""Subgraph isomorphism: patterns, VF2, localizable IncISO."""
+
+from repro.iso.incremental import ISODelta, ISOIndex, inc_iso_n
+from repro.iso.patterns import Match, Pattern, PatternError, make_match
+from repro.iso.vf2 import has_match, vf2_matches
+
+__all__ = [
+    "ISODelta",
+    "ISOIndex",
+    "Match",
+    "Pattern",
+    "PatternError",
+    "has_match",
+    "inc_iso_n",
+    "make_match",
+    "vf2_matches",
+]

@@ -1,0 +1,115 @@
+"""Pattern queries for subgraph isomorphism (paper Section 2.1, ISO).
+
+A pattern Q = (V_Q, E_Q, l_Q) is itself a small labeled digraph.  The
+locality radius of IncISO is the pattern's *diameter* d_Q: "the length of
+the longest shortest path between any two nodes in Q when taken as an
+undirected graph" (Section 6, query generators) — every node of a match
+image lies within d_Q undirected hops of any other, so new matches created
+by an edge insertion live inside the d_Q-neighborhood of its endpoints.
+
+Match semantics (Section 2.1): a match is a *subgraph* G_s of G isomorphic
+to Q — the bijection h maps V_Q onto G_s's nodes with labels preserved and
+(u, u') ∈ E_Q iff (h(u), h(u')) ∈ E_s.  Since G_s is any subgraph (not
+necessarily induced), a match is determined by an injective embedding
+whose edge image is E_s; two embeddings differing by a pattern automorphism
+yield the same subgraph and hence the *same* match.  :class:`Match`
+canonicalizes accordingly (frozen node and edge sets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.graph.digraph import DiGraph, Edge, Label, Node
+from repro.graph.neighborhood import undirected_distance
+
+
+class PatternError(ValueError):
+    """Invalid pattern query."""
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """An immutable pattern query with a precomputed diameter."""
+
+    graph: DiGraph
+    diameter: int
+
+    @classmethod
+    def from_graph(cls, graph: DiGraph) -> "Pattern":
+        if graph.num_nodes == 0:
+            raise PatternError("a pattern needs at least one node")
+        diameter = 0
+        for first, second in combinations(list(graph.nodes()), 2):
+            hops = undirected_distance(graph, first, second)
+            if hops is None:
+                raise PatternError(
+                    "pattern must be weakly connected (disconnected patterns "
+                    "make locality radii meaningless)"
+                )
+            diameter = max(diameter, hops)
+        return cls(graph=graph, diameter=diameter)
+
+    @classmethod
+    def from_edges(cls, labels: dict[Node, Label], edges: list[Edge]) -> "Pattern":
+        return cls.from_graph(DiGraph(labels=labels, edges=edges))
+
+    @property
+    def num_nodes(self) -> int:
+        return self.graph.num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        return self.graph.num_edges
+
+    def shape(self) -> tuple[int, int, int]:
+        """(|V_Q|, |E_Q|, d_Q) — the paper's query-complexity triple."""
+        return (self.num_nodes, self.num_edges, self.diameter)
+
+    def label_multiset(self) -> dict[Label, int]:
+        counts: dict[Label, int] = {}
+        for node in self.graph.nodes():
+            label = self.graph.label(node)
+            counts[label] = counts.get(label, 0) + 1
+        return counts
+
+
+@dataclass(frozen=True)
+class Match:
+    """A canonical match: the image subgraph (node set + edge set).
+
+    Automorphic embeddings collapse to one :class:`Match`; the embedding
+    that produced it is retained for inspection but excluded from
+    equality/hashing.
+    """
+
+    nodes: frozenset[Node]
+    edges: frozenset[Edge]
+    embedding: tuple[tuple[Node, Node], ...]  # (pattern node, graph node)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Match):
+            return NotImplemented
+        return self.nodes == other.nodes and self.edges == other.edges
+
+    def __hash__(self) -> int:
+        return hash((self.nodes, self.edges))
+
+    def mapping(self) -> dict[Node, Node]:
+        """pattern node -> graph node for the retained embedding."""
+        return dict(self.embedding)
+
+    def uses_edge(self, edge: Edge) -> bool:
+        return edge in self.edges
+
+
+def make_match(pattern: Pattern, assignment: dict[Node, Node]) -> Match:
+    """Canonicalize an embedding into a :class:`Match`."""
+    nodes = frozenset(assignment.values())
+    edges = frozenset(
+        (assignment[source], assignment[target])
+        for source, target in pattern.graph.edges()
+    )
+    embedding = tuple(sorted(assignment.items(), key=lambda kv: repr(kv[0])))
+    return Match(nodes=nodes, edges=edges, embedding=embedding)

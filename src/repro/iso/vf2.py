@@ -1,0 +1,238 @@
+"""VF2-style subgraph matching [15] — the batch ISO algorithm.
+
+Enumerates all embeddings of a pattern into a graph under the paper's
+match semantics (non-induced: every pattern edge must map to a graph edge;
+extra graph edges among image nodes are permitted, they simply stay
+outside the match subgraph).  Standard VF2 ingredients:
+
+* state-space search mapping one pattern node at a time,
+* candidate-pair selection anchored at a mapped neighbor (connectivity
+  order), falling back to the globally rarest-label pattern node,
+* feasibility pruning: label equality, injectivity, and consistency of
+  already-mapped neighbors in both edge directions, plus a degree
+  look-ahead.
+
+Matches are canonicalized via :func:`repro.iso.patterns.make_match`, so
+automorphic embeddings dedupe into one match, per Section 2.1.
+"""
+
+from __future__ import annotations
+
+from repro.core.cost import CostMeter, NULL_METER
+from repro.graph.digraph import DiGraph, Node
+from repro.iso.patterns import Match, Pattern, make_match
+
+
+def vf2_matches(
+    graph: DiGraph,
+    pattern: Pattern,
+    meter: CostMeter = NULL_METER,
+    required_edge: tuple[Node, Node] | None = None,
+) -> set[Match]:
+    """All matches of ``pattern`` in ``graph``.
+
+    ``required_edge`` restricts the search to matches whose edge set uses
+    that graph edge — the filter IncISOn applies per inserted edge.
+    """
+    matcher = _VF2(graph, pattern, meter)
+    results = matcher.run()
+    if required_edge is not None:
+        results = {match for match in results if match.uses_edge(required_edge)}
+    return results
+
+
+def anchored_matches(
+    graph: DiGraph,
+    pattern: Pattern,
+    edge: tuple[Node, Node],
+    meter: CostMeter = NULL_METER,
+) -> set[Match]:
+    """All matches whose subgraph *uses* the given graph edge.
+
+    For every pattern edge with compatible endpoint labels, the search is
+    seeded with that pattern edge pinned onto ``edge`` and completed by
+    VF2.  Any new match created by inserting ``edge`` must map some
+    pattern edge onto it, so the union over pattern edges is exactly the
+    set of matches IncISO gains — and the search never leaves the
+    d_Q-neighborhood of the edge's endpoints, keeping IncISO localizable.
+    """
+    source, target = edge
+    if source not in graph or not graph.has_edge(source, target):
+        return set()
+    source_label = graph.label(source)
+    target_label = graph.label(target)
+    results: set[Match] = set()
+    for pattern_source, pattern_target in pattern.graph.edges():
+        if pattern.graph.label(pattern_source) != source_label:
+            continue
+        if pattern.graph.label(pattern_target) != target_label:
+            continue
+        if pattern_source == pattern_target and source != target:
+            continue
+        seed = (
+            {pattern_source: source}
+            if pattern_source == pattern_target
+            else {pattern_source: source, pattern_target: target}
+        )
+        matcher = _VF2(graph, pattern, meter, seed_assignment=seed)
+        results |= matcher.run()
+    return {match for match in results if match.uses_edge(edge)}
+
+
+def has_match(graph: DiGraph, pattern: Pattern, meter: CostMeter = NULL_METER) -> bool:
+    """Decision variant (NP-complete in general, cf. [35])."""
+    matcher = _VF2(graph, pattern, meter, first_only=True)
+    return bool(matcher.run())
+
+
+class _VF2:
+    """One matching run; not reusable.
+
+    ``seed_assignment`` pins pattern nodes to graph nodes before the
+    search starts (validated for label and edge consistency); the search
+    completes the remaining pattern nodes.
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        pattern: Pattern,
+        meter: CostMeter,
+        first_only: bool = False,
+        seed_assignment: dict[Node, Node] | None = None,
+    ) -> None:
+        self.graph = graph
+        self.pattern = pattern.graph
+        self.pattern_obj = pattern
+        self.meter = meter
+        self.first_only = first_only
+        self.assignment: dict[Node, Node] = {}
+        self.used: set[Node] = set()
+        self.results: set[Match] = set()
+        self.seed_ok = True
+        if seed_assignment:
+            for pattern_node, graph_node in seed_assignment.items():
+                if graph_node in self.used or not self._feasible(
+                    pattern_node, graph_node
+                ):
+                    self.seed_ok = False
+                    break
+                self.assignment[pattern_node] = graph_node
+                self.used.add(graph_node)
+        self.order = self._matching_order()
+
+    def _matching_order(self) -> list[Node]:
+        """Connectivity-first order starting from the rarest label."""
+        label_frequency: dict = {}
+        for node in self.graph.nodes():
+            label = self.graph.label(node)
+            label_frequency[label] = label_frequency.get(label, 0) + 1
+
+        def rarity(pattern_node: Node) -> tuple[int, int]:
+            label = self.pattern.label(pattern_node)
+            degree = self.pattern.out_degree(pattern_node) + self.pattern.in_degree(
+                pattern_node
+            )
+            return (label_frequency.get(label, 0), -degree)
+
+        remaining = set(self.pattern.nodes()) - set(self.assignment)
+        order: list[Node] = []
+        while remaining:
+            # prefer nodes adjacent to already-ordered ones (connectivity)
+            frontier = [
+                node
+                for node in remaining
+                if any(
+                    neighbor not in remaining
+                    for neighbor in set(self.pattern.successors(node))
+                    | set(self.pattern.predecessors(node))
+                )
+            ]
+            pool = frontier if frontier else list(remaining)
+            chosen = min(pool, key=lambda node: (rarity(node), repr(node)))
+            order.append(chosen)
+            remaining.discard(chosen)
+        return order
+
+    def run(self) -> set[Match]:
+        if not self.seed_ok:
+            return set()
+        self._extend(0)
+        return self.results
+
+    def _extend(self, depth: int) -> bool:
+        """Returns True when the search should stop early (first_only)."""
+        if depth == len(self.order):
+            self.results.add(make_match(self.pattern_obj, dict(self.assignment)))
+            return self.first_only
+        pattern_node = self.order[depth]
+        for candidate in self._candidates(pattern_node):
+            self.meter.visit_node(candidate)
+            if not self._feasible(pattern_node, candidate):
+                continue
+            self.assignment[pattern_node] = candidate
+            self.used.add(candidate)
+            stop = self._extend(depth + 1)
+            del self.assignment[pattern_node]
+            self.used.discard(candidate)
+            if stop:
+                return True
+        return False
+
+    def _candidates(self, pattern_node: Node):
+        """Graph nodes worth trying for ``pattern_node``: anchored at a
+        mapped pattern neighbor when one exists, else a label scan."""
+        label = self.pattern.label(pattern_node)
+        for neighbor in self.pattern.successors(pattern_node):
+            if neighbor in self.assignment:
+                # pattern_node -> neighbor, so candidates are graph
+                # predecessors of the neighbor's image.
+                return [
+                    node
+                    for node in self.graph.predecessors(self.assignment[neighbor])
+                    if self.graph.label(node) == label and node not in self.used
+                ]
+        for neighbor in self.pattern.predecessors(pattern_node):
+            if neighbor in self.assignment:
+                return [
+                    node
+                    for node in self.graph.successors(self.assignment[neighbor])
+                    if self.graph.label(node) == label and node not in self.used
+                ]
+        return [
+            node
+            for node in self.graph.nodes_with_label(label)
+            if node not in self.used
+        ]
+
+    def _feasible(self, pattern_node: Node, candidate: Node) -> bool:
+        if self.graph.label(candidate) != self.pattern.label(pattern_node):
+            return False
+        # consistency with every already-mapped pattern neighbor
+        for successor in self.pattern.successors(pattern_node):
+            if successor in self.assignment:
+                self.meter.traverse_edge()
+                if not self.graph.has_edge(candidate, self.assignment[successor]):
+                    return False
+        for predecessor in self.pattern.predecessors(pattern_node):
+            if predecessor in self.assignment:
+                self.meter.traverse_edge()
+                if not self.graph.has_edge(self.assignment[predecessor], candidate):
+                    return False
+        # degree look-ahead: the candidate must offer at least as many
+        # unmapped out/in neighbors as the pattern still requires.
+        pattern_out = sum(
+            1
+            for successor in self.pattern.successors(pattern_node)
+            if successor not in self.assignment
+        )
+        if pattern_out > self.graph.out_degree(candidate):
+            return False
+        pattern_in = sum(
+            1
+            for predecessor in self.pattern.predecessors(pattern_node)
+            if predecessor not in self.assignment
+        )
+        if pattern_in > self.graph.in_degree(candidate):
+            return False
+        return True

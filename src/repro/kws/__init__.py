@@ -1,0 +1,32 @@
+"""Keyword search with distinct roots: batch, IncKWS, snapshots."""
+
+from repro.kws.batch import batch_kws, compute_kdist, verify_kdist
+from repro.kws.incremental import KWSDelta, KWSIndex, inc_kws_n
+from repro.kws.kdist import KDistEntry, KDistIndex, KWSQuery
+from repro.kws.matches import (
+    MatchTree,
+    all_matches,
+    distance_profile,
+    follow_path,
+    match_at,
+)
+from repro.kws.snapshot import extend_bound, profile_with_bound
+
+__all__ = [
+    "KDistEntry",
+    "KDistIndex",
+    "KWSDelta",
+    "KWSIndex",
+    "KWSQuery",
+    "MatchTree",
+    "all_matches",
+    "batch_kws",
+    "compute_kdist",
+    "distance_profile",
+    "extend_bound",
+    "follow_path",
+    "inc_kws_n",
+    "match_at",
+    "profile_with_bound",
+    "verify_kdist",
+]

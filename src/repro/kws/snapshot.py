@@ -1,0 +1,107 @@
+"""Varying the bound b without recomputation (paper Section 4.2, Remark).
+
+"When change propagation stops at node v due to bound b, we can annotate v
+as a 'breakpoint' w.r.t. b ... When given a larger b′, the snapshot is
+firstly restored and each breakpoint is regarded as a unit update to G ...
+from where the change propagation continues.  In this way, KWS queries
+with different b values can be answered using the same data structure."
+
+Key observation: every node whose true distance lies in (b, b′] has its
+shortest chain passing through *every* distance level, in particular
+through the frontier layer at distance exactly b.  So the breakpoint seeds
+are recoverable from the maintained kdist itself — the dist-b layer — and
+no extra annotation has to be threaded through the incremental algorithms.
+
+* :func:`extend_bound` resumes propagation outward from that layer,
+  mutating the index in place and returning ΔO like any other update.
+* :func:`profile_with_bound` answers queries with a *smaller* bound b″ ≤ b
+  by filtering ("we only need to store the snapshot of G w.r.t. the
+  maximum b that is encountered").
+"""
+
+from __future__ import annotations
+
+from repro.graph.digraph import Label, Node
+from repro.kws.incremental import KWSDelta, KWSIndex
+from repro.kws.kdist import KDistEntry, node_order
+
+
+def extend_bound(index: KWSIndex, new_bound: int) -> KWSDelta:
+    """Grow the index's bound to ``new_bound`` in place, resuming the
+    propagation that previously stopped at the old bound; returns ΔO."""
+    old_bound = index.query.bound
+    if new_bound < old_bound:
+        raise ValueError(
+            f"cannot shrink the bound in place ({old_bound} -> {new_bound}); "
+            "use profile_with_bound for smaller bounds"
+        )
+    index._begin_op()
+    index.query = index.query.with_bound(new_bound)
+    index.kdist.query = index.query
+    if new_bound == old_bound:
+        return index._finish_op()
+    for keyword in index.query.keywords:
+        _resume_propagation(index, keyword, old_bound, new_bound)
+    return index._finish_op()
+
+
+def _resume_propagation(
+    index: KWSIndex,
+    keyword: Label,
+    old_bound: int,
+    new_bound: int,
+) -> None:
+    """BFS outward from the distance-``old_bound`` layer (the breakpoints'
+    successors), assigning levels old_bound+1 .. new_bound."""
+    # All frontier seeds share the same distance, so plain layered BFS
+    # computes exact new distances; next pointers are derived per layer
+    # with the standard deterministic tie-break.
+    entries = index.kdist.entries(keyword)
+    current_layer = sorted(
+        (node for node, entry in entries.items() if entry.dist == old_bound),
+        key=node_order,
+    )
+    depth = old_bound
+    while current_layer and depth < new_bound:
+        next_layer: list[Node] = []
+        for node in current_layer:
+            index.meter.visit_node(node)
+            for predecessor in index.graph.predecessors(node):
+                index.meter.traverse_edge()
+                if index.kdist.get(predecessor, keyword) is None:
+                    index._set(predecessor, keyword, KDistEntry(depth + 1, node))
+                    next_layer.append(predecessor)
+        # Re-resolve ties: a layer member may have several successors at
+        # the previous depth; pick the smallest, matching the batch rule.
+        for node in next_layer:
+            best = min(
+                (
+                    successor
+                    for successor in index.graph.successors(node)
+                    if (entry := index.kdist.get(successor, keyword)) is not None
+                    and entry.dist == depth
+                ),
+                key=node_order,
+            )
+            index._set(node, keyword, KDistEntry(depth + 1, best))
+        current_layer = sorted(next_layer, key=node_order)
+        depth += 1
+
+
+def profile_with_bound(index: KWSIndex, bound: int) -> dict[Node, dict[Label, int]]:
+    """Answer the query with a *smaller* bound from the same structure:
+    roots whose every keyword distance is ≤ ``bound``."""
+    if bound > index.query.bound:
+        raise ValueError(
+            f"bound {bound} exceeds the maintained bound {index.query.bound}; "
+            "call extend_bound first"
+        )
+    result: dict[Node, dict[Label, int]] = {}
+    for root in index.kdist.complete_roots():
+        distances = {
+            keyword: index.kdist.get(root, keyword).dist
+            for keyword in index.query.keywords
+        }
+        if all(dist <= bound for dist in distances.values()):
+            result[root] = distances
+    return result

@@ -1,0 +1,51 @@
+"""Regular path queries: regex, Glushkov NFA, RPQ_NFA batch, IncRPQ."""
+
+from repro.rpq.batch import (
+    RPQResult,
+    compile_query,
+    matches_only,
+    rpq_nfa,
+    verify_markings,
+)
+from repro.rpq.incremental import RPQDelta, RPQIndex, inc_rpq_n
+from repro.rpq.markings import BOOTSTRAP, MarkEntry, Markings, SourceMarks
+from repro.rpq.nfa import NFA, glushkov
+from repro.rpq.regex import (
+    Concat,
+    Epsilon,
+    Regex,
+    RegexSyntaxError,
+    Star,
+    Sym,
+    Union,
+    matches_word,
+    nullable,
+    parse,
+)
+
+__all__ = [
+    "BOOTSTRAP",
+    "Concat",
+    "Epsilon",
+    "MarkEntry",
+    "Markings",
+    "NFA",
+    "RPQDelta",
+    "RPQIndex",
+    "RPQResult",
+    "Regex",
+    "RegexSyntaxError",
+    "SourceMarks",
+    "Star",
+    "Sym",
+    "Union",
+    "compile_query",
+    "glushkov",
+    "inc_rpq_n",
+    "matches_only",
+    "matches_word",
+    "nullable",
+    "parse",
+    "rpq_nfa",
+    "verify_markings",
+]

@@ -1,0 +1,172 @@
+"""RPQ_NFA — the batch RPQ algorithm (paper Section 5.2, [29, 33]).
+
+Two phases: translate the query into an (ε-free, position) NFA M_Q, then
+traverse the intersection graph G_I of G and M_Q from every viable source.
+
+The intersection graph pairs graph nodes with NFA states:
+``((v, s), (v', s')) ∈ E_I`` iff ``(v, v') ∈ E`` and ``s' ∈ δ(s, l(v'))``.
+A source ``u`` starts at the virtual node ``(u, s0)`` and *bootstraps* by
+consuming its own label: the first real product nodes are ``(u, s)`` for
+``s ∈ δ(s0, l(u))``, at distance 0.  ``(u, v)`` is a match iff some
+``(v, s)`` with accepting ``s`` is reachable — the witnessing path spells
+``l(u) l(v1) ... l(v)`` ∈ L(Q).  Single-node paths (v = u) are included;
+the empty word is not spellable by any path, so an accepting s0 (nullable
+query) contributes nothing, and Glushkov's s0 has no incoming transitions,
+so it never reappears.
+
+The BFS also fills the pmark_e auxiliary structures (dist/cpre/mpre)
+"without increasing its complexity" — they ride along with the traversal.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.cost import CostMeter, NULL_METER
+from repro.graph.digraph import DiGraph, Node
+from repro.rpq.markings import BOOTSTRAP, MarkEntry, Markings, SourceMarks
+from repro.rpq.nfa import NFA, glushkov
+from repro.rpq.regex import Regex, parse
+
+
+class RPQResult:
+    """Q(G) plus the auxiliary markings that IncRPQ maintains."""
+
+    __slots__ = ("nfa", "markings", "matches")
+
+    def __init__(self, nfa: NFA, markings: Markings, matches: set[tuple[Node, Node]]):
+        self.nfa = nfa
+        self.markings = markings
+        self.matches = matches
+
+
+def compile_query(query: Regex | str) -> tuple[Regex, NFA]:
+    """Parse (if needed) and translate a query to its NFA."""
+    ast = parse(query) if isinstance(query, str) else query
+    return ast, glushkov(ast)
+
+
+def rpq_nfa(
+    graph: DiGraph,
+    query: Regex | str,
+    meter: CostMeter = NULL_METER,
+) -> RPQResult:
+    """Run the full batch algorithm: NFA construction + product BFS from
+    every source whose label admits a bootstrap state."""
+    _, nfa = compile_query(query)
+    markings = Markings()
+    matches: set[tuple[Node, Node]] = set()
+    for source in graph.nodes():
+        start_states = nfa.start_states(graph.label(source))
+        if not start_states:
+            continue
+        source_marks = markings.source(source)
+        _bfs_from(graph, nfa, source, start_states, source_marks, meter)
+        for node, states in source_marks.by_node.items():
+            if any(state in nfa.accepting for state in states):
+                matches.add((source, node))
+    return RPQResult(nfa=nfa, markings=markings, matches=matches)
+
+
+def _bfs_from(
+    graph: DiGraph,
+    nfa: NFA,
+    source: Node,
+    start_states,
+    marks: SourceMarks,
+    meter: CostMeter,
+) -> None:
+    """BFS over the intersection graph from (source, s0)."""
+    queue: deque[tuple[Node, int]] = deque()
+    for state in start_states:
+        marks.set(source, state, MarkEntry(dist=0, cpre={BOOTSTRAP}, mpre={BOOTSTRAP}))
+        meter.write()
+        queue.append((source, state))
+    while queue:
+        node, state = queue.popleft()
+        meter.visit_node(node)
+        entry = marks.get(node, state)
+        for successor in graph.successors(node):
+            meter.traverse_edge()
+            for next_state in nfa.delta(state, graph.label(successor)):
+                next_entry = marks.get(successor, next_state)
+                if next_entry is None:
+                    marks.set(
+                        successor,
+                        next_state,
+                        MarkEntry(
+                            dist=entry.dist + 1,
+                            cpre={(node, state)},
+                            mpre={(node, state)},
+                        ),
+                    )
+                    meter.write()
+                    queue.append((successor, next_state))
+                else:
+                    next_entry.cpre.add((node, state))
+                    if entry.dist + 1 == next_entry.dist:
+                        next_entry.mpre.add((node, state))
+    # cpre completeness: BFS visits every reached product node once and
+    # scans its out-edges, so each reached predecessor registers itself
+    # with each reached successor exactly once.
+
+
+def matches_only(
+    graph: DiGraph,
+    query: Regex | str,
+    meter: CostMeter = NULL_METER,
+) -> set[tuple[Node, Node]]:
+    """Convenience wrapper returning just Q(G)."""
+    return rpq_nfa(graph, query, meter=meter).matches
+
+
+def verify_markings(graph: DiGraph, query: Regex | str, markings: Markings) -> None:
+    """Audit maintained markings against recomputation.
+
+    Distances and entry domains must agree exactly; cpre must equal the
+    reached product predecessors; mpre must be the shortest-path subset.
+    """
+    fresh = rpq_nfa(graph, query)
+    fresh_sources = {
+        source: marks
+        for source, marks in fresh.markings.per_source.items()
+        if marks.by_node
+    }
+    maintained_sources = {
+        source: marks
+        for source, marks in markings.per_source.items()
+        if marks.by_node
+    }
+    if fresh_sources.keys() != maintained_sources.keys():
+        missing = fresh_sources.keys() - maintained_sources.keys()
+        spurious = maintained_sources.keys() - fresh_sources.keys()
+        raise AssertionError(
+            f"marking sources diverged: missing={list(missing)[:5]} "
+            f"spurious={list(spurious)[:5]}"
+        )
+    for source, fresh_marks in fresh_sources.items():
+        kept = maintained_sources[source]
+        fresh_nodes = set(fresh_marks.product_nodes())
+        kept_nodes = set(kept.product_nodes())
+        if fresh_nodes != kept_nodes:
+            raise AssertionError(
+                f"source {source!r}: product nodes diverged "
+                f"(missing={list(fresh_nodes - kept_nodes)[:5]}, "
+                f"spurious={list(kept_nodes - fresh_nodes)[:5]})"
+            )
+        for node, state in fresh_nodes:
+            expected = fresh_marks.get(node, state)
+            actual = kept.get(node, state)
+            if expected.dist != actual.dist:
+                raise AssertionError(
+                    f"source {source!r}, ({node!r}, {state}): dist "
+                    f"{actual.dist} != expected {expected.dist}"
+                )
+            if expected.cpre != actual.cpre:
+                raise AssertionError(
+                    f"source {source!r}, ({node!r}, {state}): cpre diverged"
+                )
+            if expected.mpre != actual.mpre:
+                raise AssertionError(
+                    f"source {source!r}, ({node!r}, {state}): mpre diverged"
+                )

@@ -1,0 +1,136 @@
+"""pmark_e markings — the RPQ auxiliary structure (paper Section 5.2).
+
+For a source node ``u``, ``v.pmark_e(u)[s]`` is a tuple
+``(state, dist, cpre, mpre)`` where
+
+* ``dist`` — shortest distance from ``(u, s0)`` to ``(v, s)`` in the
+  intersection graph G_I, counted in graph hops (bootstrap = 0, so the
+  dist equals the length of the witnessing path in G);
+* ``cpre`` — *candidate* predecessors: every reached product node
+  ``(v', s')`` with an edge to ``(v, s)`` in G_I;
+* ``mpre`` — the subset of ``cpre`` lying on shortest paths
+  (``dist(v', s') + 1 == dist(v, s)``).
+
+Bootstrap entries (``v == u`` and ``s ∈ δ(s0, l(u))``) carry the virtual
+predecessor ``BOOTSTRAP`` in cpre/mpre, marking distance 0 as coming from
+``(u, s0)`` directly.
+
+Storage is per source, indexed by graph node first so that updates to the
+edges around a node touch only that node's state bucket:
+``marks[u][v][s] -> MarkEntry``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graph.digraph import Node
+from repro.rpq.nfa import State
+
+ProductNode = tuple[Node, State]
+
+#: Virtual predecessor representing (u, s0) — the pre-bootstrap start.
+BOOTSTRAP: ProductNode = ("__s0__", -1)
+
+
+@dataclass
+class MarkEntry:
+    """Mutable marking for one product node (v, s) w.r.t. a source u."""
+
+    dist: int
+    cpre: set[ProductNode] = field(default_factory=set)
+    mpre: set[ProductNode] = field(default_factory=set)
+
+    def snapshot(self) -> tuple[int, frozenset[ProductNode]]:
+        """Immutable (dist, mpre) view for first-touch records."""
+        return (self.dist, frozenset(self.mpre))
+
+
+class SourceMarks:
+    """All markings for one source node u: ``{v: {s: MarkEntry}}``.
+
+    When owned by a :class:`Markings` registry, first/last entries at a
+    graph node register/deregister the source in the registry's
+    node → sources reverse index (so per-update scans touch only sources
+    that actually reach the updated node).
+    """
+
+    __slots__ = ("by_node", "_owner", "_registry")
+
+    def __init__(self, owner: Node = None, registry: "Markings | None" = None) -> None:
+        self.by_node: dict[Node, dict[State, MarkEntry]] = {}
+        self._owner = owner
+        self._registry = registry
+
+    def get(self, node: Node, state: State) -> MarkEntry | None:
+        return self.by_node.get(node, {}).get(state)
+
+    def states_at(self, node: Node) -> dict[State, MarkEntry]:
+        return self.by_node.get(node, {})
+
+    def set(self, node: Node, state: State, entry: MarkEntry) -> None:
+        states = self.by_node.get(node)
+        if states is None:
+            states = self.by_node[node] = {}
+            if self._registry is not None:
+                self._registry.sources_at.setdefault(node, set()).add(self._owner)
+        states[state] = entry
+
+    def remove(self, node: Node, state: State) -> None:
+        states = self.by_node.get(node)
+        if states is None or state not in states:
+            return
+        del states[state]
+        if not states:
+            del self.by_node[node]
+            if self._registry is not None:
+                owners = self._registry.sources_at.get(node)
+                if owners is not None:
+                    owners.discard(self._owner)
+                    if not owners:
+                        del self._registry.sources_at[node]
+
+    def product_nodes(self) -> list[tuple[Node, State]]:
+        return [
+            (node, state)
+            for node, states in self.by_node.items()
+            for state in states
+        ]
+
+    def __len__(self) -> int:
+        return sum(len(states) for states in self.by_node.values())
+
+
+class Markings:
+    """pmark_e for all sources: ``{u: SourceMarks}``.
+
+    Sources whose label admits no bootstrap state simply have no bucket.
+    ``sources_at[v]`` lists the sources with at least one entry at graph
+    node v — the incremental algorithms' per-update scan set.
+    """
+
+    __slots__ = ("per_source", "sources_at")
+
+    def __init__(self) -> None:
+        self.per_source: dict[Node, SourceMarks] = {}
+        self.sources_at: dict[Node, set[Node]] = {}
+
+    def source(self, source: Node) -> SourceMarks:
+        marks = self.per_source.get(source)
+        if marks is None:
+            marks = SourceMarks(owner=source, registry=self)
+            self.per_source[source] = marks
+        return marks
+
+    def get(self, source: Node) -> SourceMarks | None:
+        return self.per_source.get(source)
+
+    def sources(self) -> list[Node]:
+        return list(self.per_source)
+
+    def sources_with_entries_at(self, node: Node) -> tuple[Node, ...]:
+        """Sources whose product BFS reached ``node`` (reverse index)."""
+        return tuple(self.sources_at.get(node, ()))
+
+    def total_entries(self) -> int:
+        return sum(len(marks) for marks in self.per_source.values())

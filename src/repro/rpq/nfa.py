@@ -1,0 +1,171 @@
+"""Glushkov NFA construction — small ε-free automata (paper Section 5.2).
+
+The paper adopts the construction of Hromkovič et al. [29] because it
+yields smaller NFAs than partial derivatives [7].  The classical Glushkov
+(position) automaton shares the key properties the algorithms rely on:
+
+* ε-free, with exactly |Q| + 1 states (one per label occurrence plus the
+  initial state s0), and
+* **s0 has no incoming transitions**, which is what lets the product-graph
+  construction treat "being at (u, s0)" as the pre-bootstrap virtual start
+  that never reappears on a path (see :mod:`repro.rpq.batch`).
+
+States are integers: 0 is s0, positions are 1..n in left-to-right order of
+label occurrences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.graph.digraph import Label
+from repro.rpq.regex import Concat, Epsilon, Regex, Star, Sym, Union
+
+State = int
+
+
+@dataclass(frozen=True)
+class NFA:
+    """An ε-free NFA (S, Σ, δ, s0=0, F)."""
+
+    num_states: int
+    accepting: frozenset[State]
+    transitions: dict[State, dict[Label, frozenset[State]]]
+
+    @property
+    def initial(self) -> State:
+        return 0
+
+    def delta(self, state: State, label: Label) -> frozenset[State]:
+        """δ(state, label) — empty set when undefined."""
+        return self.transitions.get(state, {}).get(label, frozenset())
+
+    def start_states(self, label: Label) -> frozenset[State]:
+        """δ(s0, label): the bootstrap states for a source node labeled
+        ``label`` (consumes the source's own label, paper Section 5.2)."""
+        return self.delta(0, label)
+
+    def accepts(self, word: Iterable[Label]) -> bool:
+        """Word membership by subset simulation (test oracle)."""
+        current: set[State] = {0}
+        for symbol in word:
+            current = {
+                next_state
+                for state in current
+                for next_state in self.delta(state, symbol)
+            }
+            if not current:
+                return False
+        return bool(current & self.accepting)
+
+    def alphabet(self) -> frozenset[Label]:
+        return frozenset(
+            label
+            for by_label in self.transitions.values()
+            for label in by_label
+        )
+
+
+def glushkov(query: Regex) -> NFA:
+    """Build the position automaton of ``query``.
+
+    Standard construction: number the label occurrences 1..n ("positions"),
+    compute ``first``/``last``/``follow`` sets and nullability, then
+
+    * δ(0, a)  = {p ∈ first  : sym(p) = a}
+    * δ(p, a)  = {q ∈ follow(p) : sym(q) = a}
+    * F        = last ∪ ({0} if ε ∈ L(Q))
+    """
+    symbols: list[Label] = []
+
+    def linearize(node: Regex) -> "_Pos":
+        if isinstance(node, Epsilon):
+            return _Pos(nullable=True, first=frozenset(), last=frozenset(), follow={})
+        if isinstance(node, Sym):
+            symbols.append(node.label)
+            position = len(symbols)  # 1-based
+            return _Pos(
+                nullable=False,
+                first=frozenset([position]),
+                last=frozenset([position]),
+                follow={},
+            )
+        if isinstance(node, Concat):
+            left = linearize(node.left)
+            right = linearize(node.right)
+            follow = _merge_follow(left.follow, right.follow)
+            for position in left.last:
+                follow[position] = follow.get(position, frozenset()) | right.first
+            return _Pos(
+                nullable=left.nullable and right.nullable,
+                first=left.first | (right.first if left.nullable else frozenset()),
+                last=right.last | (left.last if right.nullable else frozenset()),
+                follow=follow,
+            )
+        if isinstance(node, Union):
+            left = linearize(node.left)
+            right = linearize(node.right)
+            return _Pos(
+                nullable=left.nullable or right.nullable,
+                first=left.first | right.first,
+                last=left.last | right.last,
+                follow=_merge_follow(left.follow, right.follow),
+            )
+        if isinstance(node, Star):
+            child = linearize(node.child)
+            follow = dict(child.follow)
+            for position in child.last:
+                follow[position] = follow.get(position, frozenset()) | child.first
+            return _Pos(
+                nullable=True,
+                first=child.first,
+                last=child.last,
+                follow=follow,
+            )
+        raise TypeError(f"not a Regex node: {node!r}")
+
+    info = linearize(query)
+    transitions: dict[State, dict[Label, frozenset[State]]] = {}
+
+    def add_transitions(state: State, targets: frozenset[State]) -> None:
+        by_label: dict[Label, set[State]] = {}
+        for position in targets:
+            by_label.setdefault(symbols[position - 1], set()).add(position)
+        if by_label:
+            transitions[state] = {
+                label: frozenset(states) for label, states in by_label.items()
+            }
+
+    add_transitions(0, info.first)
+    for position in range(1, len(symbols) + 1):
+        add_transitions(position, info.follow.get(position, frozenset()))
+
+    accepting = set(info.last)
+    if info.nullable:
+        accepting.add(0)
+    return NFA(
+        num_states=len(symbols) + 1,
+        accepting=frozenset(accepting),
+        transitions=transitions,
+    )
+
+
+@dataclass(frozen=True)
+class _Pos:
+    """Glushkov bookkeeping for one subexpression."""
+
+    nullable: bool
+    first: frozenset[int]
+    last: frozenset[int]
+    follow: dict[int, frozenset[int]]
+
+
+def _merge_follow(
+    left: dict[int, frozenset[int]],
+    right: dict[int, frozenset[int]],
+) -> dict[int, frozenset[int]]:
+    merged = dict(left)
+    for position, targets in right.items():
+        merged[position] = merged.get(position, frozenset()) | targets
+    return merged

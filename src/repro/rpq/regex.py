@@ -1,0 +1,272 @@
+"""Regular path query expressions (paper Section 2.1).
+
+    Q ::= ε | α | Q·Q | Q+Q | Q*
+
+where α ranges over node labels.  ``|Q|`` is "the number of occurrences of
+labels from Σ in Q" — exactly the number of :class:`Sym` leaves, which is
+also the number of Glushkov NFA positions (see :mod:`repro.rpq.nfa`).
+
+The concrete syntax accepted by :func:`parse`:
+
+* labels: identifiers ``[A-Za-z0-9_]+``;
+* concatenation ``.``, union ``+``, Kleene star ``*`` (postfix);
+* grouping ``( ... )``; epsilon as ``eps``;
+* whitespace is insignificant.
+
+Example: ``c . (b . a + c)* . c`` — the query of the paper's Example 4.
+"""
+
+from __future__ import annotations
+
+import re as _stdlib_re
+from dataclasses import dataclass
+
+from repro.graph.digraph import Label
+
+
+class RegexSyntaxError(ValueError):
+    """Malformed regular path query text."""
+
+    def __init__(self, text: str, position: int, reason: str) -> None:
+        pointer = " " * position + "^"
+        super().__init__(f"{reason} at position {position}:\n  {text}\n  {pointer}")
+        self.position = position
+
+
+# ----------------------------------------------------------------------
+# AST
+# ----------------------------------------------------------------------
+
+
+class Regex:
+    """Base class for regular path query ASTs (immutable)."""
+
+    __slots__ = ()
+
+    # Combinator sugar so queries compose programmatically:
+    def concat(self, other: "Regex") -> "Regex":
+        return Concat(self, other)
+
+    def union(self, other: "Regex") -> "Regex":
+        return Union(self, other)
+
+    def star(self) -> "Regex":
+        return Star(self)
+
+    @property
+    def size(self) -> int:
+        """|Q| — occurrences of labels (paper's query-size measure)."""
+        raise NotImplementedError
+
+    def labels(self) -> frozenset[Label]:
+        """The set of distinct labels mentioned."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, slots=True)
+class Epsilon(Regex):
+    """The empty path ε."""
+
+    @property
+    def size(self) -> int:
+        return 0
+
+    def labels(self) -> frozenset[Label]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return "eps"
+
+
+@dataclass(frozen=True, slots=True)
+class Sym(Regex):
+    """A single label α ∈ Σ."""
+
+    label: Label
+
+    @property
+    def size(self) -> int:
+        return 1
+
+    def labels(self) -> frozenset[Label]:
+        return frozenset([self.label])
+
+    def __str__(self) -> str:
+        return str(self.label)
+
+
+@dataclass(frozen=True, slots=True)
+class Concat(Regex):
+    left: Regex
+    right: Regex
+
+    @property
+    def size(self) -> int:
+        return self.left.size + self.right.size
+
+    def labels(self) -> frozenset[Label]:
+        return self.left.labels() | self.right.labels()
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.left, Union)} . {_wrap(self.right, Union)}"
+
+
+@dataclass(frozen=True, slots=True)
+class Union(Regex):
+    left: Regex
+    right: Regex
+
+    @property
+    def size(self) -> int:
+        return self.left.size + self.right.size
+
+    def labels(self) -> frozenset[Label]:
+        return self.left.labels() | self.right.labels()
+
+    def __str__(self) -> str:
+        return f"{self.left} + {self.right}"
+
+
+@dataclass(frozen=True, slots=True)
+class Star(Regex):
+    child: Regex
+
+    @property
+    def size(self) -> int:
+        return self.child.size
+
+    def labels(self) -> frozenset[Label]:
+        return self.child.labels()
+
+    def __str__(self) -> str:
+        if isinstance(self.child, (Sym, Epsilon, Star)):
+            return f"{self.child}*"
+        return f"({self.child})*"
+
+
+def _wrap(node: Regex, *outer_precedence: type) -> str:
+    if isinstance(node, outer_precedence):
+        return f"({node})"
+    return str(node)
+
+
+# ----------------------------------------------------------------------
+# Parser (recursive descent)
+# ----------------------------------------------------------------------
+
+_TOKEN = _stdlib_re.compile(r"\s*(?:(?P<label>[A-Za-z0-9_]+)|(?P<op>[.+*()]))")
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens: list[tuple[str, str, int]] = []
+        position = 0
+        while position < len(text):
+            match = _TOKEN.match(text, position)
+            if match is None:
+                stripped = text[position:].lstrip()
+                if not stripped:
+                    break
+                raise RegexSyntaxError(text, position, "unexpected character")
+            if match.group("label") is not None:
+                self.tokens.append(("label", match.group("label"), match.start("label")))
+            else:
+                self.tokens.append(("op", match.group("op"), match.start("op")))
+            position = match.end()
+        self.cursor = 0
+
+    def peek(self) -> tuple[str, str, int] | None:
+        return self.tokens[self.cursor] if self.cursor < len(self.tokens) else None
+
+    def advance(self) -> tuple[str, str, int]:
+        token = self.tokens[self.cursor]
+        self.cursor += 1
+        return token
+
+    # expr := term ('+' term)*
+    def expr(self) -> Regex:
+        node = self.term()
+        while (token := self.peek()) and token[:2] == ("op", "+"):
+            self.advance()
+            node = Union(node, self.term())
+        return node
+
+    # term := factor ('.' factor | factor)*   (juxtaposition also concatenates)
+    def term(self) -> Regex:
+        node = self.factor()
+        while True:
+            token = self.peek()
+            if token and token[:2] == ("op", "."):
+                self.advance()
+                node = Concat(node, self.factor())
+            elif token and (token[0] == "label" or token[:2] == ("op", "(")):
+                node = Concat(node, self.factor())
+            else:
+                return node
+
+    # factor := atom '*'*
+    def factor(self) -> Regex:
+        node = self.atom()
+        while (token := self.peek()) and token[:2] == ("op", "*"):
+            self.advance()
+            node = Star(node)
+        return node
+
+    def atom(self) -> Regex:
+        token = self.peek()
+        if token is None:
+            raise RegexSyntaxError(self.text, len(self.text), "unexpected end of query")
+        kind, value, position = token
+        if kind == "label":
+            self.advance()
+            return Epsilon() if value == "eps" else Sym(value)
+        if value == "(":
+            self.advance()
+            node = self.expr()
+            closing = self.peek()
+            if closing is None or closing[:2] != ("op", ")"):
+                raise RegexSyntaxError(self.text, position, "unbalanced parenthesis")
+            self.advance()
+            return node
+        raise RegexSyntaxError(self.text, position, f"unexpected {value!r}")
+
+
+def parse(text: str) -> Regex:
+    """Parse the concrete syntax into an AST."""
+    parser = _Parser(text)
+    if not parser.tokens:
+        raise RegexSyntaxError(text, 0, "empty query")
+    node = parser.expr()
+    trailing = parser.peek()
+    if trailing is not None:
+        raise RegexSyntaxError(text, trailing[2], f"trailing {trailing[1]!r}")
+    return node
+
+
+# ----------------------------------------------------------------------
+# Word membership (reference semantics for tests)
+# ----------------------------------------------------------------------
+
+
+def matches_word(query: Regex, word: tuple[Label, ...]) -> bool:
+    """Decide word ∈ L(Q) by AST interpretation (exponential-free
+    Brzozowski-style matching via position sets; used as a test oracle)."""
+    from repro.rpq.nfa import glushkov
+
+    return glushkov(query).accepts(word)
+
+
+def nullable(query: Regex) -> bool:
+    """ε ∈ L(Q)?"""
+    if isinstance(query, Epsilon):
+        return True
+    if isinstance(query, Sym):
+        return False
+    if isinstance(query, Concat):
+        return nullable(query.left) and nullable(query.right)
+    if isinstance(query, Union):
+        return nullable(query.left) or nullable(query.right)
+    if isinstance(query, Star):
+        return True
+    raise TypeError(f"not a Regex node: {query!r}")

@@ -1,0 +1,29 @@
+"""Strongly connected components: Tarjan, contracted graph, IncSCC, DynSCC."""
+
+from repro.scc.condensation import CompId, Condensation, CondensationError
+from repro.scc.dynscc import DynSCC
+from repro.scc.incremental import SCCDelta, SCCIndex, inc_scc_n
+from repro.scc.tarjan import (
+    EdgeKind,
+    TarjanResult,
+    condensation_edges,
+    is_strongly_connected,
+    tarjan_scc,
+    verify_rank_invariant,
+)
+
+__all__ = [
+    "CompId",
+    "Condensation",
+    "CondensationError",
+    "DynSCC",
+    "EdgeKind",
+    "SCCDelta",
+    "SCCIndex",
+    "TarjanResult",
+    "condensation_edges",
+    "inc_scc_n",
+    "is_strongly_connected",
+    "tarjan_scc",
+    "verify_rank_invariant",
+]

@@ -1,0 +1,58 @@
+"""Theory artifacts: Δ-reductions, unboundedness witnesses, and the
+practical boundedness conditions of the paper's future-work section."""
+
+from repro.theory.bounded_conditions import (
+    classify_scc_stream,
+    kws_deletion_is_far,
+    scc_update_is_rank_respecting,
+    topological_insert_stream,
+)
+from repro.theory.lower_bounds import (
+    RPQ_GADGET_QUERY,
+    GadgetInstance,
+    WitnessPoint,
+    kws_chain_gadget,
+    measure_kws_witness,
+    measure_rpq_witness,
+    measure_scc_witness,
+    measure_ssrp_deletion_witness,
+    rpq_two_cycle_gadget,
+    scc_cycle_gadget,
+    ssrp_chain_gadget,
+)
+from repro.theory.reductions import (
+    ALPHA_OTHER,
+    ALPHA_SOURCE,
+    HUB,
+    SSRPInstance,
+    SSRPToRPQ,
+    SSRPToSCC,
+    solve_ssrp_via_rpq,
+    solve_ssrp_via_scc,
+)
+
+__all__ = [
+    "ALPHA_OTHER",
+    "ALPHA_SOURCE",
+    "HUB",
+    "classify_scc_stream",
+    "kws_deletion_is_far",
+    "scc_update_is_rank_respecting",
+    "topological_insert_stream",
+    "GadgetInstance",
+    "RPQ_GADGET_QUERY",
+    "SSRPInstance",
+    "SSRPToRPQ",
+    "SSRPToSCC",
+    "WitnessPoint",
+    "kws_chain_gadget",
+    "measure_kws_witness",
+    "measure_rpq_witness",
+    "measure_scc_witness",
+    "measure_ssrp_deletion_witness",
+    "rpq_two_cycle_gadget",
+    "scc_cycle_gadget",
+    "solve_ssrp_via_rpq",
+    "solve_ssrp_via_scc",
+    "ssrp_chain_gadget",
+]

@@ -1,0 +1,221 @@
+"""Δ-reductions (paper Section 3, Lemma 2) — executable constructions.
+
+A Δ-reduction from query class Q1 to Q2 is a triple (f, f_i, f_o):
+``f`` maps instances, ``f_i`` maps input updates, ``f_o`` maps output
+changes back, all in PTIME in |ΔG1| + |ΔO1| and |Q1|.  If Q2 admits a
+bounded incremental algorithm then so does Q1; contrapositively, the
+reductions below transport SSRP's unboundedness under unit deletions [38]
+to RPQ and SCC (Theorem 1).
+
+Two reductions are implemented end-to-end and property-tested:
+
+* **SSRP → RPQ** (the paper's construction, Appendix): relabel the source
+  node α1 and every other node α2, take Q2 = α1 · α2*; then v is reachable
+  from v_s iff (v_s', v') ∈ Q2(G2).  Updates map identically; output
+  updates map back by projecting the second component.
+* **SSRP → SCC** (the paper defers this to the full version; we use a
+  hub construction preserving the Δ-reduction contract): add one fresh
+  hub node ``h`` with edges v → h for every node v and h → v_s.  Then
+  scc(v_s) in G2 equals {v : v_s ⇝ v in G1} ∪ {h}: the hub returns every
+  reached node to the source, while an unreached node's hub path is
+  one-way.  The hub is a fresh node, so ΔG1 can never collide with the
+  reduction's static edges; h itself never appears in ΔG1 and can be
+  filtered out of ΔO2 in constant time per changed node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.delta import Delta, Update
+from repro.graph.digraph import DiGraph, Node
+
+ALPHA_SOURCE = "alpha1"
+ALPHA_OTHER = "alpha2"
+
+#: Fresh hub node for the SSRP→SCC construction.
+HUB = "__ssrp_hub__"
+
+
+@dataclass(frozen=True)
+class SSRPInstance:
+    """An SSRP instance: graph + distinguished source."""
+
+    graph: DiGraph
+    source: Node
+
+
+class DeltaReduction:
+    """Base interface: f (instance), f_i (updates), f_o (output changes)."""
+
+    def map_instance(self, instance: SSRPInstance):
+        raise NotImplementedError
+
+    def map_updates(self, delta: Delta) -> Delta:
+        raise NotImplementedError
+
+    def map_output_back(self, output_delta, instance: SSRPInstance):
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# SSRP -> RPQ
+# ----------------------------------------------------------------------
+
+
+class SSRPToRPQ(DeltaReduction):
+    """The Appendix construction: Q2 = α1 · (α2)*.
+
+    Every path spelling α1 α2* starts at the unique α1-node (the source),
+    so Q2(G2) = {(v_s, v) : v_s ⇝ v, v ≠ v_s} plus the reflexive match
+    (v_s, v_s) from the single-node path; f_o ignores the reflexive pair
+    (r(v_s) is always true in SSRP).
+    """
+
+    query_text = f"{ALPHA_SOURCE} . {ALPHA_OTHER}*"
+
+    def map_instance(self, instance: SSRPInstance) -> tuple[DiGraph, str]:
+        relabeled = DiGraph()
+        for node in instance.graph.nodes():
+            label = ALPHA_SOURCE if node == instance.source else ALPHA_OTHER
+            relabeled.add_node(node, label=label)
+        for source, target in instance.graph.edges():
+            relabeled.add_edge(source, target)
+        return relabeled, self.query_text
+
+    def map_updates(self, delta: Delta) -> Delta:
+        """f_i: identity on edges; new nodes get the α2 label."""
+        mapped = [
+            Update(
+                kind=update.kind,
+                source=update.source,
+                target=update.target,
+                source_label=ALPHA_OTHER,
+                target_label=ALPHA_OTHER,
+            )
+            for update in delta
+        ]
+        return Delta(mapped)
+
+    def map_output_back(
+        self,
+        output_delta: tuple[frozenset, frozenset],
+        instance: SSRPInstance,
+    ) -> tuple[set[Node], set[Node]]:
+        """f_o: pairs (v_s, v) gained/lost become r(v) flips."""
+        added_pairs, removed_pairs = output_delta
+        gained = {
+            target
+            for source, target in added_pairs
+            if source == instance.source and target != instance.source
+        }
+        lost = {
+            target
+            for source, target in removed_pairs
+            if source == instance.source and target != instance.source
+        }
+        return gained, lost
+
+
+# ----------------------------------------------------------------------
+# SSRP -> SCC
+# ----------------------------------------------------------------------
+
+
+class SSRPToSCC(DeltaReduction):
+    """Hub construction: G2 = G1 + {h} + {(v, h) : v ∈ V1} + {(h, v_s)}.
+
+    Paths through h must end ... → h → v_s, so reachability from v_s to
+    any original node is the same in G1 and G2; every reached node closes
+    a cycle through the hub, hence scc(v_s) = reached(v_s) ∪ {h}.
+    """
+
+    def map_instance(self, instance: SSRPInstance) -> DiGraph:
+        augmented = instance.graph.copy()
+        augmented.add_node(HUB, label="hub")
+        for node in list(augmented.nodes()):
+            if node != HUB:
+                augmented.add_edge(node, HUB)
+        augmented.add_edge(HUB, instance.source)
+        return augmented
+
+    def map_updates(self, delta: Delta) -> Delta:
+        """f_i: identity on G1's edges.  Hub edges for brand-new nodes are
+        appended by the solver (which knows the current node set); either
+        way the mapping stays O(|ΔG1|)."""
+        return Delta(list(delta))
+
+    def map_output_back(
+        self,
+        output_delta: tuple[set[frozenset[Node]], set[frozenset[Node]]],
+        instance: SSRPInstance,
+    ) -> tuple[set[Node], set[Node]]:
+        """f_o: membership diff of the component containing v_s, hub
+        excluded."""
+        added_components, removed_components = output_delta
+        new_home = next(
+            (comp for comp in added_components if instance.source in comp), None
+        )
+        old_home = next(
+            (comp for comp in removed_components if instance.source in comp), None
+        )
+        if new_home is None and old_home is None:
+            # the source's component did not change: no reachability flips
+            # (other components may have reshuffled; SSRP does not care).
+            return set(), set()
+        if new_home is None or old_home is None:
+            raise AssertionError(
+                "a changed source component must appear in both halves of ΔO"
+            )
+        gained = set(new_home) - set(old_home) - {HUB}
+        lost = set(old_home) - set(new_home) - {HUB}
+        return gained, lost
+
+
+# ----------------------------------------------------------------------
+# End-to-end harness (used by tests and the unboundedness benches)
+# ----------------------------------------------------------------------
+
+
+def solve_ssrp_via_rpq(instance: SSRPInstance, delta: Delta) -> tuple[set, set]:
+    """Run the SSRP→RPQ reduction end to end: build I2 = f(I1), apply
+    f_i(ΔG1) with the incremental RPQ algorithm, map ΔO2 back.
+
+    Returns (gained, lost) reachability flips — which tests compare with a
+    direct SSRP run.
+    """
+    from repro.rpq import RPQIndex
+
+    reduction = SSRPToRPQ()
+    rpq_graph, query = reduction.map_instance(instance)
+    index = RPQIndex(rpq_graph, query)
+    rpq_delta = index.apply(reduction.map_updates(delta))
+    return reduction.map_output_back(
+        (rpq_delta.added, rpq_delta.removed), instance
+    )
+
+
+def solve_ssrp_via_scc(instance: SSRPInstance, delta: Delta) -> tuple[set, set]:
+    """Run the SSRP→SCC reduction end to end with IncSCC.
+
+    New nodes introduced by insertions receive their hub edge immediately
+    after the batch (keeping the construction's invariant) — those extra
+    edges are part of f_i's image and sized O(|ΔG1|).
+    """
+    from repro.core.delta import insert
+    from repro.scc import SCCIndex
+
+    reduction = SSRPToSCC()
+    scc_graph = reduction.map_instance(instance)
+    index = SCCIndex(scc_graph)
+    mapped = list(reduction.map_updates(delta))
+    hub_edges: list[Update] = []
+    present = set(scc_graph.nodes())
+    for update in mapped:
+        if update.is_insert:
+            for node in (update.source, update.target):
+                if node not in present:
+                    present.add(node)
+                    hub_edges.append(insert(node, HUB))
+    scc_delta = index.apply(Delta(mapped + hub_edges))
+    return reduction.map_output_back(scc_delta, instance)

@@ -1,0 +1,49 @@
+"""Workloads: dataset profiles, query generators, the paper's example."""
+
+from repro.workloads.datasets import (
+    DATASETS,
+    DBPEDIA_SPEC,
+    LIVEJ_SPEC,
+    SYNTHETIC_SPEC,
+    by_name,
+    dbpedia_like,
+    livej_like,
+    synthetic,
+)
+from repro.workloads.paper_example import (
+    PAPER_BATCH,
+    PAPER_KWS_QUERY,
+    PAPER_RPQ_QUERY,
+    paper_graph,
+)
+from repro.workloads.queries import (
+    ISO_GRID,
+    KWS_GRID,
+    RPQ_SIZE_GRID,
+    QueryGenerationError,
+    random_kws_queries,
+    random_patterns,
+    random_rpq_queries,
+)
+
+__all__ = [
+    "DATASETS",
+    "DBPEDIA_SPEC",
+    "ISO_GRID",
+    "KWS_GRID",
+    "LIVEJ_SPEC",
+    "PAPER_BATCH",
+    "PAPER_KWS_QUERY",
+    "PAPER_RPQ_QUERY",
+    "QueryGenerationError",
+    "RPQ_SIZE_GRID",
+    "SYNTHETIC_SPEC",
+    "by_name",
+    "dbpedia_like",
+    "livej_like",
+    "paper_graph",
+    "random_kws_queries",
+    "random_patterns",
+    "random_rpq_queries",
+    "synthetic",
+]

@@ -1,0 +1,273 @@
+"""Random query generators (paper Section 6, "Query generators").
+
+"We randomly generated 30 queries of KWS, RPQ and ISO with labels drawn
+from the graphs.  (1) KWS queries are controlled by the number m of
+keywords and bound b; (2) RPQ queries are controlled by the size ... and
+the numbers of occurrences of ·, + and Kleene ∗; and (3) ISO queries are
+controlled by the number of nodes |V_Q|, the number of edges |E_Q| and the
+diameter d_Q."
+
+Generators draw labels from the *target graph's* label histogram so the
+queries are selective but non-vacuous, and every generator is seeded.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.graph.digraph import DiGraph, Label
+from repro.graph.stats import label_histogram
+from repro.iso.patterns import Pattern
+from repro.kws.kdist import KWSQuery
+from repro.rpq.regex import Concat, Epsilon, Regex, Star, Sym, Union
+
+
+class QueryGenerationError(RuntimeError):
+    """The requested query shape cannot be generated."""
+
+
+def _label_pool(graph: DiGraph, rng: random.Random, prefer_common: bool = True) -> list[Label]:
+    """Labels weighted toward common ones so queries usually have matches."""
+    histogram = label_histogram(graph)
+    if not histogram:
+        raise QueryGenerationError("graph has no labels to draw from")
+    labels, weights = zip(*histogram.most_common())
+    if prefer_common:
+        return list(
+            rng.choices(labels, weights=weights, k=max(64, 4 * len(labels)))
+        )
+    return list(labels)
+
+
+# ----------------------------------------------------------------------
+# KWS
+# ----------------------------------------------------------------------
+
+
+def random_kws_queries(
+    graph: DiGraph,
+    count: int,
+    m: int,
+    bound: int,
+    seed: int = 0,
+) -> list[KWSQuery]:
+    """``count`` keyword queries with ``m`` distinct keywords each."""
+    rng = random.Random(seed)
+    histogram = label_histogram(graph)
+    distinct = [label for label, _ in histogram.most_common()]
+    if len(distinct) < m:
+        raise QueryGenerationError(
+            f"graph has only {len(distinct)} labels, {m} keywords requested"
+        )
+    queries = []
+    for _ in range(count):
+        keywords = tuple(rng.sample(distinct[: max(m * 8, m)], m))
+        queries.append(KWSQuery(keywords, bound))
+    return queries
+
+
+# ----------------------------------------------------------------------
+# RPQ
+# ----------------------------------------------------------------------
+
+
+def random_rpq_queries(
+    graph: DiGraph,
+    count: int,
+    size: int,
+    stars: int = 1,
+    unions: int = 1,
+    seed: int = 0,
+) -> list[Regex]:
+    """``count`` regular path queries with ``size`` label occurrences,
+    ``unions`` union operators and ``stars`` Kleene stars each.
+
+    Construction: distribute the ``size`` labels into ``unions + 1``
+    alternation branches grouped under concatenations, then wrap randomly
+    chosen subexpressions in stars.  The result is always well-formed and
+    has exactly the requested operator counts.
+    """
+    if size < 1:
+        raise QueryGenerationError("RPQ size must be at least 1")
+    if unions >= size:
+        raise QueryGenerationError("need more labels than unions")
+    rng = random.Random(seed)
+    pool = _label_pool(graph, rng)
+    queries: list[Regex] = []
+    for _ in range(count):
+        labels = [Sym(rng.choice(pool)) for _ in range(size)]
+        # Split labels into union branches.
+        branch_count = unions + 1
+        cut_points = sorted(rng.sample(range(1, size), branch_count - 1)) if branch_count > 1 else []
+        branches: list[Regex] = []
+        start = 0
+        for cut in cut_points + [size]:
+            chunk = labels[start:cut]
+            start = cut
+            node = chunk[0]
+            for sym in chunk[1:]:
+                node = Concat(node, sym)
+            branches.append(node)
+        query: Regex = branches[0]
+        for branch in branches[1:]:
+            query = Union(query, branch)
+        for _ in range(stars):
+            query = _star_random_subterm(query, rng)
+        queries.append(query)
+    return queries
+
+
+def _star_random_subterm(query: Regex, rng: random.Random) -> Regex:
+    """Wrap one randomly chosen subterm in a Kleene star."""
+    if isinstance(query, (Sym, Epsilon)):
+        return Star(query)
+    if isinstance(query, Concat):
+        if rng.random() < 0.5:
+            return Concat(_star_random_subterm(query.left, rng), query.right)
+        return Concat(query.left, _star_random_subterm(query.right, rng))
+    if isinstance(query, Union):
+        if rng.random() < 0.34:
+            return Star(query)
+        if rng.random() < 0.5:
+            return Union(_star_random_subterm(query.left, rng), query.right)
+        return Union(query.left, _star_random_subterm(query.right, rng))
+    if isinstance(query, Star):
+        return Star(_star_random_subterm(query.child, rng))
+    raise TypeError(query)
+
+
+# ----------------------------------------------------------------------
+# ISO
+# ----------------------------------------------------------------------
+
+
+def random_patterns(
+    graph: DiGraph,
+    count: int,
+    num_nodes: int,
+    num_edges: int,
+    diameter: int,
+    seed: int = 0,
+    max_attempts: int = 500,
+    fabricate: bool = True,
+) -> list[Pattern]:
+    """``count`` connected patterns with the requested (|V_Q|, |E_Q|, d_Q).
+
+    Patterns are sampled from the data graph itself (random connected node
+    sets with label inheritance) so they are realistically matchable, then
+    edges are adjusted to hit |E_Q|; candidates whose diameter misses the
+    target are rejected and resampled.
+
+    With ``fabricate=False`` only *real* sampled edges are used (samples
+    whose induced subgraph is too sparse are rejected): every pattern edge
+    then maps back to its origin, so under the paper's non-induced match
+    semantics each generated pattern is guaranteed at least one match.
+    """
+    if num_edges < num_nodes - 1:
+        raise QueryGenerationError("too few edges for a connected pattern")
+    max_possible = num_nodes * (num_nodes - 1)
+    if num_edges > max_possible:
+        raise QueryGenerationError("too many edges for a simple pattern")
+    rng = random.Random(seed)
+    nodes = list(graph.nodes())
+    patterns: list[Pattern] = []
+    attempts = 0
+    while len(patterns) < count and attempts < max_attempts * count:
+        attempts += 1
+        sampled = _sample_connected_subgraph(graph, rng, num_nodes, nodes)
+        if sampled is None:
+            continue
+        if not fabricate and sampled.num_edges < num_edges:
+            continue
+        candidate = _adjust_edges(sampled, num_edges, rng, fabricate=fabricate)
+        if candidate is None:
+            continue
+        try:
+            pattern = Pattern.from_graph(candidate)
+        except Exception:
+            continue
+        if pattern.diameter == diameter:
+            patterns.append(pattern)
+    if len(patterns) < count:
+        raise QueryGenerationError(
+            f"could only generate {len(patterns)}/{count} patterns with "
+            f"shape ({num_nodes}, {num_edges}, {diameter}); the data graph "
+            "may not contain that topology"
+        )
+    return patterns
+
+
+def _sample_connected_subgraph(
+    graph: DiGraph,
+    rng: random.Random,
+    size: int,
+    nodes: list,
+) -> DiGraph | None:
+    """Random undirected-connected node set grown from a seed node."""
+    start = nodes[rng.randrange(len(nodes))]
+    chosen = {start}
+    frontier = [start]
+    while frontier and len(chosen) < size:
+        node = frontier.pop(rng.randrange(len(frontier)))
+        neighbors = list(
+            (set(graph.successors(node)) | set(graph.predecessors(node))) - chosen
+        )
+        rng.shuffle(neighbors)
+        for neighbor in neighbors:
+            if len(chosen) >= size:
+                break
+            chosen.add(neighbor)
+            frontier.append(neighbor)
+        if node not in frontier and len(chosen) < size:
+            frontier.append(node) if neighbors else None
+    if len(chosen) < size:
+        return None
+    sub = graph.subgraph(chosen)
+    # relabel pattern nodes 0..k-1 to decouple from graph identity
+    mapping = {node: index for index, node in enumerate(sorted(chosen, key=repr))}
+    pattern = DiGraph()
+    for node, index in mapping.items():
+        pattern.add_node(index, label=graph.label(node))
+    for source, target in sub.edges():
+        pattern.add_edge(mapping[source], mapping[target])
+    return pattern
+
+
+def _adjust_edges(
+    pattern: DiGraph,
+    target_edges: int,
+    rng: random.Random,
+    fabricate: bool = True,
+) -> DiGraph | None:
+    """Add or remove edges to reach |E_Q| while keeping weak connectivity."""
+    from repro.graph.neighborhood import undirected_distance
+
+    current = pattern.copy()
+    node_list = list(current.nodes())
+    guard = 0
+    while fabricate and current.num_edges < target_edges and guard < 200:
+        guard += 1
+        source = rng.choice(node_list)
+        target = rng.choice(node_list)
+        if source != target and not current.has_edge(source, target):
+            current.add_edge(source, target)
+    while current.num_edges > target_edges and guard < 400:
+        guard += 1
+        edges = list(current.edges())
+        source, target = rng.choice(edges)
+        current.remove_edge(source, target)
+        # keep weak connectivity
+        if undirected_distance(current, source, target) is None:
+            current.add_edge(source, target)
+    if current.num_edges != target_edges:
+        return None
+    return current
+
+
+# ----------------------------------------------------------------------
+# Paper parameter grids (Exp-2 x-axes)
+# ----------------------------------------------------------------------
+
+KWS_GRID = [(2, 1), (3, 2), (4, 3), (5, 4), (6, 5)]           # Fig. 8(j)
+RPQ_SIZE_GRID = [3, 4, 5, 6, 7]                                # Fig. 8(k)
+ISO_GRID = [(3, 5, 1), (4, 6, 2), (5, 7, 3), (6, 8, 4), (7, 9, 5)]  # Fig. 8(l)

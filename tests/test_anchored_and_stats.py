@@ -1,0 +1,112 @@
+"""Tests for anchored VF2 search and graph statistics helpers."""
+
+import pytest
+
+from repro.graph import DiGraph
+from repro.graph.generators import label_alphabet, uniform_random_graph
+from repro.graph.stats import degree_histogram, label_histogram, profile
+from repro.iso import Pattern, vf2_matches
+from repro.iso.vf2 import anchored_matches
+from repro.workloads.datasets import with_selectivity
+
+ALPHABET = label_alphabet(4)
+
+
+class TestAnchoredMatches:
+    @pytest.fixture
+    def pattern(self) -> Pattern:
+        return Pattern.from_edges(
+            {0: ALPHABET[0], 1: ALPHABET[1], 2: ALPHABET[2]}, [(0, 1), (1, 2)]
+        )
+
+    def test_anchored_equals_filtered_full_search(self, pattern):
+        graph = uniform_random_graph(30, 90, ALPHABET, seed=3)
+        for edge in list(graph.edges())[:20]:
+            expected = {
+                match for match in vf2_matches(graph, pattern)
+                if match.uses_edge(edge)
+            }
+            assert anchored_matches(graph, pattern, edge) == expected
+
+    def test_union_over_edges_is_complete(self, pattern):
+        graph = uniform_random_graph(25, 70, ALPHABET, seed=4)
+        collected = set()
+        for edge in graph.edges():
+            collected |= anchored_matches(graph, pattern, edge)
+        assert collected == vf2_matches(graph, pattern)
+
+    def test_missing_edge_returns_empty(self, pattern):
+        graph = uniform_random_graph(10, 20, ALPHABET, seed=5)
+        assert anchored_matches(graph, pattern, ("nope", "nope2")) == set()
+
+    def test_label_incompatible_edge_prunes_instantly(self, pattern):
+        g = DiGraph(labels={1: ALPHABET[3], 2: ALPHABET[3]}, edges=[(1, 2)])
+        assert anchored_matches(g, pattern, (1, 2)) == set()
+
+    def test_self_loop_pattern_edge(self):
+        looped = Pattern.from_edges({0: "q"}, [(0, 0)])
+        g = DiGraph(labels={5: "q"})
+        g.add_edge(5, 5)
+        found = anchored_matches(g, looped, (5, 5))
+        assert len(found) == 1
+
+    def test_symmetric_pattern_dedupes(self):
+        pattern = Pattern.from_edges({0: "a", 1: "a"}, [(0, 1), (1, 0)])
+        g = DiGraph(labels={1: "a", 2: "a"}, edges=[(1, 2), (2, 1)])
+        assert len(anchored_matches(g, pattern, (1, 2))) == 1
+
+
+class TestStats:
+    def test_profile_counts(self):
+        graph = uniform_random_graph(40, 100, ALPHABET, seed=6)
+        shape = profile(graph)
+        assert shape.num_nodes == 40
+        assert shape.num_edges == 100
+        assert shape.avg_degree == pytest.approx(2 * 100 / 40)
+        assert 0 < shape.max_scc_fraction <= 1
+
+    def test_profile_empty_graph(self):
+        shape = profile(DiGraph())
+        assert shape.num_nodes == 0
+        assert shape.max_scc_fraction == 0.0
+
+    def test_label_histogram_sums_to_nodes(self):
+        graph = uniform_random_graph(50, 120, ALPHABET, seed=7)
+        histogram = label_histogram(graph)
+        assert sum(histogram.values()) == 50
+
+    def test_degree_histogram(self):
+        g = DiGraph(labels={0: "x", 1: "x", 2: "x"}, edges=[(0, 1), (0, 2)])
+        histogram = degree_histogram(g)
+        assert histogram[2] == 1  # node 0
+        assert histogram[0] == 2  # nodes 1 and 2
+
+    def test_str_is_informative(self):
+        graph = uniform_random_graph(20, 40, ALPHABET, seed=8)
+        text = str(profile(graph))
+        assert "|V|=20" in text and "|E|=40" in text
+
+
+class TestWithSelectivity:
+    def test_topology_preserved(self):
+        graph = uniform_random_graph(60, 150, ALPHABET, seed=9)
+        relabeled = with_selectivity(graph, nodes_per_label=10, seed=1)
+        assert set(relabeled.edges()) == set(graph.edges())
+        assert relabeled.num_nodes == graph.num_nodes
+
+    def test_alphabet_size_matches_request(self):
+        graph = uniform_random_graph(100, 200, ALPHABET, seed=10)
+        relabeled = with_selectivity(graph, nodes_per_label=20, seed=2)
+        labels = {relabeled.label(node) for node in relabeled.nodes()}
+        assert len(labels) <= 100 // 20
+
+    def test_original_untouched(self):
+        graph = uniform_random_graph(30, 60, ALPHABET, seed=11)
+        before = dict(graph.labels)
+        with_selectivity(graph, nodes_per_label=5, seed=3)
+        assert dict(graph.labels) == before
+
+    def test_validation(self):
+        graph = uniform_random_graph(10, 20, ALPHABET, seed=12)
+        with pytest.raises(ValueError):
+            with_selectivity(graph, nodes_per_label=0)

@@ -1,0 +1,144 @@
+"""Tests for the future-work module: measured boundedness on restricted
+update classes (per-update cost flat while |G| grows 16x)."""
+
+import pytest
+
+from repro.core.cost import CostMeter
+from repro.core.delta import Delta, delete, insert
+from repro.graph import DiGraph
+from repro.graph.generators import label_alphabet, layered_dag
+from repro.kws import KWSIndex, KWSQuery
+from repro.scc import SCCIndex, tarjan_scc
+from repro.theory.bounded_conditions import (
+    classify_scc_stream,
+    kws_deletion_is_far,
+    scc_update_is_rank_respecting,
+    topological_insert_stream,
+)
+
+ALPHABET = label_alphabet(4)
+
+
+class TestClassifiers:
+    def test_rank_respecting_detection(self):
+        g = DiGraph(labels={i: "x" for i in range(3)}, edges=[(0, 1), (1, 2)])
+        index = SCCIndex(g)
+        assert scc_update_is_rank_respecting(index, insert(0, 2))
+        assert not scc_update_is_rank_respecting(index, insert(2, 0))
+        assert scc_update_is_rank_respecting(index, delete(0, 1))
+
+    def test_intra_component_insert_is_bounded(self):
+        g = DiGraph(labels={i: "x" for i in range(3)},
+                    edges=[(0, 1), (1, 2), (2, 0)])
+        index = SCCIndex(g)
+        assert scc_update_is_rank_respecting(index, insert(0, 2))
+
+    def test_new_node_insert_is_bounded(self):
+        g = DiGraph(labels={0: "x"})
+        index = SCCIndex(g)
+        assert scc_update_is_rank_respecting(index, insert(0, 99))
+
+    def test_classify_stream_counts(self):
+        g = DiGraph(labels={i: "x" for i in range(4)}, edges=[(0, 1), (1, 2)])
+        index = SCCIndex(g)
+        delta = Delta([insert(0, 2), insert(2, 0), delete(0, 1)])
+        bounded, risky = classify_scc_stream(index, delta)
+        assert (bounded, risky) == (2, 1)
+
+    def test_far_deletion_detection(self):
+        g = DiGraph(labels={0: "x", 1: "x", "t": "a"},
+                    edges=[(0, "t"), (0, 1), (1, "t")])
+        index = KWSIndex(g, KWSQuery(("a",), 2))
+        # chosen path from 0 is the direct edge (tie-break: "t" < 1? the
+        # direct edge has dist 1, strictly shorter, so next(0) == "t")
+        assert index.kdist.get(0, "a").next == "t"
+        assert kws_deletion_is_far(index, delete(0, 1))
+        assert not kws_deletion_is_far(index, delete(0, "t"))
+        assert not kws_deletion_is_far(index, insert(0, 2))
+
+
+class TestTopologicalStream:
+    def test_stream_is_all_rank_respecting(self):
+        dag = layered_dag(4, 4, ALPHABET, seed=3, inter_layer_prob=0.5)
+        nodes = list(dag.nodes())
+        edges = list(dag.edges())
+        node_order, stream = topological_insert_stream(nodes, edges)
+        empty = DiGraph()
+        for node in node_order:  # sinks first: ranks ascend with position
+            empty.add_node(node, label=dag.label(node))
+        index = SCCIndex(empty)
+        for update in stream:
+            assert scc_update_is_rank_respecting(index, update), update
+            index.apply(Delta([update]))
+        assert index.components() == tarjan_scc(index.graph).partition()
+        assert index.graph.num_edges == dag.num_edges
+
+    def test_rejects_cycles(self):
+        with pytest.raises(ValueError):
+            topological_insert_stream([0, 1], [(0, 1), (1, 0)])
+
+
+class TestMeasuredBoundedness:
+    def test_scc_rank_respecting_stream_cost_flat_in_graph_size(self):
+        # Candidate skip-layer edges are *classified* first and only the
+        # rank-respecting ones applied (that is the condition under
+        # study); their per-update cost must not grow with |G|.
+        costs = []
+        for layers in (5, 20, 80):
+            dag = layered_dag(layers, 5, ALPHABET, seed=7, inter_layer_prob=0.4)
+            meter = CostMeter()
+            index = SCCIndex(dag, meter=meter)
+            meter.reset()
+            added = 0
+            layer = 0
+            while added < 8 and layer + 2 < layers:
+                source = layer * 5
+                target = (layer + 2) * 5
+                update = insert(source, target)
+                if (
+                    not index.graph.has_edge(source, target)
+                    and scc_update_is_rank_respecting(index, update)
+                ):
+                    index.apply(Delta([update]))
+                    added += 1
+                layer += 1
+            assert added >= 2, f"not enough conforming updates at {layers} layers"
+            costs.append(meter.total() / added)
+        assert costs[-1] <= max(costs[0], 1) * 3, costs
+
+    def test_kws_far_deletion_cost_flat_in_graph_size(self):
+        costs = []
+        for scale in (100, 400, 1600):
+            # keyword node far from the churn region
+            g = DiGraph(labels={i: "x" for i in range(scale)} | {"t": "kw"})
+            for i in range(scale - 1):
+                g.add_edge(i, i + 1)
+            g.add_edge(scale - 1, "t")
+            meter = CostMeter()
+            index = KWSIndex(g, KWSQuery(("kw",), 2), meter=meter)
+            meter.reset()
+            # delete+reinsert an edge far from t's 2-neighborhood
+            assert kws_deletion_is_far(index, delete(0, 1))
+            index.apply(Delta([delete(0, 1)]))
+            index.apply(Delta([insert(0, 1)]))
+            costs.append(meter.total())
+        assert costs[-1] <= max(costs[0], 1) * 3, costs
+
+    def test_ssrp_insert_only_cost_tracks_gain_not_graph(self):
+        from repro.core.ssrp import ReachabilityIndex
+
+        costs = []
+        for scale in (100, 400, 1600):
+            g = DiGraph(labels={i: "x" for i in range(scale)})
+            for i in range(scale - 1):
+                if i != 10:
+                    g.add_edge(i, i + 1)
+            # tail beyond node 11 is unreachable; inserting (10, 11) gains
+            # a fixed-size window because we cap the regained region
+            g.remove_edge(15, 16)
+            meter = CostMeter()
+            index = ReachabilityIndex(g, 0, meter=meter)
+            meter.reset()
+            index.apply(Delta([insert(10, 11)]))  # gains nodes 11..15 only
+            costs.append(meter.total())
+        assert costs[-1] <= max(costs[0], 1) * 2, costs

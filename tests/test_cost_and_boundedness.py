@@ -1,0 +1,132 @@
+"""Tests for cost instrumentation and the boundedness measures."""
+
+import pytest
+
+from repro.core.boundedness import changed, check_locality, fit_cost_against
+from repro.core.cost import NULL_METER, CostLedger, CostMeter
+from repro.core.delta import Delta, delete, insert
+from repro.graph import DiGraph
+
+
+class TestCostMeter:
+    def test_counters(self):
+        meter = CostMeter()
+        meter.visit_node("a")
+        meter.visit_node("a")
+        meter.visit_node("b")
+        meter.traverse_edge(3)
+        meter.write()
+        meter.pq_op(2)
+        assert meter.node_visits == 3
+        assert meter.distinct_nodes == 2
+        assert meter.edges_traversed == 3
+        assert meter.writes == 1
+        assert meter.pq_ops == 2
+        assert meter.total() == 3 + 3 + 1 + 2
+
+    def test_snapshot_is_frozen(self):
+        meter = CostMeter()
+        meter.visit_node("a")
+        snap = meter.snapshot()
+        meter.visit_node("b")
+        assert snap.node_visits == 1
+        assert snap.total() == 1
+
+    def test_reset(self):
+        meter = CostMeter()
+        meter.visit_node("a")
+        meter.reset()
+        assert meter.total() == 0
+        assert meter.distinct_nodes == 0
+
+    def test_null_meter_discards_everything(self):
+        NULL_METER.visit_node("a")
+        NULL_METER.traverse_edge()
+        NULL_METER.write()
+        NULL_METER.pq_op()
+        assert NULL_METER.total() == 0
+
+    def test_repr_mentions_counts(self):
+        meter = CostMeter()
+        meter.visit_node("a")
+        assert "nodes=1" in repr(meter)
+
+
+class TestCostLedger:
+    def test_record_and_aggregate(self):
+        ledger = CostLedger()
+        meter = CostMeter()
+        meter.visit_node("a")
+        ledger.record("run", meter)
+        meter.visit_node("b")
+        ledger.record("run", meter)
+        assert ledger.mean_total("run") == pytest.approx(1.5)
+        assert ledger.max_total("run") == 2
+
+    def test_empty_names(self):
+        ledger = CostLedger()
+        assert ledger.mean_total("nothing") == 0.0
+        assert ledger.max_total("nothing") == 0
+
+
+class TestChanged:
+    def test_changed_formula(self):
+        delta = Delta([insert(1, 2), delete(3, 4)])
+        assert changed(delta, 7) == 9
+
+
+class TestCheckLocality:
+    @pytest.fixture
+    def path(self):
+        g = DiGraph()
+        for i in range(6):
+            g.add_node(i, label="x")
+        for i in range(5):
+            g.add_edge(i, i + 1)
+        return g
+
+    def test_local_run_passes(self, path):
+        meter = CostMeter()
+        meter.visit_node(2)
+        meter.visit_node(3)
+        report = check_locality(path, Delta([delete(2, 3)]), meter, radius=1)
+        assert report.is_local
+        assert report.escaped == frozenset()
+
+    def test_escaping_run_fails(self, path):
+        meter = CostMeter()
+        meter.visit_node(5)  # far away from the update
+        report = check_locality(path, Delta([delete(2, 3)]), meter, radius=1)
+        assert not report.is_local
+        assert 5 in report.escaped
+
+    def test_non_graph_touches_ignored(self, path):
+        meter = CostMeter()
+        meter.visit_node(("comp", 3))  # bookkeeping key, not a graph node
+        report = check_locality(path, Delta([delete(2, 3)]), meter, radius=0)
+        assert report.is_local
+
+    def test_extra_allowed(self, path):
+        meter = CostMeter()
+        meter.visit_node(5)
+        report = check_locality(
+            path, Delta([delete(2, 3)]), meter, radius=1, extra_allowed=frozenset({5})
+        )
+        assert report.is_local
+
+
+class TestFitCost:
+    def test_flat_series_is_size_independent(self):
+        report = fit_cost_against([100, 1000, 10000], [40, 42, 44])
+        assert report.is_size_independent
+        assert report.growth_ratio < 1.2
+
+    def test_growing_series_is_not(self):
+        report = fit_cost_against([100, 1000, 10000], [100, 1000, 10000])
+        assert not report.is_size_independent
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_cost_against([1, 2], [1])
+        with pytest.raises(ValueError):
+            fit_cost_against([], [])

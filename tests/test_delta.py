@@ -1,0 +1,126 @@
+"""Tests for the update algebra G ⊕ ΔG (paper Section 2.2)."""
+
+import pytest
+
+from repro.core.delta import (
+    Delta,
+    InvalidDeltaError,
+    concat,
+    delete,
+    insert,
+    split_batch,
+)
+from repro.graph import DiGraph
+
+
+@pytest.fixture
+def square() -> DiGraph:
+    g = DiGraph(labels={i: "n" for i in range(4)}, edges=[(0, 1), (1, 2), (2, 3), (3, 0)])
+    return g
+
+
+class TestUnitUpdates:
+    def test_insert_roundtrip(self):
+        update = insert(1, 2, target_label="b")
+        assert update.is_insert and not update.is_delete
+        assert update.edge == (1, 2)
+        assert update.inverted().inverted() == update
+
+    def test_inverted_flips_kind(self):
+        assert insert(1, 2).inverted().is_delete
+        assert delete(1, 2).inverted().is_insert
+
+    def test_str(self):
+        assert str(delete(1, 2)) == "delete(1, 2)"
+
+
+class TestDeltaViews:
+    def test_split_views(self):
+        delta = Delta([insert(1, 2), delete(3, 4), insert(5, 6)])
+        assert [u.edge for u in delta.insertions] == [(1, 2), (5, 6)]
+        assert [u.edge for u in delta.deletions] == [(3, 4)]
+
+    def test_len_iter_getitem_bool(self):
+        delta = Delta([insert(1, 2)])
+        assert len(delta) == 1
+        assert list(delta)[0].edge == (1, 2)
+        assert delta[0].is_insert
+        assert bool(delta)
+        assert not Delta([])
+
+    def test_touched_nodes(self):
+        delta = Delta([insert(1, 2), delete(2, 3)])
+        assert delta.touched_nodes() == {1, 2, 3}
+
+    def test_edges(self):
+        delta = Delta([insert(1, 2), delete(2, 3)])
+        assert delta.edges() == {(1, 2), (2, 3)}
+
+
+class TestNormalization:
+    def test_detects_conflict(self):
+        delta = Delta([insert(1, 2), delete(1, 2)])
+        assert not delta.is_normalized()
+
+    def test_normalized_cancels_pairs(self):
+        delta = Delta([insert(1, 2), delete(1, 2), insert(3, 4)])
+        cleaned = delta.normalized()
+        assert [u.edge for u in cleaned] == [(3, 4)]
+        assert cleaned.is_normalized()
+
+    def test_normalized_keeps_excess_inserts(self):
+        delta = Delta([delete(1, 2), insert(1, 2), insert_again := insert(1, 2)])
+        # net +1 insert of (1,2)
+        cleaned = delta.normalized()
+        assert len(cleaned) == 1
+        assert cleaned[0].is_insert
+
+    def test_split_batch_rejects_conflict(self):
+        with pytest.raises(InvalidDeltaError):
+            split_batch(Delta([insert(1, 2), delete(1, 2)]))
+
+    def test_split_batch_ok(self):
+        ins, dels = split_batch(Delta([insert(1, 2), delete(3, 4)]))
+        assert [u.edge for u in ins] == [(1, 2)]
+        assert [u.edge for u in dels] == [(3, 4)]
+
+
+class TestApplication:
+    def test_apply_insert_and_delete(self, square):
+        delta = Delta([insert(0, 2), delete(1, 2)])
+        patched = delta.applied(square)
+        assert patched.has_edge(0, 2)
+        assert not patched.has_edge(1, 2)
+        # original untouched
+        assert square.has_edge(1, 2)
+        assert not square.has_edge(0, 2)
+
+    def test_apply_creates_new_nodes_with_labels(self, square):
+        delta = Delta([insert(0, 99, target_label="fresh")])
+        patched = delta.applied(square)
+        assert patched.label(99) == "fresh"
+
+    def test_apply_duplicate_insert_fails(self, square):
+        with pytest.raises(InvalidDeltaError) as err:
+            Delta([insert(0, 1)]).applied(square)
+        assert "update #0" in str(err.value)
+
+    def test_apply_missing_delete_fails(self, square):
+        with pytest.raises(InvalidDeltaError):
+            Delta([delete(0, 2)]).applied(square)
+
+    def test_sequence_order_matters(self, square):
+        # delete then re-insert the same edge is applicable in order...
+        delta = Delta([delete(0, 1), insert(0, 1)])
+        patched = delta.applied(square)
+        assert patched.has_edge(0, 1)
+
+    def test_inverted_roundtrip(self, square):
+        delta = Delta([insert(0, 2), delete(1, 2), insert(1, 3)])
+        patched = delta.applied(square)
+        restored = delta.inverted().applied(patched)
+        assert restored == square
+
+    def test_concat(self):
+        combined = concat([Delta([insert(1, 2)]), [delete(3, 4)]])
+        assert len(combined) == 2

@@ -1,0 +1,174 @@
+"""Unit tests for the DiGraph substrate."""
+
+import pytest
+
+from repro.graph import (
+    DiGraph,
+    DuplicateEdgeError,
+    MissingEdgeError,
+    MissingNodeError,
+)
+
+
+@pytest.fixture
+def triangle() -> DiGraph:
+    g = DiGraph()
+    g.add_node(1, label="a")
+    g.add_node(2, label="b")
+    g.add_node(3, label="c")
+    g.add_edge(1, 2)
+    g.add_edge(2, 3)
+    g.add_edge(3, 1)
+    return g
+
+
+class TestNodes:
+    def test_add_node_sets_label(self, triangle):
+        assert triangle.label(1) == "a"
+
+    def test_re_add_node_updates_label_only(self, triangle):
+        triangle.add_node(1, label="z")
+        assert triangle.label(1) == "z"
+        assert triangle.has_edge(1, 2)
+
+    def test_missing_label_raises(self, triangle):
+        with pytest.raises(MissingNodeError):
+            triangle.label(99)
+
+    def test_set_label(self, triangle):
+        triangle.set_label(2, "q")
+        assert triangle.label(2) == "q"
+
+    def test_set_label_missing_node(self, triangle):
+        with pytest.raises(MissingNodeError):
+            triangle.set_label(99, "q")
+
+    def test_nodes_with_label(self, triangle):
+        triangle.add_node(4, label="a")
+        assert set(triangle.nodes_with_label("a")) == {1, 4}
+
+    def test_contains(self, triangle):
+        assert 1 in triangle
+        assert 99 not in triangle
+
+    def test_remove_node_drops_incident_edges(self, triangle):
+        triangle.remove_node(2)
+        assert 2 not in triangle
+        assert not triangle.has_edge(1, 2)
+        assert triangle.num_edges == 1  # only (3, 1) remains
+
+    def test_remove_missing_node(self, triangle):
+        with pytest.raises(MissingNodeError):
+            triangle.remove_node(42)
+
+
+class TestEdges:
+    def test_add_edge_creates_endpoints(self):
+        g = DiGraph()
+        g.add_edge("x", "y", source_label="a", target_label="b")
+        assert g.label("x") == "a"
+        assert g.label("y") == "b"
+
+    def test_add_edge_keeps_existing_labels(self, triangle):
+        triangle.add_edge(1, 3, source_label="zzz")
+        assert triangle.label(1) == "a"
+
+    def test_duplicate_edge_raises(self, triangle):
+        with pytest.raises(DuplicateEdgeError):
+            triangle.add_edge(1, 2)
+
+    def test_remove_edge(self, triangle):
+        triangle.remove_edge(1, 2)
+        assert not triangle.has_edge(1, 2)
+        assert triangle.num_edges == 2
+
+    def test_remove_missing_edge_raises(self, triangle):
+        with pytest.raises(MissingEdgeError):
+            triangle.remove_edge(1, 3)
+
+    def test_self_loop_allowed(self):
+        g = DiGraph()
+        g.add_node(1)
+        g.add_edge(1, 1)
+        assert g.has_edge(1, 1)
+        assert list(g.successors(1)) == [1]
+
+    def test_adjacency_is_bidirectional(self, triangle):
+        assert set(triangle.successors(1)) == {2}
+        assert set(triangle.predecessors(1)) == {3}
+
+    def test_degrees(self, triangle):
+        assert triangle.out_degree(1) == 1
+        assert triangle.in_degree(1) == 1
+
+    def test_adjacency_missing_node(self, triangle):
+        with pytest.raises(MissingNodeError):
+            list(triangle.successors(42))
+        with pytest.raises(MissingNodeError):
+            list(triangle.predecessors(42))
+
+    def test_edges_iteration(self, triangle):
+        assert set(triangle.edges()) == {(1, 2), (2, 3), (3, 1)}
+
+
+class TestSizeAndEquality:
+    def test_sizes(self, triangle):
+        assert triangle.num_nodes == 3
+        assert triangle.num_edges == 3
+        assert triangle.size() == 6
+        assert len(triangle) == 3
+
+    def test_equality(self, triangle):
+        other = DiGraph(
+            labels={1: "a", 2: "b", 3: "c"},
+            edges=[(1, 2), (2, 3), (3, 1)],
+        )
+        assert triangle == other
+
+    def test_inequality_on_labels(self, triangle):
+        other = triangle.copy()
+        other.set_label(1, "x")
+        assert triangle != other
+
+    def test_inequality_on_edges(self, triangle):
+        other = triangle.copy()
+        other.remove_edge(1, 2)
+        assert triangle != other
+
+    def test_copy_is_independent(self, triangle):
+        clone = triangle.copy()
+        clone.remove_edge(1, 2)
+        assert triangle.has_edge(1, 2)
+        clone.add_node(99, label="x")
+        assert 99 not in triangle
+
+
+class TestSubgraphs:
+    def test_induced_subgraph(self, triangle):
+        sub = triangle.subgraph([1, 2])
+        assert set(sub.nodes()) == {1, 2}
+        assert set(sub.edges()) == {(1, 2)}
+        assert sub.label(1) == "a"
+
+    def test_subgraph_missing_node(self, triangle):
+        with pytest.raises(MissingNodeError):
+            triangle.subgraph([1, 42])
+
+    def test_edge_subgraph(self, triangle):
+        sub = triangle.edge_subgraph([(1, 2), (2, 3)])
+        assert set(sub.nodes()) == {1, 2, 3}
+        assert set(sub.edges()) == {(1, 2), (2, 3)}
+
+    def test_edge_subgraph_missing_edge(self, triangle):
+        with pytest.raises(MissingEdgeError):
+            triangle.edge_subgraph([(1, 3)])
+
+    def test_reverse(self, triangle):
+        rev = triangle.reverse()
+        assert set(rev.edges()) == {(2, 1), (3, 2), (1, 3)}
+        assert rev.label(1) == "a"
+
+    def test_from_labeled_edges(self):
+        g = DiGraph.from_labeled_edges({1: "a", 2: "b"}, [(1, 2)])
+        assert g.label(2) == "b"
+        assert g.has_edge(1, 2)

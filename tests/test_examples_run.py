@@ -1,0 +1,38 @@
+"""Smoke tests: every example script must run end to end.
+
+The examples contain their own correctness asserts (incremental answers
+vs. from-scratch recomputation), so a clean run is a real check, not just
+an import test.  Stdout is swallowed to keep test output readable.
+"""
+
+import contextlib
+import io
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    path for path in (Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script):
+    buffer = io.StringIO()
+    argv_before = sys.argv
+    sys.argv = [str(script)]
+    try:
+        with contextlib.redirect_stdout(buffer):
+            runpy.run_path(str(script), run_name="__main__")
+    finally:
+        sys.argv = argv_before
+    output = buffer.getvalue()
+    assert output, f"{script.name} produced no output"
+
+
+def test_examples_exist():
+    names = {path.stem for path in EXAMPLES}
+    assert "quickstart" in names
+    assert len(names) >= 4  # quickstart + three domain scenarios

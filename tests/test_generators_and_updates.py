@@ -1,0 +1,196 @@
+"""Tests for synthetic graph generators and update workloads."""
+
+import pytest
+
+from repro.core.delta import Delta
+from repro.graph.generators import (
+    cycle_graph,
+    label_alphabet,
+    layered_dag,
+    planted_scc_graph,
+    power_law_graph,
+    uniform_random_graph,
+)
+from repro.graph.updates import (
+    WorkloadError,
+    delta_fraction,
+    random_delta,
+    unit_delete_workload,
+    unit_insert_workload,
+)
+
+ALPHABET = label_alphabet(10)
+
+
+class TestAlphabet:
+    def test_size_and_uniqueness(self):
+        symbols = label_alphabet(100)
+        assert len(symbols) == 100
+        assert len(set(symbols)) == 100
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            label_alphabet(0)
+
+
+class TestUniformRandomGraph:
+    def test_sizes(self):
+        g = uniform_random_graph(50, 120, ALPHABET, seed=1)
+        assert g.num_nodes == 50
+        assert g.num_edges == 120
+
+    def test_no_self_loops(self):
+        g = uniform_random_graph(30, 100, ALPHABET, seed=2)
+        assert all(s != t for s, t in g.edges())
+
+    def test_deterministic_under_seed(self):
+        a = uniform_random_graph(20, 40, ALPHABET, seed=7)
+        b = uniform_random_graph(20, 40, ALPHABET, seed=7)
+        assert a == b
+
+    def test_seed_changes_graph(self):
+        a = uniform_random_graph(20, 40, ALPHABET, seed=7)
+        b = uniform_random_graph(20, 40, ALPHABET, seed=8)
+        assert a != b
+
+    def test_too_many_edges(self):
+        with pytest.raises(ValueError):
+            uniform_random_graph(3, 7, ALPHABET)
+
+    def test_labels_from_alphabet(self):
+        g = uniform_random_graph(25, 50, ALPHABET, seed=3)
+        assert {g.label(v) for v in g.nodes()} <= set(ALPHABET)
+
+    def test_label_skew_biases_frequencies(self):
+        g = uniform_random_graph(500, 500, ALPHABET, seed=3, label_skew=2.0)
+        from repro.graph.stats import label_histogram
+
+        histogram = label_histogram(g)
+        assert histogram[ALPHABET[0]] > histogram.get(ALPHABET[-1], 0)
+
+
+class TestPowerLawGraph:
+    def test_sizes(self):
+        g = power_law_graph(100, 300, ALPHABET, seed=1)
+        assert g.num_nodes == 100
+        assert g.num_edges == 300
+
+    def test_in_degree_skew(self):
+        g = power_law_graph(300, 1500, ALPHABET, seed=4)
+        degrees = sorted((g.in_degree(v) for v in g.nodes()), reverse=True)
+        # hub inequality: the top node dominates the median.
+        assert degrees[0] >= 4 * max(1, degrees[len(degrees) // 2])
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            power_law_graph(1, 0, ALPHABET)
+
+
+class TestPlantedScc:
+    def test_giant_component_exists(self):
+        g = planted_scc_graph(200, 800, ALPHABET, giant_fraction=0.7, seed=5)
+        from repro.scc.tarjan import tarjan_scc
+
+        components = tarjan_scc(g).components
+        largest = max(len(c) for c in components)
+        assert largest >= 0.7 * 200
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError):
+            planted_scc_graph(10, 30, ALPHABET, giant_fraction=0.0)
+
+    def test_insufficient_edges(self):
+        with pytest.raises(ValueError):
+            planted_scc_graph(100, 10, ALPHABET, giant_fraction=0.9)
+
+
+class TestOtherShapes:
+    def test_layered_dag_is_acyclic(self):
+        g = layered_dag(5, 4, ALPHABET, seed=6, inter_layer_prob=0.5)
+        from repro.scc.tarjan import tarjan_scc
+
+        assert all(len(c) == 1 for c in tarjan_scc(g).components)
+
+    def test_cycle_graph(self):
+        g = cycle_graph(5, label="x")
+        assert g.num_edges == 5
+        assert all(g.label(v) == "x" for v in g.nodes())
+
+
+class TestRandomDelta:
+    @pytest.fixture
+    def base(self):
+        return uniform_random_graph(60, 200, ALPHABET, seed=11)
+
+    def test_size_and_ratio(self, base):
+        delta = random_delta(base, 40, rho=1.0, seed=1)
+        assert len(delta) == 40
+        assert len(delta.insertions) == 20
+        assert len(delta.deletions) == 20
+
+    def test_rho_skews_mixture(self, base):
+        delta = random_delta(base, 40, rho=3.0, seed=1)
+        assert len(delta.insertions) == 30
+        assert len(delta.deletions) == 10
+
+    def test_applicable_in_order(self, base):
+        delta = random_delta(base, 60, seed=2)
+        patched = delta.applied(base)  # must not raise
+        assert patched.num_edges == base.num_edges  # rho=1 keeps |E|
+
+    def test_normalized(self, base):
+        delta = random_delta(base, 80, seed=3)
+        assert delta.is_normalized()
+
+    def test_deterministic(self, base):
+        a = random_delta(base, 30, seed=9)
+        b = random_delta(base, 30, seed=9)
+        assert [u.edge for u in a] == [u.edge for u in b]
+
+    def test_new_nodes(self, base):
+        delta = random_delta(base, 20, rho=1e9, seed=4, new_node_fraction=1.0)
+        patched = delta.applied(base)
+        assert patched.num_nodes > base.num_nodes
+
+    def test_too_many_deletions(self, base):
+        with pytest.raises(WorkloadError):
+            random_delta(base, 10 * base.num_edges, rho=0.0, seed=5)
+
+    def test_invalid_args(self, base):
+        with pytest.raises(ValueError):
+            random_delta(base, -1)
+        with pytest.raises(ValueError):
+            random_delta(base, 1, rho=-0.5)
+        with pytest.raises(ValueError):
+            random_delta(base, 1, new_node_fraction=2.0)
+
+
+class TestWorkloadHelpers:
+    @pytest.fixture
+    def base(self):
+        return uniform_random_graph(50, 150, ALPHABET, seed=21)
+
+    def test_delta_fraction_size(self, base):
+        delta = delta_fraction(base, 0.10, seed=1)
+        assert len(delta) == round(0.10 * base.num_edges)
+
+    def test_delta_fraction_bounds(self, base):
+        with pytest.raises(ValueError):
+            delta_fraction(base, 1.5)
+
+    def test_unit_insert_workload(self, base):
+        units = unit_insert_workload(base, 5, seed=2)
+        assert len(units) == 5
+        assert all(len(u) == 1 and u[0].is_insert for u in units)
+        for unit in units:  # each applies independently to G
+            unit.applied(base)
+
+    def test_unit_delete_workload(self, base):
+        units = unit_delete_workload(base, 5, seed=3)
+        assert all(len(u) == 1 and u[0].is_delete for u in units)
+        for unit in units:
+            unit.applied(base)
+
+    def test_unit_delete_workload_exhausted(self, base):
+        with pytest.raises(WorkloadError):
+            unit_delete_workload(base, base.num_edges + 1)

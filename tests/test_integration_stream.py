@@ -1,0 +1,87 @@
+"""Long-stream integration: all four indexes maintained side by side over
+many rounds of churn on one evolving graph, each round cross-checked
+against recomputation.  This is the sustained-use scenario none of the
+single-batch tests covers (auxiliary structures must survive arbitrarily
+long update histories, including repeated growth and shrinkage)."""
+
+import pytest
+
+from repro.graph.generators import label_alphabet, uniform_random_graph
+from repro.graph.updates import random_delta
+from repro.iso import ISOIndex, Pattern, vf2_matches
+from repro.kws import KWSIndex, KWSQuery, compute_kdist, distance_profile, verify_kdist
+from repro.rpq import RPQIndex, matches_only, verify_markings
+from repro.scc import SCCIndex, tarjan_scc
+
+ALPHABET = label_alphabet(5)
+ROUNDS = 8
+
+
+@pytest.fixture(scope="module")
+def stream_state():
+    graph = uniform_random_graph(45, 140, ALPHABET, seed=77)
+    kws_query = KWSQuery((ALPHABET[0], ALPHABET[1]), 2)
+    rpq_query = f"{ALPHABET[0]} . ({ALPHABET[1]} + {ALPHABET[2]})* . {ALPHABET[2]}"
+    pattern = Pattern.from_edges(
+        {0: ALPHABET[0], 1: ALPHABET[1], 2: ALPHABET[2]}, [(0, 1), (1, 2)]
+    )
+    return graph, kws_query, rpq_query, pattern
+
+
+@pytest.mark.parametrize("rho", [0.5, 1.0, 2.0])
+def test_sustained_stream_all_classes(stream_state, rho):
+    graph, kws_query, rpq_query, pattern = stream_state
+    kws = KWSIndex(graph.copy(), kws_query)
+    rpq = RPQIndex(graph.copy(), rpq_query)
+    scc = SCCIndex(graph.copy())
+    iso = ISOIndex(graph.copy(), pattern)
+
+    for round_number in range(ROUNDS):
+        # All four indexes see the *same* update stream; sizes vary by
+        # round so the graph breathes (grows under rho > 1, shrinks
+        # under rho < 1) without ever emptying.
+        size = 8 + 3 * (round_number % 3)
+        delta = random_delta(
+            kws.graph, size, rho=rho, seed=1000 * round_number + int(rho * 4)
+        )
+        kws.apply(delta)
+        rpq.apply(delta)
+        scc.apply(delta)
+        iso.apply(delta)
+
+        reference = kws.graph  # all four graphs evolve identically
+        assert rpq.graph == reference
+        assert scc.graph == reference
+        assert iso.graph == reference
+
+        verify_kdist(reference, kws.kdist)
+        assert kws.profile() == distance_profile(
+            compute_kdist(reference, kws_query)
+        )
+        assert rpq.matches == matches_only(reference, rpq_query)
+        verify_markings(reference, rpq_query, rpq.markings)
+        assert scc.components() == tarjan_scc(reference).partition()
+        scc.check_consistency()
+        assert iso.matches == vf2_matches(reference, pattern)
+        iso.check_consistency()
+
+
+def test_stream_with_node_growth(stream_state):
+    graph, kws_query, rpq_query, pattern = stream_state
+    kws = KWSIndex(graph.copy(), kws_query)
+    scc = SCCIndex(graph.copy())
+    for round_number in range(5):
+        delta = random_delta(
+            kws.graph,
+            10,
+            rho=3.0,
+            seed=37 + round_number,
+            new_node_fraction=0.4,
+            alphabet=ALPHABET,
+        )
+        kws.apply(delta)
+        scc.apply(delta)
+        assert scc.graph == kws.graph
+        verify_kdist(kws.graph, kws.kdist)
+        assert scc.components() == tarjan_scc(scc.graph).partition()
+    assert kws.graph.num_nodes > graph.num_nodes  # new nodes actually arrived

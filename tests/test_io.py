@@ -1,0 +1,110 @@
+"""Tests for plain-text graph/delta serialization."""
+
+import io
+
+import pytest
+
+from repro.core.delta import Delta, delete, insert
+from repro.graph import DiGraph
+from repro.graph.generators import label_alphabet, uniform_random_graph
+from repro.graph.io import (
+    FormatError,
+    graph_to_string,
+    read_delta,
+    read_graph,
+    write_delta,
+    write_graph,
+)
+
+
+@pytest.fixture
+def sample() -> DiGraph:
+    return DiGraph(
+        labels={1: "a", 2: "b", "x": "c"},
+        edges=[(1, 2), (2, "x")],
+    )
+
+
+class TestGraphRoundtrip:
+    def test_stream_roundtrip(self, sample):
+        buffer = io.StringIO()
+        write_graph(sample, buffer)
+        buffer.seek(0)
+        assert read_graph(buffer) == sample
+
+    def test_file_roundtrip(self, sample, tmp_path):
+        path = tmp_path / "graph.txt"
+        write_graph(sample, path)
+        assert read_graph(path) == sample
+
+    def test_integers_stay_integers(self, sample):
+        buffer = io.StringIO()
+        write_graph(sample, buffer)
+        buffer.seek(0)
+        loaded = read_graph(buffer)
+        assert 1 in loaded and "x" in loaded
+
+    def test_random_graph_roundtrip(self):
+        graph = uniform_random_graph(40, 120, label_alphabet(5), seed=3)
+        buffer = io.StringIO()
+        write_graph(graph, buffer)
+        buffer.seek(0)
+        assert read_graph(buffer) == graph
+
+    def test_graph_to_string_contains_counts(self, sample):
+        text = graph_to_string(sample)
+        assert "|V|=3" in text and "|E|=2" in text
+
+    def test_comments_and_blanks_ignored(self):
+        text = "# hello\n\nn 1 a\nn 2 b\ne 1 2\n"
+        graph = read_graph(io.StringIO(text))
+        assert graph.num_nodes == 2 and graph.has_edge(1, 2)
+
+    def test_malformed_records(self):
+        with pytest.raises(FormatError):
+            read_graph(io.StringIO("n\n"))
+        with pytest.raises(FormatError):
+            read_graph(io.StringIO("e 1\n"))
+        with pytest.raises(FormatError):
+            read_graph(io.StringIO("z 1 2\n"))
+
+
+class TestDeltaRoundtrip:
+    def test_roundtrip(self):
+        delta = Delta([
+            insert(1, 2, source_label="a", target_label="b"),
+            delete(2, 3),
+        ])
+        buffer = io.StringIO()
+        write_delta(delta, buffer)
+        buffer.seek(0)
+        loaded = read_delta(buffer)
+        assert [u.kind for u in loaded] == [u.kind for u in delta]
+        assert [u.edge for u in loaded] == [u.edge for u in delta]
+        assert loaded[0].target_label == "b"
+
+    def test_file_roundtrip(self, tmp_path):
+        delta = Delta([insert(1, 2), delete(3, 4)])
+        path = tmp_path / "delta.txt"
+        write_delta(delta, path)
+        loaded = read_delta(path)
+        assert [u.edge for u in loaded] == [(1, 2), (3, 4)]
+
+    def test_malformed_records(self):
+        with pytest.raises(FormatError):
+            read_delta(io.StringIO("+ 1\n"))
+        with pytest.raises(FormatError):
+            read_delta(io.StringIO("- 1 2 3\n"))
+        with pytest.raises(FormatError):
+            read_delta(io.StringIO("? 1 2\n"))
+
+    def test_applies_after_roundtrip(self):
+        graph = uniform_random_graph(30, 80, label_alphabet(4), seed=9)
+        from repro.graph.updates import random_delta
+
+        delta = random_delta(graph, 20, seed=10)
+        buffer = io.StringIO()
+        write_delta(delta, buffer)
+        buffer.seek(0)
+        loaded = read_delta(buffer)
+        assert loaded.applied(graph).num_edges == delta.applied(graph).num_edges

@@ -1,0 +1,173 @@
+"""Tests for patterns and VF2, cross-checked against networkx's matcher."""
+
+import networkx as nx
+import pytest
+
+from repro.graph import DiGraph
+from repro.graph.generators import label_alphabet, uniform_random_graph
+from repro.iso import Pattern, PatternError, has_match, vf2_matches
+
+ALPHABET = label_alphabet(4)
+
+
+def nx_match_subgraphs(graph: DiGraph, pattern: Pattern) -> set:
+    """Oracle: networkx monomorphisms, canonicalized like our matches."""
+    big = nx.DiGraph()
+    for node in graph.nodes():
+        big.add_node(node, label=graph.label(node))
+    big.add_edges_from(graph.edges())
+    small = nx.DiGraph()
+    for node in pattern.graph.nodes():
+        small.add_node(node, label=pattern.graph.label(node))
+    small.add_edges_from(pattern.graph.edges())
+    matcher = nx.algorithms.isomorphism.DiGraphMatcher(
+        big,
+        small,
+        node_match=lambda a, b: a["label"] == b["label"],
+    )
+    found = set()
+    for mapping in matcher.subgraph_monomorphisms_iter():
+        # mapping: big node -> small node; invert it
+        inverted = {small_node: big_node for big_node, small_node in mapping.items()}
+        nodes = frozenset(inverted.values())
+        edges = frozenset(
+            (inverted[s], inverted[t]) for s, t in pattern.graph.edges()
+        )
+        found.add((nodes, edges))
+    return found
+
+
+def canonical(matches) -> set:
+    return {(match.nodes, match.edges) for match in matches}
+
+
+@pytest.fixture
+def triangle_pattern() -> Pattern:
+    return Pattern.from_edges(
+        {0: "a", 1: "b", 2: "c"}, [(0, 1), (1, 2), (2, 0)]
+    )
+
+
+class TestPattern:
+    def test_diameter_of_path(self):
+        pattern = Pattern.from_edges({0: "a", 1: "b", 2: "c"}, [(0, 1), (1, 2)])
+        assert pattern.diameter == 2
+
+    def test_diameter_of_triangle(self, triangle_pattern):
+        assert triangle_pattern.diameter == 1
+
+    def test_shape(self, triangle_pattern):
+        assert triangle_pattern.shape() == (3, 3, 1)
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(PatternError):
+            Pattern.from_edges({0: "a", 1: "b"}, [])
+
+    def test_empty_rejected(self):
+        with pytest.raises(PatternError):
+            Pattern.from_graph(DiGraph())
+
+    def test_label_multiset(self, triangle_pattern):
+        assert triangle_pattern.label_multiset() == {"a": 1, "b": 1, "c": 1}
+
+    def test_single_node_pattern(self):
+        pattern = Pattern.from_edges({0: "a"}, [])
+        assert pattern.diameter == 0
+
+
+class TestVF2Basics:
+    def test_triangle_found(self, triangle_pattern):
+        g = DiGraph(labels={10: "a", 11: "b", 12: "c"},
+                    edges=[(10, 11), (11, 12), (12, 10)])
+        matches = vf2_matches(g, triangle_pattern)
+        assert len(matches) == 1
+        match = next(iter(matches))
+        assert match.nodes == frozenset({10, 11, 12})
+
+    def test_label_mismatch_blocks(self, triangle_pattern):
+        g = DiGraph(labels={10: "a", 11: "b", 12: "d"},
+                    edges=[(10, 11), (11, 12), (12, 10)])
+        assert vf2_matches(g, triangle_pattern) == set()
+
+    def test_direction_matters(self, triangle_pattern):
+        g = DiGraph(labels={10: "a", 11: "b", 12: "c"},
+                    edges=[(10, 11), (12, 11), (12, 10)])  # (11,12) flipped
+        assert vf2_matches(g, triangle_pattern) == set()
+
+    def test_non_induced_semantics(self):
+        # pattern a -> b; graph has a->b and b->a: the extra edge must not
+        # block the match (non-induced embedding).
+        pattern = Pattern.from_edges({0: "a", 1: "b"}, [(0, 1)])
+        g = DiGraph(labels={5: "a", 6: "b"}, edges=[(5, 6), (6, 5)])
+        matches = vf2_matches(g, pattern)
+        assert len(matches) == 1
+        assert next(iter(matches)).edges == frozenset({(5, 6)})
+
+    def test_automorphisms_collapse(self):
+        # symmetric pattern a <-> a on graph a <-> a: one match, not two.
+        pattern = Pattern.from_edges({0: "a", 1: "a"}, [(0, 1), (1, 0)])
+        g = DiGraph(labels={5: "a", 6: "a"}, edges=[(5, 6), (6, 5)])
+        matches = vf2_matches(g, pattern)
+        assert len(matches) == 1
+
+    def test_injectivity(self):
+        # pattern a -> a needs two distinct a-nodes; a self-loop is no match.
+        pattern = Pattern.from_edges({0: "a", 1: "a"}, [(0, 1)])
+        g = DiGraph(labels={5: "a"})
+        g.add_edge(5, 5)
+        assert vf2_matches(g, pattern) == set()
+
+    def test_required_edge_filter(self):
+        pattern = Pattern.from_edges({0: "a", 1: "b"}, [(0, 1)])
+        g = DiGraph(labels={1: "a", 2: "b", 3: "b"}, edges=[(1, 2), (1, 3)])
+        all_matches = vf2_matches(g, pattern)
+        assert len(all_matches) == 2
+        filtered = vf2_matches(g, pattern, required_edge=(1, 3))
+        assert len(filtered) == 1
+        assert next(iter(filtered)).edges == frozenset({(1, 3)})
+
+    def test_has_match_early_exit(self):
+        pattern = Pattern.from_edges({0: "a", 1: "b"}, [(0, 1)])
+        g = DiGraph(labels={i: "a" if i % 2 == 0 else "b" for i in range(20)})
+        for i in range(0, 20, 2):
+            g.add_edge(i, i + 1)
+        assert has_match(g, pattern)
+
+    def test_single_node_pattern_matches_by_label(self):
+        pattern = Pattern.from_edges({0: "q"}, [])
+        g = DiGraph(labels={1: "q", 2: "q", 3: "r"})
+        assert len(vf2_matches(g, pattern)) == 2
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_path_pattern(self, seed):
+        graph = uniform_random_graph(20, 60, ALPHABET, seed=seed)
+        pattern = Pattern.from_edges(
+            {0: ALPHABET[0], 1: ALPHABET[1], 2: ALPHABET[2]}, [(0, 1), (1, 2)]
+        )
+        assert canonical(vf2_matches(graph, pattern)) == nx_match_subgraphs(
+            graph, pattern
+        )
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_triangle_pattern(self, seed):
+        graph = uniform_random_graph(18, 70, ALPHABET[:2], seed=seed)
+        pattern = Pattern.from_edges(
+            {0: ALPHABET[0], 1: ALPHABET[0], 2: ALPHABET[1]},
+            [(0, 1), (1, 2), (2, 0)],
+        )
+        assert canonical(vf2_matches(graph, pattern)) == nx_match_subgraphs(
+            graph, pattern
+        )
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_diamond_pattern(self, seed):
+        graph = uniform_random_graph(16, 60, ALPHABET[:2], seed=seed)
+        pattern = Pattern.from_edges(
+            {0: ALPHABET[0], 1: ALPHABET[1], 2: ALPHABET[1], 3: ALPHABET[0]},
+            [(0, 1), (0, 2), (1, 3), (2, 3)],
+        )
+        assert canonical(vf2_matches(graph, pattern)) == nx_match_subgraphs(
+            graph, pattern
+        )

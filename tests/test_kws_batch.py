@@ -1,0 +1,158 @@
+"""Tests for the batch KWS substrate: kdist computation, match trees,
+validation against networkx shortest paths."""
+
+import networkx as nx
+import pytest
+
+from repro.graph import DiGraph
+from repro.graph.generators import label_alphabet, uniform_random_graph
+from repro.kws import (
+    KDistEntry,
+    KWSQuery,
+    all_matches,
+    batch_kws,
+    compute_kdist,
+    distance_profile,
+    follow_path,
+    match_at,
+    verify_kdist,
+)
+
+ALPHABET = label_alphabet(6)
+
+
+@pytest.fixture
+def small() -> DiGraph:
+    #  0(a) -> 1(b) -> 2(c)
+    #  0     -> 3(b) -> 4(a)
+    #  2 -> 4
+    g = DiGraph(labels={0: "a", 1: "b", 2: "c", 3: "b", 4: "a"})
+    for edge in [(0, 1), (1, 2), (0, 3), (3, 4), (2, 4)]:
+        g.add_edge(*edge)
+    return g
+
+
+class TestKWSQuery:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KWSQuery((), 2)
+        with pytest.raises(ValueError):
+            KWSQuery(("a", "a"), 2)
+        with pytest.raises(ValueError):
+            KWSQuery(("a",), -1)
+
+    def test_with_bound(self):
+        q = KWSQuery(("a", "b"), 2)
+        assert q.with_bound(5).bound == 5
+        assert q.m == 2
+
+
+class TestKDistEntry:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KDistEntry(-1, None)
+        with pytest.raises(ValueError):
+            KDistEntry(0, "x")
+        with pytest.raises(ValueError):
+            KDistEntry(2, None)
+
+
+class TestComputeKdist:
+    def test_zero_distance_for_matching_label(self, small):
+        index = compute_kdist(small, KWSQuery(("a",), 3))
+        assert index.get(0, "a") == KDistEntry(0, None)
+        assert index.get(4, "a") == KDistEntry(0, None)
+
+    def test_distances(self, small):
+        index = compute_kdist(small, KWSQuery(("a", "c"), 3))
+        assert index.dist(1, "a") == 2  # 1 -> 2 -> 4
+        assert index.dist(3, "a") == 1
+        assert index.dist(0, "c") == 2  # 0 -> 1 -> 2
+        assert index.dist(3, "c") is None  # unreachable
+
+    def test_bound_cuts_entries(self, small):
+        index = compute_kdist(small, KWSQuery(("c",), 1))
+        assert index.dist(0, "c") is None
+        assert index.dist(1, "c") == 1
+
+    def test_next_tie_break_is_smallest(self):
+        # 0 -> 1(a) and 0 -> 2(a): both dist 1, next must be node 1.
+        g = DiGraph(labels={0: "x", 1: "a", 2: "a"}, edges=[(0, 1), (0, 2)])
+        index = compute_kdist(g, KWSQuery(("a",), 2))
+        assert index.get(0, "a") == KDistEntry(1, 1)
+
+    def test_matches_networkx_distances(self):
+        graph = uniform_random_graph(80, 250, ALPHABET, seed=5)
+        keyword = ALPHABET[0]
+        bound = 3
+        index = compute_kdist(graph, KWSQuery((keyword,), bound))
+        mirror = nx.DiGraph()
+        mirror.add_nodes_from(graph.nodes())
+        mirror.add_edges_from(graph.edges())
+        sources = [v for v in graph.nodes() if graph.label(v) == keyword]
+        expected = {}
+        for node in graph.nodes():
+            best = None
+            for source in sources:
+                try:
+                    length = nx.shortest_path_length(mirror, node, source)
+                except nx.NetworkXNoPath:
+                    continue
+                best = length if best is None else min(best, length)
+            if best is not None and best <= bound:
+                expected[node] = best
+        actual = {node: entry.dist for node, entry in index.entries(keyword).items()}
+        assert actual == expected
+
+    def test_verify_kdist_accepts_fresh(self, small):
+        index = compute_kdist(small, KWSQuery(("a", "b"), 2))
+        verify_kdist(small, index)
+
+
+class TestMatches:
+    def test_match_requires_all_keywords(self, small):
+        index = compute_kdist(small, KWSQuery(("a", "c"), 2))
+        assert match_at(index, 3) is None  # no c within 2
+        match = match_at(index, 0)
+        assert match is not None
+        assert match.distances() == {"a": 0, "c": 2}
+
+    def test_paths_follow_next_chain(self, small):
+        index = compute_kdist(small, KWSQuery(("c",), 3))
+        assert follow_path(index, 0, "c") == (0, 1, 2)
+
+    def test_all_matches_roots(self, small):
+        query = KWSQuery(("a", "b"), 2)
+        matches = all_matches(compute_kdist(small, query))
+        # roots need both an a and a b within 2 hops; node 2 has no path
+        # to any b node (its only successor 4 is a sink), node 4 is a sink.
+        assert set(matches) == {0, 1, 3}
+
+    def test_match_weight_and_edges(self, small):
+        index = compute_kdist(small, KWSQuery(("a", "c"), 2))
+        match = match_at(index, 0)
+        assert match.weight == 2
+        assert match.edges() == {(0, 1), (1, 2)}
+        assert match.nodes() == {0, 1, 2}
+
+    def test_batch_kws_entrypoint(self, small):
+        matches = batch_kws(small, KWSQuery(("a",), 1))
+        assert set(matches) == {0, 2, 3, 4}
+
+    def test_distance_profile(self, small):
+        index = compute_kdist(small, KWSQuery(("a", "b"), 2))
+        profile = distance_profile(index)
+        assert profile[1] == {"a": 2, "b": 0}
+
+    def test_trees_are_minimal_weight(self):
+        # Exhaustive check on a random graph: every root's tree weight
+        # equals the sum of true shortest distances.
+        graph = uniform_random_graph(40, 140, ALPHABET, seed=9)
+        query = KWSQuery((ALPHABET[0], ALPHABET[1]), 3)
+        index = compute_kdist(graph, query)
+        for root, match in all_matches(index).items():
+            for keyword, path in match.paths.items():
+                assert graph.label(path[-1]) == keyword
+                for a, b in zip(path, path[1:]):
+                    assert graph.has_edge(a, b)
+                assert index.dist(root, keyword) == len(path) - 1

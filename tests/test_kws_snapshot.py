@@ -1,0 +1,88 @@
+"""Tests for the varying-b snapshot extension (paper Section 4.2, Remark)."""
+
+import pytest
+
+from repro.graph import DiGraph
+from repro.graph.generators import label_alphabet, uniform_random_graph
+from repro.kws import KWSIndex, KWSQuery, compute_kdist, distance_profile, verify_kdist
+from repro.kws.snapshot import extend_bound, profile_with_bound
+
+ALPHABET = label_alphabet(6)
+
+
+@pytest.fixture
+def chain() -> DiGraph:
+    # 5 -> 4 -> 3 -> 2 -> 1 -> 0(a)
+    g = DiGraph(labels={i: "x" for i in range(1, 6)} | {0: "a"})
+    for i in range(5):
+        g.add_edge(i + 1, i)
+    return g
+
+
+class TestExtendBound:
+    def test_extension_reaches_deeper(self, chain):
+        index = KWSIndex(chain, KWSQuery(("a",), 2))
+        assert index.kdist.dist(3, "a") is None
+        delta_o = extend_bound(index, 4)
+        assert index.query.bound == 4
+        assert index.kdist.dist(3, "a") == 3
+        assert index.kdist.dist(4, "a") == 4
+        assert index.kdist.dist(5, "a") is None
+        assert set(delta_o.added) == {3, 4}
+        verify_kdist(index.graph, index.kdist)
+
+    def test_extension_matches_fresh_computation(self):
+        graph = uniform_random_graph(60, 200, ALPHABET, seed=3)
+        query = KWSQuery((ALPHABET[0], ALPHABET[1]), 1)
+        index = KWSIndex(graph, query)
+        extend_bound(index, 3)
+        fresh = distance_profile(compute_kdist(graph, query.with_bound(3)))
+        assert index.profile() == fresh
+        verify_kdist(index.graph, index.kdist)
+
+    def test_extension_then_updates(self):
+        graph = uniform_random_graph(40, 120, ALPHABET, seed=5)
+        query = KWSQuery((ALPHABET[0],), 1)
+        index = KWSIndex(graph, query)
+        extend_bound(index, 2)
+        # the extended structure must keep working incrementally
+        from repro.graph.updates import random_delta
+
+        delta = random_delta(graph, 16, seed=6)
+        index.apply(delta)
+        fresh = distance_profile(compute_kdist(index.graph, query.with_bound(2)))
+        assert index.profile() == fresh
+
+    def test_same_bound_is_noop(self, chain):
+        index = KWSIndex(chain, KWSQuery(("a",), 2))
+        delta_o = extend_bound(index, 2)
+        assert delta_o.is_empty
+
+    def test_shrink_rejected(self, chain):
+        index = KWSIndex(chain, KWSQuery(("a",), 2))
+        with pytest.raises(ValueError):
+            extend_bound(index, 1)
+
+
+class TestProfileWithBound:
+    def test_filtering(self, chain):
+        index = KWSIndex(chain, KWSQuery(("a",), 4))
+        wide = profile_with_bound(index, 4)
+        narrow = profile_with_bound(index, 1)
+        assert set(wide) == {0, 1, 2, 3, 4}
+        assert set(narrow) == {0, 1}
+
+    def test_matches_direct_computation(self):
+        graph = uniform_random_graph(50, 160, ALPHABET, seed=7)
+        query = KWSQuery((ALPHABET[0], ALPHABET[1]), 3)
+        index = KWSIndex(graph, query)
+        for smaller in (1, 2):
+            expected = distance_profile(
+                compute_kdist(graph, query.with_bound(smaller))
+            )
+            assert profile_with_bound(index, smaller) == expected
+
+    def test_larger_bound_rejected(self, chain):
+        index = KWSIndex(chain, KWSQuery(("a",), 2))
+        with pytest.raises(ValueError):
+            profile_with_bound(index, 3)

@@ -1,0 +1,131 @@
+"""Gap-filling tests: match-tree extraction errors, gadget validation,
+DynSCC unit behaviours, generator edge shapes."""
+
+import pytest
+
+from repro.core.delta import Delta, delete, insert
+from repro.graph import DiGraph
+from repro.graph.generators import cycle_graph, label_alphabet, layered_dag
+from repro.kws import KDistEntry, KDistIndex, KWSQuery
+from repro.kws.matches import MatchExtractionError, follow_path, match_at
+from repro.scc import DynSCC, tarjan_scc
+from repro.theory import (
+    kws_chain_gadget,
+    rpq_two_cycle_gadget,
+    scc_cycle_gadget,
+    ssrp_chain_gadget,
+)
+
+
+class TestMatchExtraction:
+    def test_follow_path_missing_entry(self):
+        index = KDistIndex(KWSQuery(("a",), 2))
+        with pytest.raises(MatchExtractionError):
+            follow_path(index, "nowhere", "a")
+
+    def test_follow_path_broken_chain_detected(self):
+        index = KDistIndex(KWSQuery(("a",), 3))
+        # corrupt chain: v's next points at a node with the wrong distance
+        index.set("v", "a", KDistEntry(2, "w"))
+        index.set("w", "a", KDistEntry(2, "x"))  # should be 1
+        index.set("x", "a", KDistEntry(0, None))
+        with pytest.raises(MatchExtractionError):
+            follow_path(index, "v", "a")
+
+    def test_match_at_requires_all_keywords(self):
+        index = KDistIndex(KWSQuery(("a", "b"), 2))
+        index.set("v", "a", KDistEntry(0, None))
+        assert match_at(index, "v") is None
+
+    def test_kdist_check_shape_catches_bound_violation(self):
+        index = KDistIndex(KWSQuery(("a",), 1))
+        index.set("v", "a", KDistEntry(1, "w"))
+        index.set("w", "a", KDistEntry(0, None))
+        index.check_shape()  # fine at the bound
+        bad = KDistIndex(KWSQuery(("a",), 0))
+        bad.set("v", "a", KDistEntry(1, "w"))
+        with pytest.raises(AssertionError):
+            bad.check_shape()
+
+    def test_parents_of_tracks_rewrites(self):
+        index = KDistIndex(KWSQuery(("a",), 3))
+        index.set("v", "a", KDistEntry(1, "w"))
+        assert index.parents_of("w", "a") == frozenset({"v"})
+        index.set("v", "a", KDistEntry(1, "x"))
+        assert index.parents_of("w", "a") == frozenset()
+        index.clear("v", "a")
+        assert index.parents_of("x", "a") == frozenset()
+
+
+class TestGadgetValidation:
+    def test_all_gadgets_reject_tiny_n(self):
+        for gadget in (rpq_two_cycle_gadget, scc_cycle_gadget, ssrp_chain_gadget):
+            with pytest.raises(ValueError):
+                gadget(1)
+        with pytest.raises(ValueError):
+            kws_chain_gadget(1, 4)
+        with pytest.raises(ValueError):
+            kws_chain_gadget(4, 1)
+
+    def test_scc_gadget_single_component(self):
+        gadget = scc_cycle_gadget(5)
+        parts = tarjan_scc(gadget.graph).partition()
+        assert len(parts) == 1
+        after = gadget.first_update.applied(gadget.graph)
+        assert len(tarjan_scc(after).partition()) == 1  # chord was redundant
+
+    def test_kws_gadget_has_parallel_lanes(self):
+        gadget = kws_chain_gadget(3, 3)
+        # root reaches the keyword through 3 lanes of length 3
+        assert gadget.graph.out_degree("root") == 3
+
+    def test_gadget_updates_are_applicable(self):
+        for gadget in (
+            rpq_two_cycle_gadget(3),
+            scc_cycle_gadget(3),
+            ssrp_chain_gadget(3),
+            kws_chain_gadget(3, 3),
+        ):
+            patched = gadget.first_update.applied(gadget.graph)
+            if gadget.second_update is not None:
+                gadget.second_update.applied(patched)
+
+
+class TestDynSCCUnits:
+    def test_insert_into_same_component_is_cheap(self):
+        g = cycle_graph(6)
+        dyn = DynSCC(g)
+        dyn.apply(Delta([insert(0, 3)]))
+        assert dyn.components() == tarjan_scc(dyn.graph).partition()
+
+    def test_new_node_insertion(self):
+        g = cycle_graph(4)
+        dyn = DynSCC(g)
+        dyn.apply(Delta([insert(0, 99, target_label="x")]))
+        assert frozenset({99}) in dyn.components()
+
+    def test_delete_splits(self):
+        g = cycle_graph(5)
+        dyn = DynSCC(g)
+        dyn.apply(Delta([delete(2, 3)]))
+        assert all(len(c) == 1 for c in dyn.components())
+
+
+class TestGeneratorShapes:
+    def test_layered_dag_validation(self):
+        with pytest.raises(ValueError):
+            layered_dag(0, 3, label_alphabet(2))
+
+    def test_cycle_graph_validation(self):
+        with pytest.raises(ValueError):
+            cycle_graph(0)
+
+    def test_single_node_cycle_has_no_edges(self):
+        g = cycle_graph(1)
+        assert g.num_nodes == 1 and g.num_edges == 0
+
+    def test_power_law_forward_bias_bounds(self):
+        from repro.graph.generators import power_law_graph
+
+        with pytest.raises(ValueError):
+            power_law_graph(10, 20, label_alphabet(2), forward_bias=1.5)

@@ -1,0 +1,99 @@
+"""Tests for d-hop neighborhoods (paper Section 4.1 notation)."""
+
+import pytest
+
+from repro.core.cost import CostMeter
+from repro.graph import DiGraph, MissingNodeError
+from repro.graph.neighborhood import (
+    d_neighborhood,
+    neighborhood_of_updates,
+    nodes_within,
+    undirected_distance,
+)
+from repro.core.delta import Delta, delete, insert
+
+
+@pytest.fixture
+def chain() -> DiGraph:
+    # 0 -> 1 -> 2 -> 3 -> 4, plus a reverse edge 4 -> 0 far away.
+    g = DiGraph()
+    for node in range(5):
+        g.add_node(node, label=str(node))
+    for node in range(4):
+        g.add_edge(node, node + 1)
+    return g
+
+
+class TestNodesWithin:
+    def test_zero_radius_is_sources(self, chain):
+        assert nodes_within(chain, [2], 0) == {2}
+
+    def test_undirected_expansion(self, chain):
+        # Node 2 sees 1 and 3 at one hop (predecessor and successor alike).
+        assert nodes_within(chain, [2], 1) == {1, 2, 3}
+
+    def test_two_hops(self, chain):
+        assert nodes_within(chain, [2], 2) == {0, 1, 2, 3, 4}
+
+    def test_union_of_sources(self, chain):
+        assert nodes_within(chain, [0, 4], 1) == {0, 1, 3, 4}
+
+    def test_missing_source_raises(self, chain):
+        with pytest.raises(MissingNodeError):
+            nodes_within(chain, [42], 1)
+
+    def test_negative_radius_raises(self, chain):
+        with pytest.raises(ValueError):
+            nodes_within(chain, [0], -1)
+
+    def test_meter_counts_visits(self, chain):
+        meter = CostMeter()
+        nodes_within(chain, [2], 1, meter=meter)
+        assert meter.distinct_nodes == 3
+
+
+class TestDNeighborhood:
+    def test_induced_edges(self, chain):
+        sub = d_neighborhood(chain, [2], 1)
+        assert set(sub.nodes()) == {1, 2, 3}
+        assert set(sub.edges()) == {(1, 2), (2, 3)}
+
+    def test_labels_preserved(self, chain):
+        sub = d_neighborhood(chain, [0], 1)
+        assert sub.label(0) == "0"
+
+
+class TestNeighborhoodOfUpdates:
+    def test_covers_both_endpoints(self, chain):
+        delta = Delta([insert(0, 4)])
+        region = neighborhood_of_updates(chain, delta.edges(), 1)
+        assert set(region.nodes()) == {0, 1, 3, 4}
+
+    def test_skips_absent_endpoints(self, chain):
+        region = neighborhood_of_updates(chain, [(0, 99)], 1)
+        assert set(region.nodes()) == {0, 1}
+
+    def test_empty_when_nothing_present(self, chain):
+        region = neighborhood_of_updates(chain, [(98, 99)], 2)
+        assert region.num_nodes == 0
+
+    def test_delete_edges_also_seed(self, chain):
+        delta = Delta([delete(1, 2)])
+        region = neighborhood_of_updates(chain, delta.edges(), 0)
+        assert set(region.nodes()) == {1, 2}
+
+
+class TestUndirectedDistance:
+    def test_zero(self, chain):
+        assert undirected_distance(chain, 3, 3) == 0
+
+    def test_direction_blind(self, chain):
+        assert undirected_distance(chain, 4, 0) == 4
+
+    def test_disconnected(self):
+        g = DiGraph(labels={1: "a", 2: "b"})
+        assert undirected_distance(g, 1, 2) is None
+
+    def test_missing_nodes(self, chain):
+        with pytest.raises(MissingNodeError):
+            undirected_distance(chain, 0, 42)

@@ -1,0 +1,225 @@
+"""The paper's running example, end to end (Fig. 2, Examples 1-9).
+
+Each test mirrors one numbered example's narrative; the kdist tables of
+Example 1 and the match-pair changes of Example 5 are checked verbatim.
+See repro/workloads/paper_example.py for the reconstruction notes.
+"""
+
+import pytest
+
+from repro.core.delta import Delta
+from repro.kws import KDistEntry, KWSIndex, verify_kdist
+from repro.rpq import RPQIndex, matches_only, verify_markings
+from repro.scc import SCCIndex, tarjan_scc
+from repro.workloads.paper_example import (
+    E1,
+    E2,
+    E3,
+    E4,
+    E5,
+    PAPER_BATCH,
+    PAPER_KWS_QUERY,
+    PAPER_RPQ_QUERY,
+    paper_graph,
+)
+
+
+class TestExample1InsertE1:
+    """IncKWS+ on insert e1 = (b2, d1)."""
+
+    def test_initial_matches_are_tb2_and_td2(self):
+        index = KWSIndex(paper_graph(), PAPER_KWS_QUERY)
+        assert set(index.roots()) == {"b2", "d2"}
+        tb2 = index.match_at("b2")
+        assert tb2.paths["a"] == ("b2", "b3", "a2")
+        assert tb2.paths["d"] == ("b2", "b4", "d1")
+        td2 = index.match_at("d2")
+        assert td2.paths["d"] == ("d2",)
+        assert td2.paths["a"] == ("d2", "a1")
+
+    def test_kdist_table_before_and_after(self):
+        # the paper's in-text table for IncKWS+
+        index = KWSIndex(paper_graph(), PAPER_KWS_QUERY)
+        assert index.kdist.get("b2", "d") == KDistEntry(2, "b4")
+        assert index.kdist.get("c2", "d") is None  # ⟨⊥, nil⟩
+        index.insert_edge("b2", "d1")
+        assert index.kdist.get("b2", "d") == KDistEntry(1, "d1")
+        assert index.kdist.get("c2", "d") == KDistEntry(2, "b2")
+        verify_kdist(index.graph, index.kdist)
+
+    def test_propagation_stops_at_c2(self):
+        # c2's d-distance reaches the bound, so its predecessor c1 must
+        # not acquire an entry.
+        index = KWSIndex(paper_graph(), PAPER_KWS_QUERY)
+        index.insert_edge("b2", "d1")
+        assert index.kdist.get("c1", "d") is None
+
+    def test_tb2_revised_and_tc2_added(self):
+        index = KWSIndex(paper_graph(), PAPER_KWS_QUERY)
+        delta_o = index.insert_edge("b2", "d1")
+        assert "c2" in delta_o.added
+        assert "b2" in delta_o.rerouted
+        tb2 = index.match_at("b2")
+        assert tb2.paths["d"] == ("b2", "d1")
+        tc2 = index.match_at("c2")
+        assert tc2.paths["d"] == ("c2", "b2", "d1")
+        assert tc2.paths["a"] == ("c2", "b3", "a2")
+
+
+class TestExample2DeleteE2:
+    """IncKWS− on delete e2 = (c2, b3) from G1 = G ⊕ e1."""
+
+    def test_tc2_removed(self):
+        index = KWSIndex(paper_graph(), PAPER_KWS_QUERY)
+        index.insert_edge("b2", "d1")
+        assert index.kdist.get("c2", "a") == KDistEntry(2, "b3")
+        delta_o = index.delete_edge("c2", "b3")
+        # "the shortest distance from successor b2 of c2 to nodes matching
+        # a equals the bound 2 ... c2 cannot be the root of a match"
+        assert index.kdist.get("b2", "a").dist == 2
+        assert index.kdist.get("c2", "a") is None
+        assert "c2" in delta_o.removed
+        assert set(index.roots()) == {"b2", "d2"}
+        verify_kdist(index.graph, index.kdist)
+
+
+class TestExample3BatchKWS:
+    """IncKWS on the full batch ΔG."""
+
+    def test_affected_nodes_lose_a_entries(self):
+        index = KWSIndex(paper_graph(), PAPER_KWS_QUERY)
+        index.apply(PAPER_BATCH)
+        # c1 was affected w.r.t. a and its potential exceeds the bound:
+        assert index.kdist.get("c1", "a") is None
+        verify_kdist(index.graph, index.kdist)
+
+    def test_tb2_branches_replaced_with_direct_edges(self):
+        index = KWSIndex(paper_graph(), PAPER_KWS_QUERY)
+        index.apply(PAPER_BATCH)
+        tb2 = index.match_at("b2")
+        assert tb2.paths["a"] == ("b2", "a1")
+        assert tb2.paths["d"] == ("b2", "d1")
+
+    def test_tb4_added(self):
+        index = KWSIndex(paper_graph(), PAPER_KWS_QUERY)
+        delta_o = index.apply(PAPER_BATCH)
+        assert "b4" in delta_o.added
+        tb4 = index.match_at("b4")
+        assert tb4.paths["a"] == ("b4", "b3", "a2")
+        assert tb4.paths["d"] == ("b4", "d1")
+
+    def test_new_tc2_via_b2(self):
+        index = KWSIndex(paper_graph(), PAPER_KWS_QUERY)
+        index.apply(PAPER_BATCH)
+        tc2 = index.match_at("c2")
+        # "path (c2, b3, a2) in T_c2 ... is replaced by (c2, b2, a1)"
+        assert tc2.paths["a"] == ("c2", "b2", "a1")
+        assert tc2.paths["d"] == ("c2", "b2", "d1")
+
+    def test_final_roots(self):
+        index = KWSIndex(paper_graph(), PAPER_KWS_QUERY)
+        index.apply(PAPER_BATCH)
+        assert set(index.roots()) == {"b2", "b4", "c2", "d2"}
+
+
+class TestExamples4And5RPQ:
+    """RPQ_NFA and IncRPQ on Q = c·(b·a + c)*·c."""
+
+    def test_initial_matches(self):
+        assert matches_only(paper_graph(), PAPER_RPQ_QUERY) == {("c1", "c2")}
+
+    def test_batch_adds_paper_pairs(self):
+        index = RPQIndex(paper_graph(), PAPER_RPQ_QUERY)
+        delta_o = index.apply(PAPER_BATCH)
+        # the pairs the paper's Example 5 adds:
+        assert ("c2", "c1") in delta_o.added
+        assert ("c1", "c1") in delta_o.added
+        assert index.matches == {
+            ("c1", "c2"), ("c2", "c1"), ("c1", "c1"), ("c2", "c2"),
+        }
+        verify_markings(index.graph, PAPER_RPQ_QUERY, index.markings)
+
+    def test_accepting_state_reached_through_new_route(self):
+        # After the batch, (c2, c2) is witnessed by c2 -> b2 -> a1 -> c1
+        # -> c2 spelling c (ba) c c — the "another path connecting these
+        # two nodes in G_I is formed as a result of insertions" narrative.
+        index = RPQIndex(paper_graph(), PAPER_RPQ_QUERY)
+        index.apply(PAPER_BATCH)
+        expected = matches_only(index.graph, PAPER_RPQ_QUERY)
+        assert index.matches == expected
+
+
+class TestExamples6To9SCC:
+    """Tarjan structures and IncSCC on the reconstruction."""
+
+    def test_initial_components(self):
+        result = tarjan_scc(paper_graph())
+        assert result.partition() == {
+            frozenset({"a1", "b1", "c1"}),
+            frozenset({"b2", "b4"}),
+            frozenset({"a2", "b3"}),
+            frozenset({"c2"}),
+            frozenset({"d1"}),
+            frozenset({"d2"}),
+        }
+
+    def test_example9_deleting_e5_splits_into_three(self):
+        index = SCCIndex(paper_graph())
+        added, removed = index.delete_edge("c1", "a1")
+        assert removed == {frozenset({"a1", "b1", "c1"})}
+        assert added == {
+            frozenset({"a1"}), frozenset({"b1"}), frozenset({"c1"}),
+        }
+        index.check_consistency()
+
+    def test_example7_insert_e4_no_cycle(self):
+        # In our reconstruction (b2, b3) already orders the two components
+        # consistently, so inserting (b4, b3) cannot merge anything —
+        # exercising the counter-bump branch of IncSCC+ (Fig. 7 line 3).
+        index = SCCIndex(paper_graph())
+        added, removed = index.insert_edge("b4", "b3")
+        assert (added, removed) == (set(), set())
+        index.check_consistency()
+
+    def test_example8_batch(self):
+        index = SCCIndex(paper_graph())
+        index.apply(PAPER_BATCH)
+        assert index.components() == {
+            frozenset({"a1", "b1", "c1", "c2", "b2", "b4"}),
+            frozenset({"a2", "b3"}),
+            frozenset({"d1"}),
+            frozenset({"d2"}),
+        }
+        # d2 stays outside the merge, exactly as the paper notes.
+        index.check_consistency()
+
+    def test_batch_matches_recompute(self):
+        index = SCCIndex(paper_graph())
+        index.apply(PAPER_BATCH)
+        assert index.components() == tarjan_scc(index.graph).partition()
+
+
+class TestUnitSequenceConsistency:
+    """The batch and the unit-update sequence agree on the example."""
+
+    def test_kws_batch_equals_units(self):
+        batch_index = KWSIndex(paper_graph(), PAPER_KWS_QUERY)
+        batch_index.apply(PAPER_BATCH)
+        unit_index = KWSIndex(paper_graph(), PAPER_KWS_QUERY)
+        for update in [E1, E3, E4, E2, E5]:
+            if update.is_insert:
+                unit_index.insert_edge(update.source, update.target)
+            else:
+                unit_index.delete_edge(update.source, update.target)
+        assert batch_index.profile() == unit_index.profile()
+
+    def test_rpq_batch_equals_units(self):
+        batch_index = RPQIndex(paper_graph(), PAPER_RPQ_QUERY)
+        batch_index.apply(PAPER_BATCH)
+        unit_index = RPQIndex(paper_graph(), PAPER_RPQ_QUERY)
+        unit_index.apply(Delta([E1]))
+        unit_index.apply(Delta([E3]))
+        unit_index.apply(Delta([E4]))
+        unit_index.apply(Delta([E2]))
+        unit_index.apply(Delta([E5]))
+        assert batch_index.matches == unit_index.matches

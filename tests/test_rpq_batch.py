@@ -1,0 +1,149 @@
+"""Tests for the batch RPQ_NFA algorithm, with an independent product-graph
+oracle built on networkx."""
+
+import networkx as nx
+import pytest
+
+from repro.graph import DiGraph
+from repro.graph.generators import label_alphabet, uniform_random_graph
+from repro.rpq import glushkov, matches_only, parse, rpq_nfa
+from repro.rpq.markings import BOOTSTRAP
+
+
+def oracle_matches(graph: DiGraph, query_text: str) -> set:
+    """Independent implementation: explicit product graph + reachability."""
+    nfa = glushkov(parse(query_text))
+    product = nx.DiGraph()
+    for v in graph.nodes():
+        for s in range(nfa.num_states):
+            product.add_node((v, s))
+    for v, w in graph.edges():
+        for s in range(nfa.num_states):
+            for s2 in nfa.delta(s, graph.label(w)):
+                product.add_edge((v, s), (w, s2))
+    matches = set()
+    for u in graph.nodes():
+        starts = nfa.start_states(graph.label(u))
+        if not starts:
+            continue
+        reachable = set()
+        for s in starts:
+            reachable.add((u, s))
+            reachable |= nx.descendants(product, (u, s))
+        for (v, s) in reachable:
+            if s in nfa.accepting:
+                matches.add((u, v))
+    return matches
+
+
+@pytest.fixture
+def labeled_cycle() -> DiGraph:
+    # a ring a -> b -> c -> a
+    g = DiGraph(labels={0: "a", 1: "b", 2: "c"})
+    g.add_edge(0, 1)
+    g.add_edge(1, 2)
+    g.add_edge(2, 0)
+    return g
+
+
+class TestMatches:
+    def test_single_label_matches_single_nodes(self, labeled_cycle):
+        assert matches_only(labeled_cycle, "a") == {(0, 0)}
+
+    def test_two_hop(self, labeled_cycle):
+        assert matches_only(labeled_cycle, "a . b") == {(0, 1)}
+
+    def test_star_loops(self, labeled_cycle):
+        # a (b c a)* — source 0, cycling back to 0
+        matches = matches_only(labeled_cycle, "a . (b . c . a)*")
+        assert (0, 0) in matches
+        assert (0, 1) not in matches
+
+    def test_empty_when_no_source_label(self, labeled_cycle):
+        assert matches_only(labeled_cycle, "z . a") == set()
+
+    def test_nullable_query_has_no_empty_word_matches(self, labeled_cycle):
+        # L(a*) contains ε, but a path always spells >= 1 label: only the
+        # a-labeled node matches itself.
+        assert matches_only(labeled_cycle, "a*") == {(0, 0)}
+
+    @pytest.mark.parametrize("query", ["a", "a . b", "a . b + b . c", "a . (b + c)*", "(a + b) . c*"])
+    @pytest.mark.parametrize("seed", range(3))
+    def test_against_oracle_random_graphs(self, query, seed):
+        graph = uniform_random_graph(25, 70, ["a", "b", "c"], seed=seed)
+        assert matches_only(graph, query) == oracle_matches(graph, query)
+
+    def test_against_oracle_many_labels(self):
+        alphabet = label_alphabet(8)
+        graph = uniform_random_graph(30, 90, alphabet, seed=9)
+        query = f"{alphabet[0]} . ({alphabet[1]} + {alphabet[2]})* . {alphabet[3]}"
+        assert matches_only(graph, query) == oracle_matches(graph, query)
+
+
+class TestMarkings:
+    def test_bootstrap_entries(self, labeled_cycle):
+        result = rpq_nfa(labeled_cycle, "a . b")
+        marks = result.markings.get(0)
+        entries = marks.states_at(0)
+        assert len(entries) == 1
+        entry = next(iter(entries.values()))
+        assert entry.dist == 0
+        assert entry.cpre == {BOOTSTRAP}
+        assert entry.mpre == {BOOTSTRAP}
+
+    def test_dist_is_path_length(self, labeled_cycle):
+        result = rpq_nfa(labeled_cycle, "a . b . c")
+        marks = result.markings.get(0)
+        accepting_entries = [
+            (node, state, marks.get(node, state))
+            for node, state in marks.product_nodes()
+            if state in result.nfa.accepting
+        ]
+        assert accepting_entries
+        node, _, entry = accepting_entries[0]
+        assert node == 2
+        assert entry.dist == 2
+
+    def test_cpre_contains_all_reached_predecessors(self):
+        # diamond: u(a) -> {x(b), y(b)} -> t(c): t's entry has two cpre.
+        g = DiGraph(labels={"u": "a", "x": "b", "y": "b", "t": "c"})
+        for edge in [("u", "x"), ("u", "y"), ("x", "t"), ("y", "t")]:
+            g.add_edge(*edge)
+        result = rpq_nfa(g, "a . b . c")
+        marks = result.markings.get("u")
+        t_entries = marks.states_at("t")
+        assert len(t_entries) == 1
+        entry = next(iter(t_entries.values()))
+        assert len(entry.cpre) == 2
+        assert entry.mpre == entry.cpre  # both on shortest paths
+
+    def test_mpre_subset_of_cpre_everywhere(self):
+        graph = uniform_random_graph(30, 100, ["a", "b", "c"], seed=4)
+        result = rpq_nfa(graph, "a . (b + c)* . c")
+        for source in result.markings.sources():
+            marks = result.markings.get(source)
+            for node, state in marks.product_nodes():
+                entry = marks.get(node, state)
+                assert entry.mpre <= entry.cpre
+                assert entry.mpre, f"empty mpre at {(source, node, state)}"
+
+    def test_mpre_parents_are_one_step_closer(self):
+        graph = uniform_random_graph(30, 100, ["a", "b", "c"], seed=5)
+        result = rpq_nfa(graph, "a . b* . c")
+        for source in result.markings.sources():
+            marks = result.markings.get(source)
+            for node, state in marks.product_nodes():
+                entry = marks.get(node, state)
+                for parent in entry.mpre:
+                    if parent == BOOTSTRAP:
+                        assert entry.dist == 0
+                        continue
+                    parent_entry = marks.get(*parent)
+                    assert parent_entry is not None
+                    assert parent_entry.dist + 1 == entry.dist
+
+
+class TestComplexityShape:
+    def test_only_viable_sources_get_buckets(self, labeled_cycle):
+        result = rpq_nfa(labeled_cycle, "a . b")
+        assert set(result.markings.sources()) == {0}

@@ -1,0 +1,217 @@
+"""Tests for IncRPQ (paper Section 5.2, Fig. 5): unit + batch updates,
+marking integrity, equivalence with recompute, relative boundedness."""
+
+import pytest
+
+from repro.core.cost import CostMeter
+from repro.core.delta import Delta, delete, insert
+from repro.graph import DiGraph
+from repro.graph.generators import label_alphabet, uniform_random_graph
+from repro.graph.updates import random_delta
+from repro.rpq import RPQIndex, inc_rpq_n, matches_only, verify_markings
+
+THREE = ["a", "b", "c"]
+
+
+@pytest.fixture
+def chain() -> DiGraph:
+    # a -> b -> c, plus a spare c node
+    g = DiGraph(labels={0: "a", 1: "b", 2: "c", 3: "c"})
+    g.add_edge(0, 1)
+    g.add_edge(1, 2)
+    return g
+
+
+class TestUnitInsert:
+    def test_new_match_via_insertion(self, chain):
+        index = RPQIndex(chain, "a . b . c")
+        assert index.matches == {(0, 2)}
+        delta_o = index.insert_edge(1, 3)
+        assert delta_o.added == {(0, 3)}
+        assert delta_o.removed == frozenset()
+        assert index.matches == {(0, 2), (0, 3)}
+        verify_markings(index.graph, "a . b . c", index.markings)
+
+    def test_shortcut_changes_dist_not_matches(self):
+        # a -> b -> b -> c and inserted shortcut a -> b(second)
+        g = DiGraph(labels={0: "a", 1: "b", 2: "b", 3: "c"})
+        for edge in [(0, 1), (1, 2), (2, 3)]:
+            g.add_edge(*edge)
+        index = RPQIndex(g, "a . b* . c")
+        assert index.matches == {(0, 3)}
+        delta_o = index.insert_edge(0, 2)
+        assert delta_o.is_empty
+        verify_markings(index.graph, "a . b* . c", index.markings)
+
+    def test_insert_new_source_node(self, chain):
+        index = RPQIndex(chain, "a . b . c")
+        delta_o = index.insert_edge(9, 1, source_label="a")
+        assert (9, 2) in delta_o.added
+        assert (9, 9) not in index.matches
+        verify_markings(index.graph, "a . b . c", index.markings)
+
+    def test_insert_new_match_node_self(self):
+        # single-label query: a brand-new node labeled a matches itself.
+        g = DiGraph(labels={0: "b"})
+        index = RPQIndex(g, "a")
+        delta_o = index.insert_edge(0, 7, target_label="a")
+        assert delta_o.added == {(7, 7)}
+        verify_markings(index.graph, "a", index.markings)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_inserts_match_recompute(self, seed):
+        import random
+
+        graph = uniform_random_graph(20, 50, THREE, seed=seed)
+        query = "a . (b + c)* . c"
+        index = RPQIndex(graph, query)
+        rng = random.Random(seed)
+        nodes = list(graph.nodes())
+        done = 0
+        while done < 8:
+            s, t = rng.choice(nodes), rng.choice(nodes)
+            if s == t or graph.has_edge(s, t):
+                continue
+            index.insert_edge(s, t)
+            done += 1
+            assert index.matches == matches_only(index.graph, query)
+        verify_markings(index.graph, query, index.markings)
+
+
+class TestUnitDelete:
+    def test_losing_match(self, chain):
+        index = RPQIndex(chain, "a . b . c")
+        delta_o = index.delete_edge(1, 2)
+        assert delta_o.removed == {(0, 2)}
+        assert index.matches == set()
+        verify_markings(index.graph, "a . b . c", index.markings)
+
+    def test_alternative_path_survives(self):
+        # two parallel b-paths from a to c
+        g = DiGraph(labels={0: "a", 1: "b", 2: "b", 3: "c"})
+        for edge in [(0, 1), (0, 2), (1, 3), (2, 3)]:
+            g.add_edge(*edge)
+        index = RPQIndex(g, "a . b . c")
+        delta_o = index.delete_edge(1, 3)
+        assert delta_o.is_empty  # (0,3) still matched via node 2
+        assert index.matches == {(0, 3)}
+        verify_markings(index.graph, "a . b . c", index.markings)
+
+    def test_dist_increase_without_match_change(self):
+        # a -> c direct and a -> b -> ... path: delete the short one.
+        g = DiGraph(labels={0: "a", 1: "c", 2: "b"})
+        for edge in [(0, 1), (0, 2), (2, 1)]:
+            g.add_edge(*edge)
+        index = RPQIndex(g, "a . b* . c")
+        delta_o = index.delete_edge(0, 1)
+        assert delta_o.is_empty
+        verify_markings(index.graph, "a . b* . c", index.markings)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_deletes_match_recompute(self, seed):
+        import random
+
+        graph = uniform_random_graph(20, 60, THREE, seed=seed)
+        query = "a . (b + c)* . c"
+        index = RPQIndex(graph, query)
+        rng = random.Random(100 + seed)
+        for _ in range(8):
+            edges = list(index.graph.edges())
+            if not edges:
+                break
+            index.delete_edge(*rng.choice(edges))
+            assert index.matches == matches_only(index.graph, query)
+        verify_markings(index.graph, query, index.markings)
+
+
+class TestBatch:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_batch_matches_recompute(self, seed):
+        graph = uniform_random_graph(20, 60, THREE, seed=seed)
+        query = "a . (b + c)* . c"
+        delta = random_delta(graph, 16, seed=seed)
+        expected = matches_only(delta.applied(graph), query)
+        index = RPQIndex(graph.copy(), query)
+        index.apply(delta)
+        assert index.matches == expected
+        verify_markings(index.graph, query, index.markings)
+
+    def test_delta_output_equation(self):
+        graph = uniform_random_graph(20, 60, THREE, seed=33)
+        query = "a . b* . c"
+        index = RPQIndex(graph.copy(), query)
+        before = set(index.matches)
+        delta = random_delta(graph, 14, seed=34)
+        delta_o = index.apply(delta)
+        assert (before - set(delta_o.removed)) | set(delta_o.added) == index.matches
+        assert set(delta_o.removed) <= before
+        assert not set(delta_o.added) & before
+
+    def test_paper_example5_style_interleaving(self):
+        # Deletion splits a path; insertions restore a different one in the
+        # same batch — the match must survive (paper Example 5's point).
+        g = DiGraph(labels={0: "a", 1: "b", 2: "b", 3: "c"})
+        for edge in [(0, 1), (1, 3)]:
+            g.add_edge(*edge)
+        index = RPQIndex(g, "a . b . c")
+        assert index.matches == {(0, 3)}
+        delta = Delta([delete(1, 3), insert(0, 2), insert(2, 3)])
+        delta_o = index.apply(delta)
+        assert index.matches == {(0, 3)}
+        assert delta_o.is_empty  # split path replaced within one batch
+        verify_markings(index.graph, "a . b . c", index.markings)
+
+    def test_batch_with_new_nodes(self):
+        graph = uniform_random_graph(15, 40, THREE, seed=7)
+        query = "a . b* . c"
+        delta = random_delta(graph, 12, seed=8, new_node_fraction=0.5, alphabet=THREE)
+        expected = matches_only(delta.applied(graph), query)
+        index = RPQIndex(graph.copy(), query)
+        index.apply(delta)
+        assert index.matches == expected
+        verify_markings(index.graph, query, index.markings)
+
+    def test_batch_agrees_with_unit_at_a_time(self):
+        graph = uniform_random_graph(20, 55, THREE, seed=41)
+        query = "a . (b + c)* . c"
+        delta = random_delta(graph, 14, seed=42)
+        batch_index = RPQIndex(graph.copy(), query)
+        batch_delta = batch_index.apply(delta)
+        unit_index = RPQIndex(graph.copy(), query)
+        unit_delta = inc_rpq_n(unit_index, delta)
+        assert batch_index.matches == unit_index.matches
+        assert batch_delta.added == unit_delta.added
+        assert batch_delta.removed == unit_delta.removed
+
+    @pytest.mark.parametrize("rho", [0.25, 1.0, 4.0])
+    def test_rho_variations(self, rho):
+        graph = uniform_random_graph(20, 60, THREE, seed=51)
+        query = "a . b* . c"
+        delta = random_delta(graph, 14, rho=rho, seed=52)
+        expected = matches_only(delta.applied(graph), query)
+        index = RPQIndex(graph.copy(), query)
+        index.apply(delta)
+        assert index.matches == expected
+
+
+class TestRelativeBoundedness:
+    def test_far_update_cost_independent_of_graph_size(self):
+        # A fixed local perturbation against growing graphs: the measured
+        # IncRPQ work must stay flat while |G| grows 16x.
+        costs = []
+        for scale in (50, 200, 800):
+            g = DiGraph(labels={i: "x" for i in range(scale)})
+            for i in range(scale - 1):
+                g.add_edge(i, i + 1)
+            # a small a->b->c gadget attached nowhere near the chain
+            g.add_node("ga", label="a")
+            g.add_node("gb", label="b")
+            g.add_node("gc", label="c")
+            g.add_edge("ga", "gb")
+            meter = CostMeter()
+            index = RPQIndex(g, "a . b . c", meter=meter)
+            meter.reset()
+            index.insert_edge("gb", "gc")
+            index.delete_edge("gb", "gc")
+            costs.append(meter.total())
+        assert costs[2] <= max(costs[0], 1) * 3

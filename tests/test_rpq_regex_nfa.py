@@ -1,0 +1,161 @@
+"""Tests for the regex AST/parser and Glushkov NFA, cross-checked against
+Python's re module on sampled words."""
+
+import itertools
+import re as stdlib_re
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rpq.nfa import glushkov
+from repro.rpq.regex import (
+    Concat,
+    Epsilon,
+    RegexSyntaxError,
+    Star,
+    Sym,
+    Union,
+    nullable,
+    parse,
+)
+
+
+class TestParser:
+    def test_single_label(self):
+        assert parse("abc") == Sym("abc")
+
+    def test_concat_and_union_precedence(self):
+        # '.' binds tighter than '+'
+        assert parse("a . b + c") == Union(Concat(Sym("a"), Sym("b")), Sym("c"))
+
+    def test_star_binds_tightest(self):
+        assert parse("a . b*") == Concat(Sym("a"), Star(Sym("b")))
+
+    def test_parentheses(self):
+        assert parse("(a + b) . c") == Concat(Union(Sym("a"), Sym("b")), Sym("c"))
+
+    def test_juxtaposition_concatenates(self):
+        assert parse("a b") == Concat(Sym("a"), Sym("b"))
+
+    def test_epsilon(self):
+        assert parse("eps + a") == Union(Epsilon(), Sym("a"))
+
+    def test_paper_example4_query(self):
+        query = parse("c . (b . a + c)* . c")
+        assert query.size == 5  # occurrences: c, b, a, c, c
+        assert query.labels() == {"a", "b", "c"}
+
+    def test_double_star(self):
+        assert parse("a**") == Star(Star(Sym("a")))
+
+    def test_errors(self):
+        for bad in ["", "a +", "(a", "a)", "*a", "a . . b", "a %"]:
+            with pytest.raises(RegexSyntaxError):
+                parse(bad)
+
+    def test_roundtrip_via_str(self):
+        for text in ["a", "a . b", "a + b", "(a + b)* . c", "c . (b . a + c)* . c"]:
+            query = parse(text)
+            assert parse(str(query)) == query
+
+
+class TestSizeAndNullable:
+    def test_size_counts_label_occurrences(self):
+        assert parse("a . a . a").size == 3
+        assert parse("(a + b)*").size == 2
+        assert parse("eps").size == 0
+
+    def test_nullable(self):
+        assert nullable(parse("a*"))
+        assert nullable(parse("eps"))
+        assert not nullable(parse("a"))
+        assert nullable(parse("a* . b*"))
+        assert not nullable(parse("a* . b"))
+        assert nullable(parse("a + b*"))
+
+
+class TestGlushkov:
+    def test_state_count_is_size_plus_one(self):
+        for text in ["a", "a . b", "(a + b)* . c", "c . (b . a + c)* . c"]:
+            query = parse(text)
+            assert glushkov(query).num_states == query.size + 1
+
+    def test_initial_state_has_no_incoming(self):
+        nfa = glushkov(parse("(a + b)* . a . b"))
+        for by_label in nfa.transitions.values():
+            for targets in by_label.values():
+                assert 0 not in targets
+
+    def test_accepts_simple(self):
+        nfa = glushkov(parse("a . b"))
+        assert nfa.accepts(("a", "b"))
+        assert not nfa.accepts(("a",))
+        assert not nfa.accepts(("a", "b", "b"))
+        assert not nfa.accepts(())
+
+    def test_accepts_nullable(self):
+        nfa = glushkov(parse("a*"))
+        assert nfa.accepts(())
+        assert nfa.accepts(("a", "a", "a"))
+        assert not nfa.accepts(("b",))
+
+    def test_start_states_by_label(self):
+        nfa = glushkov(parse("a . b + c"))
+        assert nfa.start_states("a")
+        assert nfa.start_states("c")
+        assert not nfa.start_states("b")
+
+    def test_paper_example4_words(self):
+        # Q = c · (b·a + c)* · c
+        nfa = glushkov(parse("c . (b . a + c)* . c"))
+        assert nfa.accepts(("c", "c"))
+        assert nfa.accepts(("c", "b", "a", "c"))
+        assert nfa.accepts(("c", "c", "b", "a", "c"))
+        assert nfa.accepts(("c", "b", "a", "c", "c"))
+        assert not nfa.accepts(("c",))
+        assert not nfa.accepts(("c", "b", "c"))
+        assert not nfa.accepts(("b", "a", "c"))
+
+
+# -- randomized cross-check against Python's re ------------------------------
+
+_LABELS = "abc"
+
+
+def regex_asts(max_depth: int = 4):
+    leaf = st.sampled_from([Sym("a"), Sym("b"), Sym("c"), Epsilon()])
+    return st.recursive(
+        leaf,
+        lambda children: st.one_of(
+            st.tuples(children, children).map(lambda lr: Concat(*lr)),
+            st.tuples(children, children).map(lambda lr: Union(*lr)),
+            children.map(Star),
+        ),
+        max_leaves=8,
+    )
+
+
+def to_python_regex(query) -> str:
+    if isinstance(query, Epsilon):
+        return "(?:)"
+    if isinstance(query, Sym):
+        return stdlib_re.escape(query.label)
+    if isinstance(query, Concat):
+        return f"(?:{to_python_regex(query.left)})(?:{to_python_regex(query.right)})"
+    if isinstance(query, Union):
+        return f"(?:{to_python_regex(query.left)}|{to_python_regex(query.right)})"
+    if isinstance(query, Star):
+        return f"(?:{to_python_regex(query.child)})*"
+    raise TypeError(query)
+
+
+@settings(max_examples=60, deadline=None)
+@given(regex_asts())
+def test_nfa_agrees_with_stdlib_re(query):
+    nfa = glushkov(query)
+    pattern = stdlib_re.compile(to_python_regex(query) + r"\Z")
+    for length in range(0, 5):
+        for word in itertools.product(_LABELS, repeat=length):
+            expected = pattern.match("".join(word)) is not None
+            assert nfa.accepts(word) == expected, (query, word)

@@ -1,0 +1,112 @@
+"""Tests for SSRP (paper Section 3): bounded under insertions, deletion
+repair correct (and measurably not bounded — the gadget witnesses live in
+test_lower_bounds.py)."""
+
+import pytest
+
+from repro.core.cost import CostMeter
+from repro.core.delta import Delta, delete, insert
+from repro.core.ssrp import ReachabilityIndex, reachable_from
+from repro.graph import DiGraph, MissingNodeError
+
+
+@pytest.fixture
+def diamond() -> DiGraph:
+    #      1
+    #    /   \
+    #   0     3 -> 4
+    #    \   /
+    #      2
+    g = DiGraph(labels={i: "x" for i in range(5)})
+    for edge in [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]:
+        g.add_edge(*edge)
+    return g
+
+
+class TestBatchReachability:
+    def test_full_reach(self, diamond):
+        assert reachable_from(diamond, 0) == {0, 1, 2, 3, 4}
+
+    def test_partial_reach(self, diamond):
+        assert reachable_from(diamond, 1) == {1, 3, 4}
+
+    def test_missing_source(self, diamond):
+        with pytest.raises(MissingNodeError):
+            reachable_from(diamond, 42)
+
+
+class TestIncrementalInsert:
+    def test_gain_propagates(self, diamond):
+        diamond.add_node(5, label="x")
+        diamond.add_node(6, label="x")
+        diamond.add_edge(5, 6)
+        index = ReachabilityIndex(diamond, source=0)
+        gained, lost = index.apply(Delta([insert(4, 5)]))
+        assert gained == {5, 6}
+        assert lost == set()
+        assert index.answer()[6]
+
+    def test_insert_between_reached_is_noop(self, diamond):
+        index = ReachabilityIndex(diamond, source=0)
+        meter = CostMeter()
+        index.meter = meter
+        gained, lost = index.apply(Delta([insert(1, 2)]))
+        assert (gained, lost) == (set(), set())
+        assert meter.total() == 0  # O(1): no traversal at all
+
+    def test_insert_from_unreached_is_noop(self, diamond):
+        diamond.add_node(9, label="x")
+        index = ReachabilityIndex(diamond, source=1)
+        gained, _ = index.apply(Delta([insert(9, 0)]))
+        assert gained == set()
+        assert not index.answer()[0]
+
+    def test_insert_cost_bounded_by_gain(self):
+        # Long chain beyond the insertion point: cost ~ gained region size,
+        # not |G| (the bounded insertion algorithm of [38]).
+        g = DiGraph(labels={i: "x" for i in range(1000)})
+        for i in range(998):
+            if i != 499:
+                g.add_edge(i, i + 1)
+        index = ReachabilityIndex(g, source=0)
+        meter = CostMeter()
+        index.meter = meter
+        gained, _ = index.apply(Delta([insert(499, 500)]))
+        assert len(gained) == 499
+        assert meter.node_visits <= len(gained) + 1
+
+
+class TestIncrementalDelete:
+    def test_alternative_path_keeps_reach(self, diamond):
+        index = ReachabilityIndex(diamond, source=0)
+        gained, lost = index.apply(Delta([delete(1, 3)]))
+        assert (gained, lost) == (set(), set())
+        assert index.answer()[4]
+
+    def test_losing_only_path(self, diamond):
+        index = ReachabilityIndex(diamond, source=0)
+        index.apply(Delta([delete(1, 3)]))
+        gained, lost = index.apply(Delta([delete(2, 3)]))
+        assert lost == {3, 4}
+        assert not index.answer()[3]
+
+    def test_mixed_batch_nets_out(self, diamond):
+        index = ReachabilityIndex(diamond, source=0)
+        # remove both paths to 3, then restore one: 3 and 4 flip twice.
+        batch = Delta([delete(1, 3), delete(2, 3), insert(0, 3)])
+        gained, lost = index.apply(batch)
+        assert gained == set() and lost == set()
+        assert index.answer()[4]
+
+    def test_matches_recompute_randomized(self):
+        import random
+
+        from repro.graph.generators import label_alphabet, uniform_random_graph
+        from repro.graph.updates import random_delta
+
+        for seed in range(6):
+            graph = uniform_random_graph(40, 120, label_alphabet(3), seed=seed)
+            index = ReachabilityIndex(graph.copy(), source=0)
+            delta = random_delta(graph, 30, seed=seed)
+            index.apply(delta)
+            assert index.reached == reachable_from(index.graph, 0)

@@ -1,0 +1,73 @@
+"""Regression tests for the SSRP deletion repair (spanning-tree variant).
+
+The naive "some predecessor is reached" fast path is unsound when the
+predecessor's own reachability depends on the deleted edge (a cycle island
+downstream of the deletion).  These tests pin the fix.
+"""
+
+from repro.core.delta import Delta, delete, insert
+from repro.core.ssrp import ReachabilityIndex, bfs_tree, reachable_from
+from repro.graph import DiGraph
+
+
+class TestCycleIslandRegression:
+    def test_downstream_cycle_is_lost(self):
+        # s -> x -> y -> p, p -> y: deleting (x, y) strands {y, p} even
+        # though y still has the "reached" predecessor p.
+        g = DiGraph(
+            labels={n: "n" for n in "sxyp"},
+            edges=[("s", "x"), ("x", "y"), ("y", "p"), ("p", "y")],
+        )
+        index = ReachabilityIndex(g, "s")
+        gained, lost = index.apply(Delta([delete("x", "y")]))
+        assert lost == {"y", "p"}
+        assert gained == set()
+        assert index.reached == reachable_from(index.graph, "s") == {"s", "x"}
+
+    def test_island_regained_by_insertion(self):
+        g = DiGraph(
+            labels={n: "n" for n in "sxyp"},
+            edges=[("s", "x"), ("x", "y"), ("y", "p"), ("p", "y")],
+        )
+        index = ReachabilityIndex(g, "s")
+        index.apply(Delta([delete("x", "y")]))
+        gained, lost = index.apply(Delta([insert("s", "p")]))
+        assert gained == {"y", "p"}
+        assert index.reached == {"s", "x", "y", "p"}
+
+    def test_long_random_mixed_sequences(self):
+        from repro.graph.generators import label_alphabet, uniform_random_graph
+        from repro.graph.updates import random_delta
+
+        for seed in range(10):
+            graph = uniform_random_graph(30, 80, label_alphabet(3), seed=seed)
+            index = ReachabilityIndex(graph.copy(), source=0)
+            delta = random_delta(graph, 40, seed=seed)
+            index.apply(delta)
+            assert index.reached == reachable_from(index.graph, 0)
+
+
+class TestSpanningTree:
+    def test_tree_parents_are_edges(self):
+        from repro.graph.generators import label_alphabet, uniform_random_graph
+
+        graph = uniform_random_graph(40, 120, label_alphabet(3), seed=5)
+        tree = bfs_tree(graph, 0)
+        for node, parent in tree.items():
+            if parent is not None:
+                assert graph.has_edge(parent, node)
+
+    def test_non_tree_deletion_is_constant_time(self):
+        from repro.core.cost import CostMeter
+
+        # s -> a -> t and s -> t: (s, t) wins the BFS tree (depth 1), so
+        # deleting (a, t) is a non-tree deletion.
+        g = DiGraph(labels={n: "n" for n in "sat"},
+                    edges=[("s", "a"), ("a", "t"), ("s", "t")])
+        index = ReachabilityIndex(g, "s")
+        assert index.parent["t"] == "s"
+        meter = CostMeter()
+        index.meter = meter
+        index.apply(Delta([delete("a", "t")]))
+        assert index.reached == {"s", "a", "t"}
+        assert meter.node_visits <= 1  # the O(1) fast path

@@ -1,0 +1,141 @@
+"""Tests for Δ-reductions (Lemma 2) and the Theorem 1 gadget witnesses."""
+
+import pytest
+
+from repro.core.delta import Delta, delete, insert
+from repro.core.ssrp import ReachabilityIndex, reachable_from
+from repro.graph.generators import label_alphabet, uniform_random_graph
+from repro.graph.updates import random_delta
+from repro.rpq import matches_only
+from repro.theory import (
+    RPQ_GADGET_QUERY,
+    SSRPInstance,
+    SSRPToRPQ,
+    measure_kws_witness,
+    measure_rpq_witness,
+    measure_scc_witness,
+    measure_ssrp_deletion_witness,
+    rpq_two_cycle_gadget,
+    solve_ssrp_via_rpq,
+    solve_ssrp_via_scc,
+    ssrp_chain_gadget,
+)
+
+ALPHABET = label_alphabet(4)
+
+
+def direct_ssrp_delta(instance: SSRPInstance, delta: Delta):
+    """Ground truth: run the dedicated SSRP index."""
+    index = ReachabilityIndex(instance.graph.copy(), instance.source)
+    return index.apply(delta)
+
+
+class TestSSRPToRPQ:
+    def test_instance_mapping_reflects_reachability(self):
+        graph = uniform_random_graph(25, 60, ALPHABET, seed=1)
+        instance = SSRPInstance(graph, source=0)
+        rpq_graph, query = SSRPToRPQ().map_instance(instance)
+        matches = matches_only(rpq_graph, query)
+        reached_via_rpq = {target for source, target in matches if source == 0}
+        assert reached_via_rpq == reachable_from(graph, 0)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_end_to_end_reduction_property(self, seed):
+        # the defining Δ-reduction equation: f_o(ΔO2) == ΔO1
+        graph = uniform_random_graph(20, 50, ALPHABET, seed=seed)
+        instance = SSRPInstance(graph.copy(), source=0)
+        delta = random_delta(graph, 12, seed=seed)
+        expected = direct_ssrp_delta(instance, delta)
+        via_rpq = solve_ssrp_via_rpq(
+            SSRPInstance(graph.copy(), source=0), delta
+        )
+        assert via_rpq == expected
+
+    def test_unit_deletion_case(self):
+        # the paper's Theorem 1 case: unboundedness transported under
+        # unit deletions — the reduction must be exact there.
+        graph = uniform_random_graph(20, 60, ALPHABET, seed=9)
+        edge = next(iter(graph.edges()))
+        delta = Delta([delete(*edge)])
+        expected = direct_ssrp_delta(SSRPInstance(graph.copy(), 0), delta)
+        via_rpq = solve_ssrp_via_rpq(SSRPInstance(graph.copy(), 0), delta)
+        assert via_rpq == expected
+
+
+class TestSSRPToSCC:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_end_to_end_reduction_property(self, seed):
+        graph = uniform_random_graph(18, 45, ALPHABET, seed=100 + seed)
+        delta = random_delta(graph, 10, seed=seed)
+        expected = direct_ssrp_delta(SSRPInstance(graph.copy(), 0), delta)
+        via_scc = solve_ssrp_via_scc(SSRPInstance(graph.copy(), 0), delta)
+        assert via_scc == expected
+
+    def test_gaining_reachability(self):
+        from repro.graph import DiGraph
+
+        g = DiGraph(labels={0: "n", 1: "n", 2: "n"}, edges=[(1, 2)])
+        delta = Delta([insert(0, 1)])
+        gained, lost = solve_ssrp_via_scc(SSRPInstance(g.copy(), 0), delta)
+        assert gained == {1, 2}
+        assert lost == set()
+
+    def test_losing_reachability(self):
+        from repro.graph import DiGraph
+
+        g = DiGraph(labels={0: "n", 1: "n", 2: "n"}, edges=[(0, 1), (1, 2)])
+        delta = Delta([delete(0, 1)])
+        gained, lost = solve_ssrp_via_scc(SSRPInstance(g.copy(), 0), delta)
+        assert gained == set()
+        assert lost == {1, 2}
+
+
+class TestFig9Gadget:
+    def test_match_evolution(self):
+        # Q(G) = Q(G+Δ1) = Q(G+Δ2) = ∅; Q(G+Δ1+Δ2) = {(v_i, w)}.
+        n = 4
+        gadget = rpq_two_cycle_gadget(n)
+        graph = gadget.graph
+        assert matches_only(graph, RPQ_GADGET_QUERY) == set()
+        after_first = gadget.first_update.applied(graph)
+        assert matches_only(after_first, RPQ_GADGET_QUERY) == set()
+        after_second_only = gadget.second_update.applied(graph)
+        assert matches_only(after_second_only, RPQ_GADGET_QUERY) == set()
+        both = gadget.second_update.applied(after_first)
+        matches = matches_only(both, RPQ_GADGET_QUERY)
+        assert matches == {(("v", i), "w") for i in range(1, 2 * n + 1)}
+
+    def test_witness_cost_grows_while_changed_constant(self):
+        points = measure_rpq_witness([4, 8, 16, 32])
+        assert all(point.changed == 1 for point in points)
+        assert points[-1].cost > 4 * points[0].cost
+
+    def test_gadget_validation(self):
+        with pytest.raises(ValueError):
+            rpq_two_cycle_gadget(1)
+
+
+class TestOtherWitnesses:
+    def test_ssrp_chain_gadget_semantics(self):
+        gadget = ssrp_chain_gadget(6)
+        index = ReachabilityIndex(gadget.graph.copy(), "s")
+        before = dict(index.answer())
+        gained, lost = index.apply(gadget.first_update)
+        assert (gained, lost) == (set(), set())  # bypass keeps everything
+        assert index.answer() == before
+
+    def test_ssrp_deletion_witness_grows(self):
+        points = measure_ssrp_deletion_witness([8, 16, 32, 64])
+        assert all(point.changed == 1 for point in points)
+        assert points[-1].cost > 3 * points[0].cost
+
+    def test_scc_witness_grows(self):
+        points = measure_scc_witness([8, 16, 32, 64])
+        assert all(point.changed == 1 for point in points)
+        assert points[-1].cost > 3 * points[0].cost
+
+    def test_kws_witness_changed_stays_small(self):
+        points = measure_kws_witness([4, 8, 16], bound=4)
+        # ΔO is a single rerouted root regardless of fan width
+        assert all(point.changed <= 2 for point in points)
+        assert points[-1].cost >= points[0].cost

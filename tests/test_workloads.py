@@ -1,0 +1,152 @@
+"""Tests for dataset profiles and query generators (Section 6 workloads)."""
+
+import pytest
+
+from repro.graph.stats import label_histogram, profile
+from repro.iso import vf2_matches
+from repro.kws import compute_kdist
+from repro.rpq import glushkov
+from repro.workloads import (
+    DBPEDIA_SPEC,
+    ISO_GRID,
+    KWS_GRID,
+    LIVEJ_SPEC,
+    QueryGenerationError,
+    RPQ_SIZE_GRID,
+    by_name,
+    dbpedia_like,
+    livej_like,
+    random_kws_queries,
+    random_patterns,
+    random_rpq_queries,
+    synthetic,
+)
+
+
+class TestDatasets:
+    def test_dbpedia_profile(self):
+        graph = dbpedia_like(scale=0.25, seed=1)
+        shape = profile(graph)
+        assert shape.num_edges / shape.num_nodes == pytest.approx(
+            DBPEDIA_SPEC.edge_node_ratio, rel=0.05
+        )
+        # heavy label skew: the top label dominates the uniform share
+        histogram = label_histogram(graph)
+        top = histogram.most_common(1)[0][1]
+        assert top > 3 * shape.num_nodes / DBPEDIA_SPEC.alphabet_size
+
+    def test_dbpedia_has_hubs(self):
+        graph = dbpedia_like(scale=0.25, seed=2)
+        shape = profile(graph)
+        average_in_degree = shape.num_edges / shape.num_nodes
+        assert shape.max_in_degree > 4 * average_in_degree
+
+    def test_livej_profile_has_giant_scc(self):
+        graph = livej_like(scale=0.25, seed=3)
+        shape = profile(graph)
+        assert shape.max_scc_fraction >= LIVEJ_SPEC.giant_scc_min
+        assert shape.num_edges / shape.num_nodes == pytest.approx(
+            LIVEJ_SPEC.edge_node_ratio, rel=0.05
+        )
+
+    def test_synthetic_profile(self):
+        graph = synthetic(scale=0.25, seed=4)
+        shape = profile(graph)
+        assert shape.num_edges == 2 * shape.num_nodes
+
+    def test_scaling(self):
+        small = synthetic(scale=0.2, seed=5)
+        large = synthetic(scale=1.0, seed=5)
+        assert large.num_nodes == 5 * small.num_nodes
+
+    def test_by_name(self):
+        assert by_name("synthetic", scale=0.1).num_nodes > 0
+        with pytest.raises(ValueError):
+            by_name("wikipedia")
+
+    def test_determinism(self):
+        assert dbpedia_like(scale=0.1, seed=7) == dbpedia_like(scale=0.1, seed=7)
+
+
+class TestKWSGenerator:
+    def test_shapes(self):
+        graph = synthetic(scale=0.2, seed=1)
+        for m, bound in KWS_GRID:
+            queries = random_kws_queries(graph, 3, m, bound, seed=m)
+            assert len(queries) == 3
+            for query in queries:
+                assert query.m == m
+                assert query.bound == bound
+
+    def test_keywords_exist_in_graph(self):
+        graph = synthetic(scale=0.2, seed=2)
+        labels = set(label_histogram(graph))
+        for query in random_kws_queries(graph, 5, 3, 2, seed=3):
+            assert set(query.keywords) <= labels
+
+    def test_queries_usually_have_matches(self):
+        graph = synthetic(scale=0.3, seed=4)
+        hits = 0
+        for query in random_kws_queries(graph, 5, 2, 3, seed=5):
+            if compute_kdist(graph, query).complete_roots():
+                hits += 1
+        assert hits >= 3
+
+    def test_too_many_keywords(self):
+        graph = synthetic(scale=0.1, seed=6)
+        with pytest.raises(QueryGenerationError):
+            random_kws_queries(graph, 1, 10_000, 2)
+
+
+class TestRPQGenerator:
+    def test_size_and_operators(self):
+        graph = synthetic(scale=0.2, seed=1)
+        for size in RPQ_SIZE_GRID:
+            for query in random_rpq_queries(graph, 3, size, stars=1, unions=1, seed=size):
+                assert query.size == size
+
+    def test_star_count_controls_shape(self):
+        graph = synthetic(scale=0.2, seed=2)
+        queries = random_rpq_queries(graph, 5, 5, stars=2, unions=1, seed=3)
+        # every query must still compile to an NFA of size+1 states
+        for query in queries:
+            assert glushkov(query).num_states == 6
+
+    def test_validation(self):
+        graph = synthetic(scale=0.1, seed=3)
+        with pytest.raises(QueryGenerationError):
+            random_rpq_queries(graph, 1, 0)
+        with pytest.raises(QueryGenerationError):
+            random_rpq_queries(graph, 1, 2, unions=2)
+
+    def test_determinism(self):
+        graph = synthetic(scale=0.1, seed=4)
+        a = random_rpq_queries(graph, 3, 4, seed=9)
+        b = random_rpq_queries(graph, 3, 4, seed=9)
+        assert a == b
+
+
+class TestISOGenerator:
+    def test_shapes(self):
+        graph = synthetic(scale=0.3, seed=1)
+        for num_nodes, num_edges, diameter in ISO_GRID[:3]:
+            patterns = random_patterns(
+                graph, 2, num_nodes, num_edges, diameter, seed=num_nodes
+            )
+            for pattern in patterns:
+                assert pattern.shape() == (num_nodes, num_edges, diameter)
+
+    def test_minimal_patterns_tend_to_match(self):
+        # with |E_Q| = |V_Q| - 1 every pattern edge is sampled from the
+        # graph, so such patterns are guaranteed at least one match.
+        graph = synthetic(scale=0.3, seed=2)
+        patterns = random_patterns(graph, 3, 3, 2, 2, seed=3)
+        hits = sum(1 for p in patterns if vf2_matches(graph, p))
+        assert hits >= 2
+
+    def test_validation(self):
+        graph = synthetic(scale=0.1, seed=4)
+        with pytest.raises(QueryGenerationError):
+            random_patterns(graph, 1, 4, 2, 1)  # < n-1 edges
+        with pytest.raises(QueryGenerationError):
+            random_patterns(graph, 1, 3, 7, 1)  # > n(n-1) edges

@@ -1,5 +1,6 @@
 #!/usr/bin/env python
-"""Fraud-ring detection on a transaction graph: IncSCC + IncISO together.
+"""Fraud-ring detection on a transaction graph: IncSCC + IncISO fanned
+out from one :class:`repro.engine.Engine` session.
 
 Scenario: accounts transact continuously; compliance wants two standing
 queries maintained under the update stream —
@@ -10,8 +11,12 @@ queries maintained under the update stream —
 2. **a fan-in motif**: two mules paying the same *shell* account which
    pays a *bank* — maintained by the localizable IncISO.
 
-Each round applies a batch of transaction edits incrementally and
-cross-checks against recomputation (Tarjan / VF2).
+Both detectors register against one engine over a *single* authoritative
+graph — the update batch is validated once, applied once, and each view
+repairs itself.  Each round cross-checks against recomputation (Tarjan /
+VF2); at the end, the whole stream is rolled back through
+``Delta.inverted()`` and both views arrive at the starting answers
+without a rebuild — the investigation can replay history at will.
 
 Run:  python examples/fraud_ring_detection.py
 """
@@ -19,7 +24,7 @@ Run:  python examples/fraud_ring_detection.py
 import random
 import time
 
-from repro import Delta, DiGraph, delete, insert
+from repro import Delta, DiGraph, Engine, delete, insert
 from repro.iso import ISOIndex, Pattern, vf2_matches
 from repro.scc import SCCIndex, tarjan_scc
 
@@ -109,34 +114,41 @@ def main() -> None:
     )
     print(f"transaction graph: {graph}")
 
-    scc_index = SCCIndex(graph.copy())
-    iso_index = ISOIndex(graph.copy(), fan_in_pattern())
+    engine = Engine(graph)
+    scc_index = engine.register("rings", lambda g, meter: SCCIndex(g, meter=meter))
+    iso_index = engine.register(
+        "motifs", lambda g, meter: ISOIndex(g, fan_in_pattern(), meter=meter)
+    )
+    initial_rings = len(suspicious_rings(scc_index))
+    initial_motifs = len(iso_index.matches)
     print(
-        f"initial state: {len(suspicious_rings(scc_index))} suspicious rings, "
-        f"{len(iso_index.matches)} fan-in motifs"
+        f"initial state: {initial_rings} suspicious rings, "
+        f"{initial_motifs} fan-in motifs"
     )
 
+    mark = engine.checkpoint()
     inc_time = 0.0
     batch_time = 0.0
     for round_number in range(1, 6):
-        delta = churn(scc_index.graph, 60, seed=40 + round_number)
+        delta = churn(engine.graph, 60, seed=40 + round_number)
 
         started = time.perf_counter()
-        scc_added, scc_removed = scc_index.apply(delta)
-        iso_delta = iso_index.apply(delta)
+        report = engine.apply(delta)  # one batch, both detectors repaired
         inc_time += time.perf_counter() - started
 
         started = time.perf_counter()
-        expected_components = tarjan_scc(scc_index.graph).partition()
-        expected_matches = vf2_matches(iso_index.graph, iso_index.pattern)
+        expected_components = tarjan_scc(engine.graph).partition()
+        expected_matches = vf2_matches(engine.graph, iso_index.pattern)
         batch_time += time.perf_counter() - started
 
         assert scc_index.components() == expected_components
         assert iso_index.matches == expected_matches
 
+        scc_added, scc_removed = report.output("rings")
+        iso_delta = report.output("motifs")
         rings = suspicious_rings(scc_index)
         print(
-            f"round {round_number}: |ΔG|={len(delta)}  "
+            f"round {round_number}: |ΔG|={len(report.delta)}  "
             f"components {'+' + str(len(scc_added)):>3}/-{len(scc_removed)}  "
             f"motifs +{len(iso_delta.added)}/-{len(iso_delta.removed)}  "
             f"-> {len(rings)} rings, {len(iso_index.matches)} motifs"
@@ -148,6 +160,19 @@ def main() -> None:
         f"cumulative: incremental {inc_time * 1e3:.1f} ms vs "
         f"recompute {batch_time * 1e3:.1f} ms "
         f"({batch_time / max(inc_time, 1e-9):.1f}x)"
+    )
+
+    # ------------------------------------------------------------------
+    # Replay: undo the whole stream via Delta.inverted(), no rebuild.
+    # ------------------------------------------------------------------
+    engine.rollback(mark)
+    assert scc_index.components() == tarjan_scc(engine.graph).partition()
+    assert iso_index.matches == vf2_matches(engine.graph, iso_index.pattern)
+    assert len(suspicious_rings(scc_index)) == initial_rings
+    assert len(iso_index.matches) == initial_motifs
+    print(
+        f"rolled back {5} rounds: {len(suspicious_rings(scc_index))} rings, "
+        f"{len(iso_index.matches)} motifs — matches the initial state"
     )
 
 

@@ -1,26 +1,33 @@
 #!/usr/bin/env python
-"""Keyword-search monitoring over an evolving social graph.
+"""Keyword-search + path monitoring over an evolving social graph,
+driven through one :class:`repro.engine.Engine` session.
 
 Scenario (the paper's motivating KWS workload): a social network where
-edges (follows, mentions) churn continuously, and an application keeps an
-always-fresh answer to "which users have both a *musician* and a *label*
-within 2 hops?" — e.g. for talent-scout alerting.
+edges (follows, mentions) churn continuously, and an application keeps
+*two* always-fresh standing queries —
 
-The script streams batches of updates through :class:`repro.kws.KWSIndex`
-(the paper's IncKWS), reports ΔO per batch, compares the cumulative
-incremental cost against recomputing with the batch algorithm each round,
-and finally widens the search bound in place via the snapshot mechanism of
-Section 4.2's Remark.
+1. **talent scouting** (KWS): which users have both a *musician* and a
+   *label* within 2 hops?
+2. **reachability watch** (RPQ): which user pairs are connected by a
+   path matching ``musician label*``?
+
+Both views register against a single engine owning one authoritative
+graph; every round, one ``engine.apply(ΔG)`` normalizes the batch once,
+applies ``G ⊕ ΔG`` once, and fans the update out to both views — each
+reporting its own ΔO and per-batch cost.  The run cross-checks against
+from-scratch recomputation, then widens the KWS bound in place via the
+snapshot mechanism of Section 4.2's Remark.
 
 Run:  python examples/social_stream_monitor.py
 """
 
 import time
 
-from repro import CostMeter
+from repro import Engine
 from repro.graph.updates import random_delta
-from repro.kws import KWSIndex, KWSQuery, batch_kws
+from repro.kws import KWSIndex, batch_kws
 from repro.kws.snapshot import extend_bound, profile_with_bound
+from repro.rpq import RPQIndex, rpq_nfa
 from repro.workloads import livej_like, random_kws_queries
 
 ROUNDS = 6
@@ -32,35 +39,48 @@ def main() -> None:
     print(f"social graph: {graph}")
 
     query = random_kws_queries(graph, count=1, m=2, bound=2, seed=7)[0]
-    print(f"watching keywords {query.keywords} within {query.bound} hops\n")
+    musician, label = query.keywords[0], query.keywords[1]
+    regex = f"{musician} {label}*"
+    print(f"watching keywords {query.keywords} within {query.bound} hops")
+    print(f"watching paths matching {regex!r}\n")
 
-    meter = CostMeter()
-    index = KWSIndex(graph, query, meter=meter)
-    print(f"initial matches: {len(index.roots())} roots")
-    build_cost = meter.total()
-    meter.reset()
+    engine = Engine(graph)
+    kws = engine.register("kws", lambda g, meter: KWSIndex(g, query, meter=meter))
+    rpq = engine.register("rpq", lambda g, meter: RPQIndex(g, regex, meter=meter))
+    print(
+        f"initial matches: {len(kws.roots())} roots, {len(rpq.matches)} path pairs"
+    )
+    build_cost = engine.meter("kws").total() + engine.meter("rpq").total()
+    for name in engine.names():
+        engine.meter(name).reset()
 
     incremental_seconds = 0.0
     batch_seconds = 0.0
     batch_size = round(graph.num_edges * BATCH_FRACTION)
 
     for round_number in range(1, ROUNDS + 1):
-        delta = random_delta(index.graph, batch_size, seed=100 + round_number)
+        delta = random_delta(engine.graph, batch_size, seed=100 + round_number)
 
         started = time.perf_counter()
-        delta_o = index.apply(delta)
+        report = engine.apply(delta)  # one G ⊕ ΔG, both views repaired
         incremental_seconds += time.perf_counter() - started
 
         started = time.perf_counter()
-        fresh = batch_kws(index.graph, query)  # what a recompute would cost
+        fresh_roots = batch_kws(engine.graph, query)  # recompute comparators
+        fresh_pairs = rpq_nfa(engine.graph, regex).matches
         batch_seconds += time.perf_counter() - started
 
-        assert set(fresh) == index.roots(), "incremental diverged from batch!"
+        assert set(fresh_roots) == kws.roots(), "KWS diverged from batch!"
+        assert fresh_pairs == rpq.matches, "RPQ diverged from batch!"
+        kws_delta = report.output("kws")
+        rpq_delta = report.output("rpq")
         print(
-            f"round {round_number}: |ΔG|={len(delta)}  "
-            f"+{len(delta_o.added)} roots, -{len(delta_o.removed)}, "
-            f"~{len(delta_o.rerouted)} rerouted   "
-            f"(total roots: {len(index.roots())})"
+            f"round {round_number}: |ΔG|={len(report.delta)}  "
+            f"kws +{len(kws_delta.added)}/-{len(kws_delta.removed)} "
+            f"(~{len(kws_delta.rerouted)} rerouted, "
+            f"{report.cost('kws').total()} events)  "
+            f"rpq +{len(rpq_delta.added)}/-{len(rpq_delta.removed)} "
+            f"({report.cost('rpq').total()} events)"
         )
 
     print(
@@ -68,8 +88,9 @@ def main() -> None:
         f"recompute-every-round {batch_seconds * 1e3:.1f} ms "
         f"({batch_seconds / max(incremental_seconds, 1e-9):.1f}x)"
     )
+    maintained = sum(engine.meter(name).total() for name in engine.names())
     print(
-        f"incremental work since build: {meter.total():,} events "
+        f"incremental work since build: {maintained:,} events "
         f"(initial build was {build_cost:,})"
     )
 
@@ -77,13 +98,13 @@ def main() -> None:
     # Widening the radius without recomputation (Section 4.2, Remark)
     # ------------------------------------------------------------------
     wider = query.bound + 2
-    before = len(index.roots())
-    delta_o = extend_bound(index, wider)
+    before = len(kws.roots())
+    delta_o = extend_bound(kws, wider)
     print(
         f"\nextended bound {query.bound} -> {wider} in place: "
-        f"{before} -> {len(index.roots())} roots (+{len(delta_o.added)})"
+        f"{before} -> {len(kws.roots())} roots (+{len(delta_o.added)})"
     )
-    narrow_again = profile_with_bound(index, query.bound)
+    narrow_again = profile_with_bound(kws, query.bound)
     assert len(narrow_again) == before, "narrow view must match the old answer"
     print(f"narrow view at bound {query.bound} still answerable: {len(narrow_again)} roots")
 

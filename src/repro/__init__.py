@@ -27,16 +27,28 @@ Quickstart::
 
 from repro.core.cost import CostLedger, CostMeter
 from repro.core.delta import Delta, InvalidDeltaError, Update, delete, insert
+from repro.engine import (
+    Engine,
+    EngineError,
+    EngineReport,
+    IncrementalSession,
+    IncrementalView,
+)
 from repro.graph.digraph import DiGraph
 from repro.graph.updates import delta_fraction, random_delta
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CostLedger",
     "CostMeter",
     "Delta",
     "DiGraph",
+    "Engine",
+    "EngineError",
+    "EngineReport",
+    "IncrementalSession",
+    "IncrementalView",
     "InvalidDeltaError",
     "Update",
     "delete",

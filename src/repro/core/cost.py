@@ -125,6 +125,22 @@ class CostSnapshot:
     def total(self) -> int:
         return self.node_visits + self.edges_traversed + self.writes + self.pq_ops
 
+    def since(self, earlier: "CostSnapshot") -> "CostSnapshot":
+        """Counter-wise difference against an ``earlier`` snapshot of the
+        same meter — the cost of the work between the two snapshots.
+
+        ``distinct_nodes`` diffs as *newly* touched distinct nodes (the
+        meter's touched set only grows), a lower bound on the distinct
+        nodes the interval visited.
+        """
+        return CostSnapshot(
+            node_visits=self.node_visits - earlier.node_visits,
+            distinct_nodes=max(0, self.distinct_nodes - earlier.distinct_nodes),
+            edges_traversed=self.edges_traversed - earlier.edges_traversed,
+            writes=self.writes - earlier.writes,
+            pq_ops=self.pq_ops - earlier.pq_ops,
+        )
+
 
 @dataclass
 class CostLedger:

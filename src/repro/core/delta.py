@@ -144,6 +144,11 @@ class Delta:
         whichever kind is in excess (matching the net effect on a simple
         graph where the batch is applicable); the *last* occurrence's labels
         win for inserts.
+
+        A net balance of magnitude > 1 (e.g. two inserts of the same edge
+        with no delete between them) can never apply to a simple graph, so
+        it raises :class:`InvalidDeltaError` instead of emitting duplicate
+        unit updates that would fail later and further from the cause.
         """
         from collections import Counter
 
@@ -161,11 +166,16 @@ class Delta:
             balance = net[edge]
             if balance == 0:
                 continue
+            if abs(balance) > 1:
+                kind = "insertions" if balance > 0 else "deletions"
+                raise InvalidDeltaError(
+                    f"edge {edge!r} has a net balance of {abs(balance)} "
+                    f"{kind}; no simple graph can absorb the batch"
+                )
             if balance > 0:
-                template = label_source[edge]
-                result.extend([template] * balance)
+                result.append(label_source[edge])
             else:
-                result.extend([delete(*edge)] * (-balance))
+                result.append(delete(*edge))
         return Delta(result)
 
     def inverted(self) -> "Delta":

@@ -1,0 +1,32 @@
+"""Unified incremental engine: one graph, one ΔG stream, many views.
+
+The subsystem has two layers:
+
+* :mod:`repro.engine.view` — the :class:`IncrementalView` protocol the
+  four query-class indexes implement (``insert_edge`` / ``delete_edge`` /
+  ``apply`` / ``absorb``);
+* :mod:`repro.engine.session` — the :class:`Engine` (alias
+  :class:`IncrementalSession`) that owns the authoritative graph,
+  normalizes and validates each incoming batch once, applies ``G ⊕ ΔG``
+  once, fans the update out to every registered view, and supports
+  checkpoint/rollback via :meth:`~repro.core.delta.Delta.inverted`.
+"""
+
+from repro.engine.session import (
+    Engine,
+    EngineError,
+    EngineReport,
+    ViewReport,
+)
+from repro.engine.view import IncrementalView
+
+IncrementalSession = Engine
+
+__all__ = [
+    "Engine",
+    "EngineError",
+    "EngineReport",
+    "IncrementalSession",
+    "IncrementalView",
+    "ViewReport",
+]

@@ -1,0 +1,281 @@
+"""The incremental engine: one authoritative graph, many maintained views.
+
+The paper's central promise is that a single stream of updates ΔG can
+maintain *many* query answers with bounded / localizable work.  The
+:class:`Engine` realizes that promise architecturally:
+
+* it owns the single authoritative :class:`~repro.graph.digraph.DiGraph`;
+* views (:class:`~repro.engine.view.IncrementalView` implementations —
+  KWS, RPQ, SCC, ISO indexes) register against it and share that graph
+  object instead of each owning a copy;
+* :meth:`Engine.apply` validates and normalizes an incoming
+  :class:`~repro.core.delta.Delta` **once**, applies ``G ⊕ ΔG`` to the
+  shared graph **once**, and fans the batch out to every view's
+  ``absorb`` hook — so N views over one graph no longer pay N graph
+  mutations — collecting each view's ΔO and per-view cost into one
+  :class:`EngineReport`;
+* :meth:`Engine.checkpoint` / :meth:`Engine.rollback` undo applied
+  batches through :meth:`Delta.inverted`, repairing every view along the
+  way — no view ever needs to be rebuilt.
+
+Example::
+
+    engine = Engine(graph)
+    engine.register("kws", lambda g, meter: KWSIndex(g, query, meter=meter))
+    engine.register("scc", lambda g, meter: SCCIndex(g, meter=meter))
+    report = engine.apply(delta)          # one G ⊕ ΔG, every view repaired
+    report.output("kws")                  # this view's ΔO
+    report.cost("scc").total()            # work this view spent on the batch
+
+``IncrementalSession`` is an alias for :class:`Engine` — "session"
+emphasizes the checkpoint/rollback lifecycle, "engine" the fan-out.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+from typing import Any, Optional, Union
+
+from repro.core.cost import CostMeter, CostSnapshot, NULL_METER
+from repro.core.delta import Delta, InvalidDeltaError, Update, concat, delete, insert
+from repro.engine.view import IncrementalView
+from repro.graph.digraph import DiGraph, Label, Node
+
+ViewFactory = Callable[[DiGraph, CostMeter], IncrementalView]
+
+
+class EngineError(RuntimeError):
+    """A view registration or session operation is invalid."""
+
+
+@dataclass(frozen=True)
+class ViewReport:
+    """One view's contribution to a batch: its ΔO and the work it cost."""
+
+    name: str
+    output: Any
+    cost: CostSnapshot
+
+
+@dataclass(frozen=True)
+class EngineReport:
+    """Combined result of one ``engine.apply``: ΔG in, every view's ΔO out."""
+
+    delta: Delta
+    new_nodes: frozenset[Node]
+    views: dict[str, ViewReport] = field(default_factory=dict)
+
+    def output(self, name: str) -> Any:
+        """The named view's ΔO for this batch."""
+        return self.views[name].output
+
+    def cost(self, name: str) -> CostSnapshot:
+        """The named view's cost for this batch."""
+        return self.views[name].cost
+
+    def total_cost(self) -> int:
+        """Summed work across all views (one scalar per batch)."""
+        return sum(report.cost.total() for report in self.views.values())
+
+    def __iter__(self):
+        return iter(self.views.values())
+
+
+class Engine:
+    """One authoritative graph with registered incremental views.
+
+    See the module docstring for the architecture; the class itself is a
+    thin, deterministic coordinator — all the incremental cleverness lives
+    in the views.
+    """
+
+    def __init__(self, graph: Optional[DiGraph] = None) -> None:
+        self.graph = graph if graph is not None else DiGraph()
+        self._views: dict[str, IncrementalView] = {}
+        self._meters: dict[str, CostMeter] = {}
+        self._history: list[Delta] = []
+
+    # ------------------------------------------------------------------
+    # View registration
+    # ------------------------------------------------------------------
+
+    def register(self, name: str, factory: ViewFactory) -> IncrementalView:
+        """Build a view over the shared graph and register it.
+
+        ``factory(graph, meter)`` must construct the view *on that graph
+        object* (not a copy); the engine supplies a dedicated
+        :class:`CostMeter` so per-view cost accounting comes for free.
+        """
+        self._check_name_free(name)
+        meter = CostMeter()
+        view = factory(self.graph, meter)
+        return self._admit(name, view, meter)
+
+    def attach(self, name: str, view: IncrementalView) -> IncrementalView:
+        """Register an already-constructed view.
+
+        The view must have been built over the engine's graph object.  A
+        view constructed with the default ``NULL_METER`` is given a real
+        meter so its per-batch costs are still accounted.
+        """
+        self._check_name_free(name)
+        meter = view.meter
+        if meter is NULL_METER or not isinstance(meter, CostMeter):
+            meter = CostMeter()
+            view.meter = meter
+        return self._admit(name, view, meter)
+
+    def _admit(
+        self, name: str, view: IncrementalView, meter: CostMeter
+    ) -> IncrementalView:
+        if getattr(view, "graph", None) is not self.graph:
+            raise EngineError(
+                f"view {name!r} was built over its own graph copy; engine views "
+                "must share the session graph (pass the factory's graph argument "
+                "to the index constructor)"
+            )
+        if not isinstance(view, IncrementalView):
+            raise EngineError(
+                f"view {name!r} does not implement the IncrementalView protocol "
+                "(insert_edge / delete_edge / apply / absorb)"
+            )
+        self._views[name] = view
+        self._meters[name] = meter
+        return view
+
+    def _check_name_free(self, name: str) -> None:
+        if name in self._views:
+            raise EngineError(f"a view named {name!r} is already registered")
+
+    def view(self, name: str) -> IncrementalView:
+        try:
+            return self._views[name]
+        except KeyError:
+            raise EngineError(f"no view named {name!r} is registered") from None
+
+    def meter(self, name: str) -> CostMeter:
+        """The named view's cumulative cost meter (across all batches)."""
+        self.view(name)
+        return self._meters[name]
+
+    def names(self) -> list[str]:
+        """Registered view names, in registration order."""
+        return list(self._views)
+
+    def __getitem__(self, name: str) -> IncrementalView:
+        return self.view(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._views
+
+    def __len__(self) -> int:
+        return len(self._views)
+
+    # ------------------------------------------------------------------
+    # The batching path: validate once, mutate once, fan out
+    # ------------------------------------------------------------------
+
+    def apply(self, delta: Union[Delta, Iterable[Update]]) -> EngineReport:
+        """Apply ``G ⊕ ΔG`` once and repair every registered view.
+
+        The batch is normalized (raising
+        :class:`~repro.core.delta.InvalidDeltaError` on un-applicable net
+        balances) and validated against the current graph *before* any
+        mutation, so a bad batch leaves graph and views untouched.
+        """
+        if not isinstance(delta, Delta):
+            delta = Delta(list(delta))
+        if not delta.is_normalized():
+            delta = delta.normalized()
+        self._validate(delta)
+        report = self._fan_out(delta)
+        self._history.append(delta)
+        return report
+
+    def insert_edge(
+        self,
+        source: Node,
+        target: Node,
+        source_label: Label = "",
+        target_label: Label = "",
+    ) -> EngineReport:
+        """Unit insertion through the session (a one-update batch)."""
+        return self.apply(Delta([insert(source, target, source_label, target_label)]))
+
+    def delete_edge(self, source: Node, target: Node) -> EngineReport:
+        """Unit deletion through the session."""
+        return self.apply(Delta([delete(source, target)]))
+
+    def _validate(self, delta: Delta) -> None:
+        """Check sequence-order applicability without mutating anything."""
+        overlay_added: set = set()
+        overlay_removed: set = set()
+        for position, update in enumerate(delta):
+            edge = update.edge
+            exists = edge in overlay_added or (
+                edge not in overlay_removed and self.graph.has_edge(*edge)
+            )
+            if update.is_insert and exists:
+                raise InvalidDeltaError(
+                    f"update #{position} ({update}) inserts an edge that "
+                    "already exists"
+                )
+            if update.is_delete and not exists:
+                raise InvalidDeltaError(
+                    f"update #{position} ({update}) deletes an edge that "
+                    "does not exist"
+                )
+            if update.is_insert:
+                overlay_added.add(edge)
+                overlay_removed.discard(edge)
+            else:
+                overlay_removed.add(edge)
+                overlay_added.discard(edge)
+
+    def _fan_out(self, delta: Delta) -> EngineReport:
+        new_nodes = frozenset(
+            node for node in delta.touched_nodes() if node not in self.graph
+        )
+        delta.apply_to(self.graph)  # the single G ⊕ ΔG
+        views: dict[str, ViewReport] = {}
+        for name, view in self._views.items():
+            meter = self._meters[name]
+            before = meter.snapshot()
+            output = view.absorb(delta, new_nodes)
+            views[name] = ViewReport(name, output, meter.snapshot().since(before))
+        return EngineReport(delta=delta, new_nodes=new_nodes, views=views)
+
+    # ------------------------------------------------------------------
+    # Checkpoint / rollback (Delta.inverted)
+    # ------------------------------------------------------------------
+
+    @property
+    def applied_count(self) -> int:
+        """Number of batches applied (and not rolled back) so far."""
+        return len(self._history)
+
+    def checkpoint(self) -> int:
+        """Mark the current state; pass the mark to :meth:`rollback`."""
+        return len(self._history)
+
+    def rollback(self, checkpoint: int = 0) -> EngineReport:
+        """Undo every batch applied since ``checkpoint``.
+
+        The undo is the concatenation of the inverted batches in reverse
+        order, normalized (so an edge inserted then deleted across the
+        window cancels) and pushed through the same fan-out path — every
+        view repairs incrementally, nothing is rebuilt.  Nodes introduced
+        by rolled-back batches stay in the graph as isolated nodes (edge
+        deletion never removes endpoints).
+        """
+        if not 0 <= checkpoint <= len(self._history):
+            raise EngineError(
+                f"checkpoint {checkpoint} is out of range "
+                f"(0..{len(self._history)})"
+            )
+        undo = concat(
+            batch.inverted() for batch in reversed(self._history[checkpoint:])
+        ).normalized()
+        self._history = self._history[:checkpoint]
+        return self._fan_out(undo)

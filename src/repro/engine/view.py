@@ -1,0 +1,55 @@
+"""The :class:`IncrementalView` protocol — the contract every maintained
+query answer implements so one update stream can drive many views.
+
+A view owns auxiliary structures (kdist lists, pmark markings, a
+condensation, a match index) over a :class:`~repro.graph.digraph.DiGraph`
+and keeps its answer Q(G) current under updates.  The four query classes
+of the paper — :class:`~repro.kws.KWSIndex`,
+:class:`~repro.rpq.RPQIndex`, :class:`~repro.scc.SCCIndex` and
+:class:`~repro.iso.ISOIndex` — all satisfy the protocol:
+
+* ``insert_edge`` / ``delete_edge`` — unit updates, mutating the view's
+  graph and returning ΔO;
+* ``apply(delta)`` — the batch algorithm: mutate the graph once, repair
+  the auxiliaries, return ΔO;
+* ``absorb(delta, new_nodes)`` — the engine fan-out path: the *shared*
+  graph already holds ``G ⊕ ΔG`` (the engine applied the normalized batch
+  exactly once); the view repairs its auxiliaries without touching the
+  graph and returns ΔO.  ``new_nodes`` is the set of nodes the batch
+  introduced, which standalone ``apply`` discovers itself during
+  mutation.
+
+``absorb`` must be behaviorally identical to ``apply`` on the same
+normalized batch — the cross-view property tests enforce this by
+comparing every view's answer against from-scratch recomputation after
+randomized engine batches.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Set as AbstractSet
+from typing import Any, Protocol, runtime_checkable
+
+from repro.core.cost import CostMeter
+from repro.core.delta import Delta
+from repro.graph.digraph import DiGraph, Node
+
+
+@runtime_checkable
+class IncrementalView(Protocol):
+    """Structural protocol for incrementally maintained query answers."""
+
+    graph: DiGraph
+    meter: CostMeter
+
+    def insert_edge(self, source: Node, target: Node, **labels) -> Any:
+        """Unit insertion: mutate the graph, repair, return ΔO."""
+
+    def delete_edge(self, source: Node, target: Node) -> Any:
+        """Unit deletion: mutate the graph, repair, return ΔO."""
+
+    def apply(self, delta: Delta) -> Any:
+        """Batch update: mutate the graph once, repair, return ΔO."""
+
+    def absorb(self, delta: Delta, new_nodes: AbstractSet[Node]) -> Any:
+        """Repair against a graph that already holds ``G ⊕ ΔG``."""

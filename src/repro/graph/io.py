@@ -7,10 +7,21 @@ Format (one record per line, ``#`` comments allowed)::
     + <source> <target> [<source_label> <target_label>]   # delta insert
     - <source> <target>                                   # delta delete
 
-Node identifiers are written with ``repr``-free plain text; integers round-
-trip as integers, everything else as strings.  The format is deliberately
-trivial — it exists so examples can persist and reload scenario graphs and
-so failures in randomized tests can be dumped for inspection.
+(``write_delta`` always emits both insert labels — quoting makes the
+empty label representable — while ``read_delta`` also accepts the
+label-less 2-operand form.)
+
+Tokens are written bare when they are unambiguous; anything else — strings
+with whitespace, quotes, ``#``, the empty string, or strings that *look*
+like integers — is double-quoted with backslash escapes, so every value
+round-trips losslessly.  Bare integers round-trip as integers, quoted
+tokens always as strings.  Values that are neither ``int`` nor ``str``
+(tuples, floats, ...) raise :class:`SerializationError` at write time
+rather than coming back as something else.
+
+The format is deliberately trivial — it exists so examples can persist and
+reload scenario graphs and so failures in randomized tests can be dumped
+for inspection.
 """
 
 from __future__ import annotations
@@ -20,9 +31,20 @@ from pathlib import Path
 from typing import TextIO, Union
 
 from repro.core.delta import Delta, delete, insert
-from repro.graph.digraph import DEFAULT_LABEL, DiGraph
+from repro.graph.digraph import DiGraph
+from repro.graph.io_tokens import SerializationError, format_token, tokenize
 
 PathLike = Union[str, Path]
+
+__all__ = [
+    "FormatError",
+    "SerializationError",
+    "graph_to_string",
+    "read_delta",
+    "read_graph",
+    "write_delta",
+    "write_graph",
+]
 
 
 class FormatError(ValueError):
@@ -33,23 +55,17 @@ class FormatError(ValueError):
         self.line_number = line_number
 
 
-def _parse_node(token: str):
-    """Integers round-trip as ints; everything else stays a string."""
-    try:
-        return int(token)
-    except ValueError:
-        return token
-
-
 def write_graph(graph: DiGraph, destination: Union[PathLike, TextIO]) -> None:
     """Serialize ``graph`` (nodes first, then edges)."""
     stream, owned = _open(destination, "w")
     try:
         stream.write(f"# repro graph |V|={graph.num_nodes} |E|={graph.num_edges}\n")
         for node in graph.nodes():
-            stream.write(f"n {node} {graph.label(node)}\n")
+            stream.write(
+                f"n {format_token(node)} {format_token(graph.label(node))}\n"
+            )
         for source, target in graph.edges():
-            stream.write(f"e {source} {target}\n")
+            stream.write(f"e {format_token(source)} {format_token(target)}\n")
     finally:
         if owned:
             stream.close()
@@ -64,17 +80,19 @@ def read_graph(source: Union[PathLike, TextIO]) -> DiGraph:
             line = raw.strip()
             if not line or line.startswith("#"):
                 continue
-            fields = line.split()
+            fields = _fields(line_number, line)
             tag = fields[0]
             if tag == "n":
-                if len(fields) < 2:
-                    raise FormatError(line_number, line, "node record needs an id")
-                label = fields[2] if len(fields) > 2 else DEFAULT_LABEL
-                graph.add_node(_parse_node(fields[1]), label=label)
+                if len(fields) not in (2, 3):
+                    raise FormatError(
+                        line_number, line, "node record needs an id and at most a label"
+                    )
+                label = fields[2] if len(fields) == 3 else ""
+                graph.add_node(fields[1], label=label)
             elif tag == "e":
                 if len(fields) != 3:
                     raise FormatError(line_number, line, "edge record needs two endpoints")
-                graph.add_edge(_parse_node(fields[1]), _parse_node(fields[2]))
+                graph.add_edge(fields[1], fields[2])
             else:
                 raise FormatError(line_number, line, f"unknown record tag {tag!r}")
     finally:
@@ -91,11 +109,14 @@ def write_delta(delta: Delta, destination: Union[PathLike, TextIO]) -> None:
         for update in delta:
             if update.is_insert:
                 stream.write(
-                    f"+ {update.source} {update.target} "
-                    f"{update.source_label} {update.target_label}\n"
+                    f"+ {format_token(update.source)} {format_token(update.target)} "
+                    f"{format_token(update.source_label)} "
+                    f"{format_token(update.target_label)}\n"
                 )
             else:
-                stream.write(f"- {update.source} {update.target}\n")
+                stream.write(
+                    f"- {format_token(update.source)} {format_token(update.target)}\n"
+                )
     finally:
         if owned:
             stream.close()
@@ -110,17 +131,17 @@ def read_delta(source: Union[PathLike, TextIO]) -> Delta:
             line = raw.strip()
             if not line or line.startswith("#"):
                 continue
-            fields = line.split()
+            fields = _fields(line_number, line)
             tag = fields[0]
             if tag == "+":
                 if len(fields) not in (3, 5):
                     raise FormatError(line_number, line, "insert needs 2 or 4 operands")
-                source_label = fields[3] if len(fields) == 5 else DEFAULT_LABEL
-                target_label = fields[4] if len(fields) == 5 else DEFAULT_LABEL
+                source_label = fields[3] if len(fields) == 5 else ""
+                target_label = fields[4] if len(fields) == 5 else ""
                 updates.append(
                     insert(
-                        _parse_node(fields[1]),
-                        _parse_node(fields[2]),
+                        fields[1],
+                        fields[2],
                         source_label=source_label,
                         target_label=target_label,
                     )
@@ -128,7 +149,7 @@ def read_delta(source: Union[PathLike, TextIO]) -> Delta:
             elif tag == "-":
                 if len(fields) != 3:
                     raise FormatError(line_number, line, "delete needs two operands")
-                updates.append(delete(_parse_node(fields[1]), _parse_node(fields[2])))
+                updates.append(delete(fields[1], fields[2]))
             else:
                 raise FormatError(line_number, line, f"unknown record tag {tag!r}")
     finally:
@@ -142,6 +163,13 @@ def graph_to_string(graph: DiGraph) -> str:
     buffer = io.StringIO()
     write_graph(graph, buffer)
     return buffer.getvalue()
+
+
+def _fields(line_number: int, line: str) -> list:
+    try:
+        return tokenize(line)
+    except ValueError as exc:
+        raise FormatError(line_number, line, str(exc)) from None
 
 
 def _open(target: Union[PathLike, TextIO], mode: str) -> tuple[TextIO, bool]:

@@ -88,10 +88,21 @@ class ISOIndex:
         within G_{d_Q}(ΔG+)."""
         if not delta.is_normalized():
             delta = delta.normalized()
+        return self._repair_batch(delta, mutate=True)
 
+    def absorb(self, delta: Delta, new_nodes) -> ISODelta:
+        """Engine fan-out path: repair the match set for a normalized
+        ``delta`` the shared graph already holds.  IncISO needs no special
+        handling for ``new_nodes`` — a brand-new node participates in a
+        match only through its batch edges, which the anchored search from
+        those edges already explores."""
+        return self._repair_batch(delta, mutate=False)
+
+    def _repair_batch(self, delta: Delta, mutate: bool) -> ISODelta:
         removed: set[Match] = set()
         for update in delta.deletions:
-            self.graph.remove_edge(update.source, update.target)
+            if mutate:
+                self.graph.remove_edge(update.source, update.target)
             for match in self._by_edge.get((update.source, update.target), set()).copy():
                 self._deindex(match)
                 self.matches.discard(match)
@@ -102,13 +113,14 @@ class ISOIndex:
             # All graph mutations first: a new match may use several of
             # the batch's edges, and the anchored search from any one of
             # them must see the others.
-            for update in delta.insertions:
-                self.graph.add_edge(
-                    update.source,
-                    update.target,
-                    source_label=update.source_label,
-                    target_label=update.target_label,
-                )
+            if mutate:
+                for update in delta.insertions:
+                    self.graph.add_edge(
+                        update.source,
+                        update.target,
+                        source_label=update.source_label,
+                        target_label=update.target_label,
+                    )
             for update in delta.insertions:
                 for match in anchored_matches(
                     self.graph, self.pattern, update.edge, meter=self.meter

@@ -240,6 +240,23 @@ class KWSIndex:
             new_nodes |= self._realize_endpoints(update.source, update.target, labels)
             self.graph.add_edge(update.source, update.target)
 
+        self._repair_batch(delta, new_nodes)
+        return self._finish_op()
+
+    def absorb(self, delta: Delta, new_nodes: set[Node]) -> KWSDelta:
+        """Engine fan-out path: repair kdist(·) for a normalized ``delta``
+        the shared graph *already* holds (``G ⊕ ΔG``); ``new_nodes`` are the
+        nodes the batch introduced.  Same repair as :meth:`apply`, minus the
+        graph mutations."""
+        self._begin_op()
+        for node in new_nodes:
+            label = self.graph.label(node)
+            if label in self.query.keywords and self.kdist.get(node, label) is None:
+                self._set(node, label, KDistEntry(0, None))
+        self._repair_batch(delta, set(new_nodes))
+        return self._finish_op()
+
+    def _repair_batch(self, delta: Delta, new_nodes: set[Node]) -> None:
         for keyword in self.query.keywords:
             # Phase (a): affected nodes w.r.t. deletions (plus new nodes,
             # whose distances are unknown), potentials into one queue.
@@ -271,7 +288,6 @@ class KWSIndex:
 
             # Phase (c): one settlement pass decides every exact value.
             self._settle(keyword, affected, queue)
-        return self._finish_op()
 
     # ------------------------------------------------------------------
     # ΔO bookkeeping

@@ -122,6 +122,16 @@ class RPQIndex:
                     new_nodes.append(node)
             self.graph.add_edge(update.source, update.target)
 
+        return self._repair_batch(delta, new_nodes)
+
+    def absorb(self, delta: Delta, new_nodes) -> RPQDelta:
+        """Engine fan-out path: repair markings for a normalized ``delta``
+        the shared graph already holds; ``new_nodes`` are the nodes the
+        batch introduced.  Same repair as :meth:`apply`, minus phase 0."""
+        self._pair_before = {}
+        return self._repair_batch(delta, sorted(new_nodes, key=node_order))
+
+    def _repair_batch(self, delta: Delta, new_nodes: list[Node]) -> RPQDelta:
         # Phase 1: prune cpre/mpre along deleted edges; seed identAff.
         seeds: set[AffKey] = set()
         for update in delta.deletions:

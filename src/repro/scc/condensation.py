@@ -317,24 +317,38 @@ class Condensation:
         """``count`` fresh strictly-increasing ranks in (low, high] where
         high is ``comp``'s rank and low the highest out-neighbor rank.
 
-        Falls back to :meth:`renumber` once if float precision is
-        exhausted (interpolation produced duplicates or escaped the
-        interval) — never silently.
+        The interior candidates are squeezed into the first unit of the
+        interval and checked against every *other* component's rank:
+        ranks must stay globally unique, or a later ``reallocRank`` can
+        hand two components the same value and emit an inter edge between
+        equal ranks.  Falls back to :meth:`renumber` once if float
+        precision is exhausted or a collision is found (after renumbering,
+        all other ranks are integral and the non-integral interior
+        candidates cannot collide) — never silently.
         """
         low = high = 0.0
         for attempt in range(2):
             high = self.rank[comp]
             out_ranks = [self.rank[target] for target in self.succ[comp]]
             low = max(out_ranks) if out_ranks else high - 1.0
+            span = min(high - low, 1.0)
             candidates = [
                 high if position == count - 1
-                else low + (high - low) * (position + 1) / count
+                else low + span * (position + 1) / (count + 1)
                 for position in range(count)
             ]
+            taken = {
+                rank for cid, rank in self.rank.items() if cid != comp
+            }
             ordered = all(
                 earlier < later for earlier, later in zip(candidates, candidates[1:])
             )
-            if ordered and candidates[0] > low and candidates[-1] <= high:
+            if (
+                ordered
+                and candidates[0] > low
+                and candidates[-1] <= high
+                and not any(candidate in taken for candidate in candidates)
+            ):
                 return candidates
             if attempt == 0:
                 self.renumber()

@@ -62,6 +62,10 @@ class SCCIndex:
     def __init__(self, graph: DiGraph, meter: CostMeter = NULL_METER) -> None:
         self.graph = graph
         self.meter = meter
+        # What a split's counter fix-up scan should see; the engine's
+        # absorb path temporarily swaps in an _EdgeOverlay (see
+        # _repair_batch) so counters and scan stay in sync.
+        self._split_view: DiGraph | "_EdgeOverlay" = graph
         result = tarjan_scc(graph, meter=meter)
         self.cond = Condensation.from_tarjan(graph, result)
         self.num: dict[Node, int] = dict(result.num)
@@ -119,17 +123,27 @@ class SCCIndex:
         return _fold_delta(added, set(), gained, lost)
 
     def _realize_new_endpoints(
-        self, source: Node, target: Node, labels: dict
+        self,
+        source: Node,
+        target: Node,
+        labels: dict,
+        mutate_graph: bool = True,
     ) -> set[frozenset[Node]]:
         """Register endpoints the graph has not seen yet as singleton
         components, placed so the incoming edge cannot violate ranks:
-        a fresh *source* goes above all ranks, a fresh *target* below."""
+        a fresh *source* goes above all ranks, a fresh *target* below.
+
+        With ``mutate_graph=False`` (the engine fan-out path) the node is
+        already in the shared graph; only the condensation-side structures
+        are created.
+        """
         added: set[frozenset[Node]] = set()
         for node, is_source in ((source, True), (target, False)):
-            if node in self.graph or node in self.cond.comp_of:
+            if node in self.cond.comp_of or (mutate_graph and node in self.graph):
                 continue
-            label_key = "source_label" if is_source else "target_label"
-            self.graph.add_node(node, label=labels.get(label_key, ""))
+            if mutate_graph:
+                label_key = "source_label" if is_source else "target_label"
+                self.graph.add_node(node, label=labels.get(label_key, ""))
             comp = self.cond.add_singleton(node)
             if is_source:
                 ceiling = max(
@@ -287,7 +301,7 @@ class SCCIndex:
             return set(), set()
         removed = {members}
         parts = list(result.components)  # emission order = reverse topological
-        new_ids = self.cond.split(comp, parts, self.graph, meter=self.meter)
+        new_ids = self.cond.split(comp, parts, self._split_view, meter=self.meter)
         self._edge_kinds.pop(comp, None)
         self._stale.discard(comp)
         part_of = {
@@ -359,7 +373,16 @@ class SCCIndex:
         """
         if not delta.is_normalized():
             delta = delta.normalized()
+        return self._repair_batch(delta, mutate=True)
 
+    def absorb(self, delta: Delta, new_nodes) -> SCCDelta:
+        """Engine fan-out path: repair the partition for a normalized
+        ``delta`` the shared graph already holds; ``new_nodes`` become
+        singleton components.  Same phases as :meth:`apply`, minus the
+        graph mutations."""
+        return self._repair_batch(delta, mutate=False)
+
+    def _repair_batch(self, delta: Delta, mutate: bool) -> SCCDelta:
         # Phase 0: realize brand-new nodes and classify updates against
         # the component structure at batch start.
         intra_groups: dict[CompId, list[Update]] = {}
@@ -376,6 +399,7 @@ class SCCIndex:
                         "source_label": update.source_label,
                         "target_label": update.target_label,
                     },
+                    mutate_graph=mutate,
                 )
             source_comp = self.cond.component(update.source)
             target_comp = self.cond.component(update.target)
@@ -384,6 +408,19 @@ class SCCIndex:
             else:
                 inter_updates.append(update)
 
+        # Engine path: the shared graph already holds G ⊕ ΔG, but the
+        # inter-edge counters are only synced in phases 2-3.  Phase 1's
+        # split fix-up scans the graph to reassign counters, so it must see
+        # the graph the counters currently describe — with the batch's
+        # inter deletions still present and its inter insertions absent,
+        # which is exactly the state the standalone path's lockstep
+        # mutation provides naturally.
+        if not mutate:
+            hidden = {u.edge for u in inter_updates if u.is_insert}
+            restored = {u.edge for u in inter_updates if u.is_delete}
+            if hidden or restored:
+                self._split_view = _EdgeOverlay(self.graph, hidden, restored)
+
         # Phase 1: intra-component updates, grouped per component.  All
         # of a component's updates are applied first; then one chkReach
         # pass over its deleted edges decides whether the component can
@@ -391,31 +428,42 @@ class SCCIndex:
         # every old path can be patched, so the component is intact and
         # only the caches go stale).  At most one restricted Tarjan runs
         # per affected component regardless of the batch size.
-        for comp, updates in intra_groups.items():
-            deletions_here = []
-            for update in updates:
-                if update.is_insert:
-                    self.graph.add_edge(update.source, update.target)
-                else:
-                    self.graph.remove_edge(update.source, update.target)
-                    deletions_here.append(update)
-            if all(
-                self._still_reaches(comp, update.source, update.target)
-                for update in deletions_here
-            ):
-                self._mark_stale(comp)
-                continue
-            gained, lost = self._recheck_component(comp)
-            added_total, removed_total = _fold_delta(
-                added_total, removed_total, gained, lost
-            )
+        try:
+            for comp, updates in intra_groups.items():
+                deletions_here = []
+                for update in updates:
+                    if update.is_insert:
+                        if mutate:
+                            self.graph.add_edge(
+                                update.source,
+                                update.target,
+                                source_label=update.source_label,
+                                target_label=update.target_label,
+                            )
+                    else:
+                        if mutate:
+                            self.graph.remove_edge(update.source, update.target)
+                        deletions_here.append(update)
+                if all(
+                    self._still_reaches(comp, update.source, update.target)
+                    for update in deletions_here
+                ):
+                    self._mark_stale(comp)
+                    continue
+                gained, lost = self._recheck_component(comp)
+                added_total, removed_total = _fold_delta(
+                    added_total, removed_total, gained, lost
+                )
+        finally:
+            self._split_view = self.graph
 
         # Phase 2: inter-component deletions — counters only.  Intra
         # processing can only split components, so an edge crossing
         # components at batch start still crosses components here.
         for update in inter_updates:
             if update.is_delete:
-                self.graph.remove_edge(update.source, update.target)
+                if mutate:
+                    self.graph.remove_edge(update.source, update.target)
                 self.cond.remove_inter_edge(
                     self.cond.component(update.source),
                     self.cond.component(update.target),
@@ -426,7 +474,13 @@ class SCCIndex:
         for update in inter_updates:
             if not update.is_insert:
                 continue
-            self.graph.add_edge(update.source, update.target)
+            if mutate:
+                self.graph.add_edge(
+                    update.source,
+                    update.target,
+                    source_label=update.source_label,
+                    target_label=update.target_label,
+                )
             source_comp = self.cond.component(update.source)
             target_comp = self.cond.component(update.target)
             if source_comp == target_comp:
@@ -494,6 +548,42 @@ def _fold_delta(
         else:
             added.add(comp)
     return added, removed
+
+
+class _EdgeOverlay:
+    """Adjacency view of ``graph`` with ``hidden`` edges masked out and
+    ``restored`` (already-removed) edges made visible again.
+
+    Used by :meth:`SCCIndex.absorb` during phase 1 so
+    :meth:`Condensation.split`'s counter fix-up scan sees the edge set the
+    inter-edge counters describe, not the pre-applied final graph.  Only
+    ``successors``/``predecessors`` are needed by the scan.
+    """
+
+    __slots__ = ("_graph", "_hidden", "_restored")
+
+    def __init__(
+        self, graph: DiGraph, hidden: set[Edge], restored: set[Edge]
+    ) -> None:
+        self._graph = graph
+        self._hidden = hidden
+        self._restored = restored
+
+    def successors(self, node: Node):
+        for target in self._graph.successors(node):
+            if (node, target) not in self._hidden:
+                yield target
+        for source, target in self._restored:
+            if source == node:
+                yield target
+
+    def predecessors(self, node: Node):
+        for source in self._graph.predecessors(node):
+            if (source, node) not in self._hidden:
+                yield source
+        for source, target in self._restored:
+            if target == node:
+                yield source
 
 
 # ----------------------------------------------------------------------

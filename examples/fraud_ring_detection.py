@@ -18,14 +18,24 @@ VF2); at the end, the whole stream is rolled back through
 ``Delta.inverted()`` and both views arrive at the starting answers
 without a rebuild — the investigation can replay history at will.
 
+The second act is *durability*: the session snapshots its state through
+:class:`repro.persist.SnapshotStore`, keeps journaling transactions into
+the write-ahead delta log, then the monitoring process "crashes".
+Recovery restores the snapshot and replays only the logged tail through
+the same ``absorb`` fan-out — the detectors come back exactly where they
+left off, without re-running Tarjan or VF2 over the whole graph.
+
 Run:  python examples/fraud_ring_detection.py
 """
 
 import random
+import tempfile
 import time
+from pathlib import Path
 
 from repro import Delta, DiGraph, Engine, delete, insert
 from repro.iso import ISOIndex, Pattern, vf2_matches
+from repro.persist import SnapshotStore
 from repro.scc import SCCIndex, tarjan_scc
 
 ACCOUNT_KINDS = ["retail", "mule", "shell", "bank"]
@@ -174,6 +184,34 @@ def main() -> None:
         f"rolled back {5} rounds: {len(suspicious_rings(scc_index))} rings, "
         f"{len(iso_index.matches)} motifs — matches the initial state"
     )
+
+    # ------------------------------------------------------------------
+    # Crash and recover: snapshot + write-ahead log survive the process.
+    # ------------------------------------------------------------------
+    with tempfile.TemporaryDirectory(prefix="fraud-ring-store-") as tmp:
+        store = SnapshotStore(Path(tmp))
+        store.save(engine)     # durable point-in-time state
+        store.attach(engine)   # journal every batch from here on
+
+        for round_number in range(6, 9):  # transactions after the snapshot
+            engine.apply(churn(engine.graph, 60, seed=40 + round_number))
+        expected_rings = suspicious_rings(scc_index)
+        expected_motifs = set(iso_index.matches)
+        del engine, scc_index, iso_index  # the monitoring process dies
+
+        started = time.perf_counter()
+        revived = store.load()  # restore snapshot, replay the logged tail
+        recovery_ms = (time.perf_counter() - started) * 1e3
+        rings = suspicious_rings(revived["rings"])
+        assert set(rings) == set(expected_rings)
+        assert revived["motifs"].matches == expected_motifs
+        assert revived["rings"].components() == tarjan_scc(revived.graph).partition()
+        tail = len(store.log.entries())
+        print(
+            f"\ncrash after 3 journaled rounds: recovered in {recovery_ms:.1f} ms "
+            f"(snapshot + {tail}-batch replay) — {len(rings)} rings, "
+            f"{len(revived['motifs'].matches)} motifs, identical to the lost session"
+        )
 
 
 if __name__ == "__main__":

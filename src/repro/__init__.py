@@ -33,16 +33,19 @@ from repro.engine import (
     EngineReport,
     IncrementalSession,
     IncrementalView,
+    ViewSnapshot,
 )
 from repro.graph.digraph import DiGraph
 from repro.graph.updates import delta_fraction, random_delta
+from repro.persist import DeltaLog, SnapshotStore, load_session, save_session
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CostLedger",
     "CostMeter",
     "Delta",
+    "DeltaLog",
     "DiGraph",
     "Engine",
     "EngineError",
@@ -50,10 +53,14 @@ __all__ = [
     "IncrementalSession",
     "IncrementalView",
     "InvalidDeltaError",
+    "SnapshotStore",
     "Update",
+    "ViewSnapshot",
     "delete",
     "delta_fraction",
     "insert",
+    "load_session",
     "random_delta",
+    "save_session",
     "__version__",
 ]

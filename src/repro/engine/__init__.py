@@ -18,7 +18,7 @@ from repro.engine.session import (
     EngineReport,
     ViewReport,
 )
-from repro.engine.view import IncrementalView
+from repro.engine.view import IncrementalView, ViewSnapshot
 
 IncrementalSession = Engine
 
@@ -29,4 +29,5 @@ __all__ = [
     "IncrementalSession",
     "IncrementalView",
     "ViewReport",
+    "ViewSnapshot",
 ]

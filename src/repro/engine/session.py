@@ -16,16 +16,36 @@ maintain *many* query answers with bounded / localizable work.  The
   :class:`EngineReport`;
 * :meth:`Engine.checkpoint` / :meth:`Engine.rollback` undo applied
   batches through :meth:`Delta.inverted`, repairing every view along the
-  way — no view ever needs to be rebuilt.
+  way — no view ever needs to be rebuilt;
+* view lifecycle: :meth:`Engine.deregister` detaches a view, and
+  ``register(..., build="on_first_apply")`` defers the from-scratch build
+  until the view is first needed — so a restored session can declare many
+  standing queries and pay for each only when it is actually driven;
+* :meth:`Engine.set_journal` attaches a write-ahead log
+  (:class:`repro.persist.DeltaLog`); every applied batch — and every
+  rollback's undo batch — is appended after it succeeds, which is what
+  makes snapshot-plus-replay recovery (:class:`repro.persist.
+  SnapshotStore`) possible.
 
-Example::
+Example — two views maintained by one update stream:
 
-    engine = Engine(graph)
-    engine.register("kws", lambda g, meter: KWSIndex(g, query, meter=meter))
-    engine.register("scc", lambda g, meter: SCCIndex(g, meter=meter))
-    report = engine.apply(delta)          # one G ⊕ ΔG, every view repaired
-    report.output("kws")                  # this view's ΔO
-    report.cost("scc").total()            # work this view spent on the batch
+    >>> from repro import Delta, DiGraph, Engine, delete, insert
+    >>> from repro.scc import SCCIndex
+    >>> from repro.kws import KWSIndex, KWSQuery
+    >>> graph = DiGraph(labels={1: "a", 2: "b", 3: "c"},
+    ...                 edges=[(1, 2), (2, 3), (3, 1)])
+    >>> engine = Engine(graph)
+    >>> scc = engine.register("scc", lambda g, m: SCCIndex(g, meter=m))
+    >>> query = KWSQuery(("a", "b"), bound=2)
+    >>> kws = engine.register("kws", lambda g, m: KWSIndex(g, query, meter=m))
+    >>> report = engine.apply(Delta([delete(3, 1)]))   # one G ⊕ ΔG, both repaired
+    >>> sorted(len(c) for c in scc.components())
+    [1, 1, 1]
+    >>> report.cost("scc").total() > 0
+    True
+    >>> _ = engine.rollback()                          # undo via Delta.inverted()
+    >>> sorted(len(c) for c in scc.components())
+    [3]
 
 ``IncrementalSession`` is an alias for :class:`Engine` — "session"
 emphasizes the checkpoint/rollback lifecycle, "engine" the fan-out.
@@ -43,6 +63,9 @@ from repro.engine.view import IncrementalView
 from repro.graph.digraph import DiGraph, Label, Node
 
 ViewFactory = Callable[[DiGraph, CostMeter], IncrementalView]
+
+#: Accepted ``build=`` modes for :meth:`Engine.register`.
+BUILD_MODES = ("eager", "on_first_apply")
 
 
 class EngineError(RuntimeError):
@@ -92,25 +115,80 @@ class Engine:
 
     def __init__(self, graph: Optional[DiGraph] = None) -> None:
         self.graph = graph if graph is not None else DiGraph()
-        self._views: dict[str, IncrementalView] = {}
+        self._views: dict[str, Optional[IncrementalView]] = {}
         self._meters: dict[str, CostMeter] = {}
+        self._pending: dict[str, ViewFactory] = {}
         self._history: list[Delta] = []
+        #: Write-ahead log every applied batch is appended to (see
+        #: :meth:`set_journal`); ``None`` disables journaling.
+        self.journal = None
 
     # ------------------------------------------------------------------
     # View registration
     # ------------------------------------------------------------------
 
-    def register(self, name: str, factory: ViewFactory) -> IncrementalView:
+    def register(
+        self, name: str, factory: ViewFactory, build: str = "eager"
+    ) -> Optional[IncrementalView]:
         """Build a view over the shared graph and register it.
 
         ``factory(graph, meter)`` must construct the view *on that graph
         object* (not a copy); the engine supplies a dedicated
         :class:`CostMeter` so per-view cost accounting comes for free.
+
+        With ``build="on_first_apply"`` the factory is *not* called yet:
+        the name is reserved and the view is materialized lazily — by the
+        next :meth:`apply`/:meth:`rollback` (before the graph mutates, so
+        the build sees the pre-batch graph) or by the first
+        :meth:`view`/:meth:`meter` access — and ``None`` is returned now.
+        Restored sessions use this to declare many standing queries and
+        pay the from-scratch build only for the ones actually driven.
+
+        >>> from repro import DiGraph, Engine
+        >>> from repro.scc import SCCIndex
+        >>> engine = Engine(DiGraph(edges=[(1, 2)]))
+        >>> engine.register("scc", lambda g, m: SCCIndex(g, meter=m),
+        ...                 build="on_first_apply") is None
+        True
+        >>> "scc" in engine            # reserved, not yet built
+        True
+        >>> len(engine.view("scc").components())    # first access builds
+        2
         """
+        if build not in BUILD_MODES:
+            raise EngineError(
+                f"unknown build mode {build!r}; expected one of {BUILD_MODES}"
+            )
         self._check_name_free(name)
+        if build == "on_first_apply":
+            self._views[name] = None
+            self._pending[name] = factory
+            return None
         meter = CostMeter()
         view = factory(self.graph, meter)
         return self._admit(name, view, meter)
+
+    def deregister(self, name: str) -> Optional[IncrementalView]:
+        """Detach the named view from the session and return it (``None``
+        when the view was lazy and never built).
+
+        The view stops receiving batches immediately; the graph and every
+        other view are unaffected.  The name becomes free for re-use.
+
+        >>> from repro import DiGraph, Engine
+        >>> from repro.scc import SCCIndex
+        >>> engine = Engine(DiGraph(edges=[(1, 2)]))
+        >>> _ = engine.register("scc", lambda g, m: SCCIndex(g, meter=m))
+        >>> _ = engine.deregister("scc")
+        >>> "scc" in engine
+        False
+        """
+        if name not in self._views:
+            raise EngineError(f"no view named {name!r} is registered")
+        view = self._views.pop(name)
+        self._meters.pop(name, None)
+        self._pending.pop(name, None)
+        return view
 
     def attach(self, name: str, view: IncrementalView) -> IncrementalView:
         """Register an already-constructed view.
@@ -138,7 +216,7 @@ class Engine:
         if not isinstance(view, IncrementalView):
             raise EngineError(
                 f"view {name!r} does not implement the IncrementalView protocol "
-                "(insert_edge / delete_edge / apply / absorb)"
+                "(insert_edge / delete_edge / apply / absorb / snapshot / restore)"
             )
         self._views[name] = view
         self._meters[name] = meter
@@ -148,11 +226,28 @@ class Engine:
         if name in self._views:
             raise EngineError(f"a view named {name!r} is already registered")
 
+    def _materialize(self, name: str) -> IncrementalView:
+        """Run a deferred factory now (``build="on_first_apply"``)."""
+        factory = self._pending.pop(name)
+        meter = CostMeter()
+        view = factory(self.graph, meter)
+        # _admit assigns over the reserved None slot, which keeps the
+        # original registration order in self._views.
+        return self._admit(name, view, meter)
+
+    def _materialize_pending(self) -> None:
+        for name in list(self._pending):
+            self._materialize(name)
+
     def view(self, name: str) -> IncrementalView:
+        """The named view, materializing it first if it is lazy."""
+        if name in self._pending:
+            return self._materialize(name)
         try:
-            return self._views[name]
+            view = self._views[name]
         except KeyError:
             raise EngineError(f"no view named {name!r} is registered") from None
+        return view
 
     def meter(self, name: str) -> CostMeter:
         """The named view's cumulative cost meter (across all batches)."""
@@ -182,13 +277,31 @@ class Engine:
         The batch is normalized (raising
         :class:`~repro.core.delta.InvalidDeltaError` on un-applicable net
         balances) and validated against the current graph *before* any
-        mutation, so a bad batch leaves graph and views untouched.
+        mutation, so a bad batch leaves graph and views untouched.  Lazy
+        views are materialized first (on the pre-batch graph).  When a
+        journal is attached the validated batch is appended *before* the
+        mutation — classic write-ahead ordering: a batch that cannot be
+        journaled (e.g. non-serializable labels) fails with graph and
+        views untouched, and the log can never lag a batch the session
+        applied.
+
+        >>> from repro import DiGraph, Engine, insert
+        >>> from repro.scc import SCCIndex
+        >>> engine = Engine(DiGraph(edges=[(1, 2)]))
+        >>> _ = engine.register("scc", lambda g, m: SCCIndex(g, meter=m))
+        >>> report = engine.apply([insert(2, 1)])
+        >>> gained, lost = report.output("scc")
+        >>> gained == {frozenset({1, 2})}
+        True
         """
         if not isinstance(delta, Delta):
             delta = Delta(list(delta))
         if not delta.is_normalized():
             delta = delta.normalized()
-        self._validate(delta)
+        self._validate(delta)  # before materializing: a bad batch stays free
+        self._materialize_pending()
+        if self.journal is not None:
+            self.journal.append(delta)
         report = self._fan_out(delta)
         self._history.append(delta)
         return report
@@ -277,5 +390,39 @@ class Engine:
         undo = concat(
             batch.inverted() for batch in reversed(self._history[checkpoint:])
         ).normalized()
+        self._materialize_pending()
+        if self.journal is not None and undo:
+            self.journal.append(undo)  # write-ahead, as in apply()
         self._history = self._history[:checkpoint]
         return self._fan_out(undo)
+
+    # ------------------------------------------------------------------
+    # Journaling (write-ahead delta log)
+    # ------------------------------------------------------------------
+
+    def set_journal(self, journal) -> None:
+        """Attach a write-ahead log (or ``None`` to detach).
+
+        ``journal`` is any object with an ``append(delta)`` method —
+        in practice a :class:`repro.persist.DeltaLog`.  Every batch
+        :meth:`apply` accepts, and every non-empty undo batch produced
+        by :meth:`rollback`, is appended — *before* the mutation
+        (write-ahead), immediately after validation, so the log never
+        lags the session and an unjournalable batch fails cleanly with
+        nothing applied.  Replaying the log in order over the graph it
+        started from reproduces the session state — which is exactly
+        what :meth:`repro.persist.SnapshotStore.load` does with the
+        tail written after the last snapshot.
+
+        >>> from repro import DiGraph, Engine, insert
+        >>> class Tape:
+        ...     entries = ()
+        ...     def append(self, delta):
+        ...         self.entries += (delta,)
+        >>> engine = Engine(DiGraph(edges=[(1, 2)]))
+        >>> engine.set_journal(Tape())
+        >>> _ = engine.apply([insert(2, 1)])
+        >>> len(engine.journal.entries)
+        1
+        """
+        self.journal = journal

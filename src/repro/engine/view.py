@@ -18,21 +18,59 @@ of the paper — :class:`~repro.kws.KWSIndex`,
   graph and returns ΔO.  ``new_nodes`` is the set of nodes the batch
   introduced, which standalone ``apply`` discovers itself during
   mutation.
+* ``snapshot`` / ``restore`` — the persistence pair: ``snapshot()``
+  captures the view's auxiliary state as a :class:`ViewSnapshot` of
+  serializable token rows, and the classmethod ``restore(graph, state,
+  meter)`` rebuilds an equivalent view over a graph *without* running the
+  from-scratch constructor.  :mod:`repro.persist` writes snapshots to
+  disk and replays the delta-log tail through ``absorb``, so recovery is
+  itself an incremental computation.
 
 ``absorb`` must be behaviorally identical to ``apply`` on the same
-normalized batch — the cross-view property tests enforce this by
-comparing every view's answer against from-scratch recomputation after
-randomized engine batches.
+normalized batch, and ``restore(graph, index.snapshot(), meter)`` must be
+behaviorally identical to ``index`` itself — the cross-view property
+tests enforce both by comparing every view's answer against from-scratch
+recomputation after randomized engine batches.
 """
 
 from __future__ import annotations
 
 from collections.abc import Set as AbstractSet
+from dataclasses import dataclass
 from typing import Any, Protocol, runtime_checkable
 
 from repro.core.cost import CostMeter
 from repro.core.delta import Delta
 from repro.graph.digraph import DiGraph, Node
+
+
+@dataclass(frozen=True)
+class ViewSnapshot:
+    """A view's auxiliary state as serializable token rows.
+
+    ``kind`` names the view class (``"kws"``, ``"rpq"``, ``"scc"``,
+    ``"iso"``, or a registered extension); ``config`` is one row of
+    values reconstructing the standing query; ``records`` are the state
+    rows.  Every value must be an ``int`` or ``str`` so the rows survive
+    the lossless text format of :mod:`repro.graph.io_tokens` (anything
+    else raises ``SerializationError`` at write time).
+
+    Example — a snapshot round-trips a view without recomputation::
+
+        >>> from repro.graph.digraph import DiGraph
+        >>> from repro.scc import SCCIndex
+        >>> g = DiGraph(labels={1: "a", 2: "b"}, edges=[(1, 2), (2, 1)])
+        >>> state = SCCIndex(g).snapshot()
+        >>> state.kind
+        'scc'
+        >>> twin = SCCIndex.restore(g, state)
+        >>> twin.components() == {frozenset({1, 2})}
+        True
+    """
+
+    kind: str
+    config: tuple
+    records: tuple[tuple, ...]
 
 
 @runtime_checkable
@@ -52,4 +90,23 @@ class IncrementalView(Protocol):
         """Batch update: mutate the graph once, repair, return ΔO."""
 
     def absorb(self, delta: Delta, new_nodes: AbstractSet[Node]) -> Any:
-        """Repair against a graph that already holds ``G ⊕ ΔG``."""
+        """Repair against a graph that already holds ``G ⊕ ΔG``.
+
+        Contract: ``absorb`` must not raise on a batch the engine
+        validated — by the time the fan-out runs, the graph has mutated,
+        sibling views may already have absorbed the batch, and a
+        journaling engine has durably logged it, so an exception here is
+        an internal invariant violation that leaves the session (and any
+        recovery that replays the log) inconsistent, not a recoverable
+        condition.
+        """
+
+    def snapshot(self) -> ViewSnapshot:
+        """Capture the auxiliary state as serializable token rows."""
+
+    @classmethod
+    def restore(
+        cls, graph: DiGraph, state: ViewSnapshot, meter: CostMeter
+    ) -> "IncrementalView":
+        """Rebuild a view over ``graph`` from a snapshot, without running
+        the from-scratch constructor."""

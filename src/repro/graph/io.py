@@ -21,16 +21,21 @@ rather than coming back as something else.
 
 The format is deliberately trivial — it exists so examples can persist and
 reload scenario graphs and so failures in randomized tests can be dumped
-for inspection.
+for inspection.  The record-level helpers (:func:`graph_record_lines`,
+:func:`apply_graph_record`, :func:`update_to_line`,
+:func:`update_from_fields`) are shared with :mod:`repro.persist`, whose
+sectioned snapshot/delta-log files embed exactly these records — one
+quoting discipline, one parser, everywhere state touches disk.
 """
 
 from __future__ import annotations
 
 import io
+from collections.abc import Iterator
 from pathlib import Path
 from typing import TextIO, Union
 
-from repro.core.delta import Delta, delete, insert
+from repro.core.delta import Delta, Update, delete, insert
 from repro.graph.digraph import DiGraph
 from repro.graph.io_tokens import SerializationError, format_token, tokenize
 
@@ -39,9 +44,13 @@ PathLike = Union[str, Path]
 __all__ = [
     "FormatError",
     "SerializationError",
+    "apply_graph_record",
+    "graph_record_lines",
     "graph_to_string",
     "read_delta",
     "read_graph",
+    "update_from_fields",
+    "update_to_line",
     "write_delta",
     "write_graph",
 ]
@@ -55,17 +64,78 @@ class FormatError(ValueError):
         self.line_number = line_number
 
 
+def graph_record_lines(graph: DiGraph) -> Iterator[str]:
+    """Yield one terminated record line per node and edge of ``graph``
+    (nodes first, then edges) — the body :func:`write_graph` wraps."""
+    for node in graph.nodes():
+        yield f"n {format_token(node)} {format_token(graph.label(node))}\n"
+    for source, target in graph.edges():
+        yield f"e {format_token(source)} {format_token(target)}\n"
+
+
+def apply_graph_record(graph: DiGraph, fields: list) -> None:
+    """Replay one tokenized ``n``/``e`` record into ``graph``.
+
+    Raises plain :class:`ValueError` on malformed records; stream-level
+    callers wrap it with line context (:class:`FormatError`).
+    """
+    tag = fields[0]
+    if tag == "n":
+        if len(fields) not in (2, 3):
+            raise ValueError("node record needs an id and at most a label")
+        label = fields[2] if len(fields) == 3 else ""
+        graph.add_node(fields[1], label=label)
+    elif tag == "e":
+        if len(fields) != 3:
+            raise ValueError("edge record needs two endpoints")
+        graph.add_edge(fields[1], fields[2])
+    else:
+        raise ValueError(f"unknown record tag {tag!r}")
+
+
+def update_to_line(update: Update) -> str:
+    """Render one unit update as a terminated ``+``/``-`` record line."""
+    if update.is_insert:
+        return (
+            f"+ {format_token(update.source)} {format_token(update.target)} "
+            f"{format_token(update.source_label)} "
+            f"{format_token(update.target_label)}\n"
+        )
+    return f"- {format_token(update.source)} {format_token(update.target)}\n"
+
+
+def update_from_fields(fields: list) -> Update:
+    """Parse one tokenized ``+``/``-`` record back into an update.
+
+    Raises plain :class:`ValueError` on malformed records; stream-level
+    callers wrap it with line context (:class:`FormatError`).
+    """
+    tag = fields[0]
+    if tag == "+":
+        if len(fields) not in (3, 5):
+            raise ValueError("insert needs 2 or 4 operands")
+        source_label = fields[3] if len(fields) == 5 else ""
+        target_label = fields[4] if len(fields) == 5 else ""
+        return insert(
+            fields[1],
+            fields[2],
+            source_label=source_label,
+            target_label=target_label,
+        )
+    if tag == "-":
+        if len(fields) != 3:
+            raise ValueError("delete needs two operands")
+        return delete(fields[1], fields[2])
+    raise ValueError(f"unknown record tag {tag!r}")
+
+
 def write_graph(graph: DiGraph, destination: Union[PathLike, TextIO]) -> None:
     """Serialize ``graph`` (nodes first, then edges)."""
     stream, owned = _open(destination, "w")
     try:
         stream.write(f"# repro graph |V|={graph.num_nodes} |E|={graph.num_edges}\n")
-        for node in graph.nodes():
-            stream.write(
-                f"n {format_token(node)} {format_token(graph.label(node))}\n"
-            )
-        for source, target in graph.edges():
-            stream.write(f"e {format_token(source)} {format_token(target)}\n")
+        for line in graph_record_lines(graph):
+            stream.write(line)
     finally:
         if owned:
             stream.close()
@@ -81,20 +151,10 @@ def read_graph(source: Union[PathLike, TextIO]) -> DiGraph:
             if not line or line.startswith("#"):
                 continue
             fields = _fields(line_number, line)
-            tag = fields[0]
-            if tag == "n":
-                if len(fields) not in (2, 3):
-                    raise FormatError(
-                        line_number, line, "node record needs an id and at most a label"
-                    )
-                label = fields[2] if len(fields) == 3 else ""
-                graph.add_node(fields[1], label=label)
-            elif tag == "e":
-                if len(fields) != 3:
-                    raise FormatError(line_number, line, "edge record needs two endpoints")
-                graph.add_edge(fields[1], fields[2])
-            else:
-                raise FormatError(line_number, line, f"unknown record tag {tag!r}")
+            try:
+                apply_graph_record(graph, fields)
+            except ValueError as exc:
+                raise FormatError(line_number, line, str(exc)) from None
     finally:
         if owned:
             stream.close()
@@ -107,16 +167,7 @@ def write_delta(delta: Delta, destination: Union[PathLike, TextIO]) -> None:
     try:
         stream.write(f"# repro delta |dG|={len(delta)}\n")
         for update in delta:
-            if update.is_insert:
-                stream.write(
-                    f"+ {format_token(update.source)} {format_token(update.target)} "
-                    f"{format_token(update.source_label)} "
-                    f"{format_token(update.target_label)}\n"
-                )
-            else:
-                stream.write(
-                    f"- {format_token(update.source)} {format_token(update.target)}\n"
-                )
+            stream.write(update_to_line(update))
     finally:
         if owned:
             stream.close()
@@ -132,26 +183,10 @@ def read_delta(source: Union[PathLike, TextIO]) -> Delta:
             if not line or line.startswith("#"):
                 continue
             fields = _fields(line_number, line)
-            tag = fields[0]
-            if tag == "+":
-                if len(fields) not in (3, 5):
-                    raise FormatError(line_number, line, "insert needs 2 or 4 operands")
-                source_label = fields[3] if len(fields) == 5 else ""
-                target_label = fields[4] if len(fields) == 5 else ""
-                updates.append(
-                    insert(
-                        fields[1],
-                        fields[2],
-                        source_label=source_label,
-                        target_label=target_label,
-                    )
-                )
-            elif tag == "-":
-                if len(fields) != 3:
-                    raise FormatError(line_number, line, "delete needs two operands")
-                updates.append(delete(fields[1], fields[2]))
-            else:
-                raise FormatError(line_number, line, f"unknown record tag {tag!r}")
+            try:
+                updates.append(update_from_fields(fields))
+            except ValueError as exc:
+                raise FormatError(line_number, line, str(exc)) from None
     finally:
         if owned:
             stream.close()

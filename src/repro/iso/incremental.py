@@ -32,9 +32,10 @@ from dataclasses import dataclass
 
 from repro.core.cost import CostMeter, NULL_METER
 from repro.core.delta import Delta
+from repro.engine.view import ViewSnapshot
 from repro.graph.digraph import DiGraph, Edge, Node
 from repro.graph.neighborhood import nodes_within
-from repro.iso.patterns import Match, Pattern
+from repro.iso.patterns import Match, Pattern, make_match
 from repro.iso.vf2 import anchored_matches, vf2_matches
 
 
@@ -167,6 +168,67 @@ class ISOIndex:
             self.graph, endpoints, self.pattern.diameter, meter=self.meter
         )
         return self.graph.subgraph(nodes)
+
+    # ------------------------------------------------------------------
+    # Persistence (repro.persist)
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> ViewSnapshot:
+        """Capture the pattern and the match set as token rows.
+
+        Records are tagged: ``("pn", node, label)`` and
+        ``("pe", source, target)`` spell out the pattern graph, and one
+        ``("m", pattern_node, graph_node, ...)`` row per match flattens
+        its retained embedding.  The canonical node/edge sets and the
+        edge → matches index are derived state, re-canonicalized through
+        :func:`~repro.iso.patterns.make_match` on restore.
+        """
+        records: list[tuple] = []
+        pattern_graph = self.pattern.graph
+        for node in pattern_graph.nodes():
+            records.append(("pn", node, pattern_graph.label(node)))
+        for source, target in pattern_graph.edges():
+            records.append(("pe", source, target))
+        for match in self.matches:
+            flat = [value for pair in match.embedding for value in pair]
+            records.append(("m", *flat))
+        return ViewSnapshot(kind="iso", config=(), records=tuple(records))
+
+    @classmethod
+    def restore(
+        cls,
+        graph: DiGraph,
+        state: ViewSnapshot,
+        meter: CostMeter = NULL_METER,
+    ) -> "ISOIndex":
+        """Rebuild an index over ``graph`` from a snapshot — no VF2
+        search; matches are re-canonicalized from their embeddings."""
+        if state.kind != "iso":
+            raise ValueError(f"expected an 'iso' snapshot, got {state.kind!r}")
+        index = cls.__new__(cls)
+        index.graph = graph
+        index.meter = meter
+        pattern_graph = DiGraph()
+        match_rows = []
+        for row in state.records:
+            tag = row[0]
+            if tag == "pn":
+                pattern_graph.add_node(row[1], label=row[2])
+            elif tag == "pe":
+                pattern_graph.add_edge(row[1], row[2])
+            elif tag == "m":
+                match_rows.append(row)
+            else:
+                raise ValueError(f"unknown iso snapshot record tag {tag!r}")
+        index.pattern = Pattern.from_graph(pattern_graph)
+        index.matches = set()
+        index._by_edge = {}
+        for row in match_rows:
+            assignment = dict(zip(row[1::2], row[2::2]))
+            match = make_match(index.pattern, assignment)
+            index.matches.add(match)
+            index._index(match)
+        return index
 
     def check_consistency(self) -> None:
         """Audit against recomputation (test helper)."""

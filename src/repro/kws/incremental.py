@@ -32,9 +32,10 @@ from dataclasses import dataclass
 
 from repro.core.cost import CostMeter, NULL_METER
 from repro.core.delta import Delta
+from repro.engine.view import ViewSnapshot
 from repro.graph.digraph import DiGraph, Label, Node
 from repro.kws.batch import compute_kdist
-from repro.kws.kdist import KDistEntry, KWSQuery, node_order
+from repro.kws.kdist import KDistEntry, KDistIndex, KWSQuery, node_order
 from repro.kws.matches import MatchTree, all_matches, distance_profile, match_at
 
 _INF = float("inf")
@@ -288,6 +289,58 @@ class KWSIndex:
 
             # Phase (c): one settlement pass decides every exact value.
             self._settle(keyword, affected, queue)
+
+    # ------------------------------------------------------------------
+    # Persistence (repro.persist)
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> ViewSnapshot:
+        """Capture the maintained kdist(·) as token rows.
+
+        Config row: ``(bound, keyword...)``.  One record per entry:
+        ``(keyword, node, dist)`` for keyword-matching nodes (``next`` is
+        ``nil``) and ``(keyword, node, dist, next)`` otherwise.  The
+        reverse next-pointer maps are derived state and are rebuilt by
+        :meth:`restore`.
+        """
+        records = []
+        for keyword in self.query.keywords:
+            for node, entry in self.kdist.entries(keyword).items():
+                if entry.next is None:
+                    records.append((keyword, node, entry.dist))
+                else:
+                    records.append((keyword, node, entry.dist, entry.next))
+        return ViewSnapshot(
+            kind="kws",
+            config=(self.query.bound, *self.query.keywords),
+            records=tuple(records),
+        )
+
+    @classmethod
+    def restore(
+        cls,
+        graph: DiGraph,
+        state: ViewSnapshot,
+        meter: CostMeter = NULL_METER,
+    ) -> "KWSIndex":
+        """Rebuild an index over ``graph`` from a snapshot — no BFS, just
+        entry writes; behaviorally identical to the index that produced
+        the snapshot."""
+        if state.kind != "kws":
+            raise ValueError(f"expected a 'kws' snapshot, got {state.kind!r}")
+        bound, *keywords = state.config
+        index = cls.__new__(cls)
+        index.graph = graph
+        index.query = KWSQuery(tuple(keywords), int(bound))
+        index.meter = meter
+        index.kdist = KDistIndex(index.query)
+        for row in state.records:
+            keyword, node, dist = row[0], row[1], int(row[2])
+            successor = row[3] if len(row) == 4 else None
+            index.kdist.set(node, keyword, KDistEntry(dist, successor))
+        index._touched = {}
+        index._last_touched = {}
+        return index
 
     # ------------------------------------------------------------------
     # ΔO bookkeeping

@@ -1,0 +1,41 @@
+"""Persistent snapshots and write-ahead delta logs for engine sessions.
+
+The paper's guarantees only pay off when index state survives across
+sessions — recomputing every view from scratch on restart forfeits the
+bounded/localizable wins the engine earned.  This package provides the
+substrate:
+
+* :class:`DeltaLog` — an append-only, fsynced log of applied batches
+  (``%batch``/``%commit`` framing around the :mod:`repro.graph.io`
+  update records);
+* :class:`SnapshotStore` — a directory pairing the log with versioned
+  point-in-time snapshots of the graph and every registered view's
+  :meth:`~repro.engine.view.IncrementalView.snapshot`; recovery restores
+  the snapshot and replays the log tail through the ordinary ``absorb``
+  fan-out, so it is incremental work proportional to the tail, not a
+  rebuild proportional to |G|;
+* :func:`register_view_kind` — extension point mapping snapshot kind
+  tags to view classes.
+
+The on-disk format is a documented contract: ``docs/PERSISTENCE.md``.
+"""
+
+from repro.persist.deltalog import DeltaLog, LogEntry
+from repro.persist.format import FORMAT_VERSION, PersistFormatError
+from repro.persist.snapshot import (
+    SnapshotStore,
+    load_session,
+    register_view_kind,
+    save_session,
+)
+
+__all__ = [
+    "DeltaLog",
+    "FORMAT_VERSION",
+    "LogEntry",
+    "PersistFormatError",
+    "SnapshotStore",
+    "load_session",
+    "register_view_kind",
+    "save_session",
+]

@@ -1,0 +1,336 @@
+"""Append-only write-ahead log of applied batch updates.
+
+Every batch an :class:`~repro.engine.session.Engine` successfully fans
+out is appended as one *log entry*::
+
+    %batch <seq>
+    + <source> <target> <source_label> <target_label>
+    - <source> <target>
+    %commit
+
+``seq`` is a strictly increasing integer; the update records are exactly
+the lines of :func:`repro.graph.io.write_delta`.  The ``%commit``
+trailer is the durability marker: :meth:`DeltaLog.append` flushes and
+fsyncs after writing it, and :meth:`DeltaLog.entries` treats any entry
+whose ``%commit`` never made it to disk (a torn tail from a crash
+mid-append) as not written — the batch it described was also never
+acknowledged, so dropping it is the correct recovery.
+
+Replaying the committed entries, in order, over the graph they started
+from reproduces the session state; :class:`repro.persist.SnapshotStore`
+pairs this log with periodic snapshots so only the tail after the last
+snapshot is ever replayed.  A compacted log opens with a ``%truncated
+<seq>`` floor marker recording the seqs that were committed and then
+dropped, so sequence allocation and recovery stay correct across
+processes.
+
+Example::
+
+    >>> import tempfile, pathlib
+    >>> from repro.core.delta import Delta, insert
+    >>> root = pathlib.Path(tempfile.mkdtemp())
+    >>> log = DeltaLog(root / "deltas.log")
+    >>> log.append(Delta([insert(1, 2, "a", "b")]))
+    1
+    >>> log.append(Delta([insert(2, 3)]))
+    2
+    >>> [(entry.seq, len(entry.delta)) for entry in log.entries()]
+    [(1, 1), (2, 1)]
+    >>> [len(entry.delta) for entry in log.entries(after=1)]
+    [1]
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Union
+
+from repro.core.delta import Delta
+from repro.graph.io import update_from_fields, update_to_line
+from repro.persist.format import (
+    PersistFormatError,
+    is_directive,
+    parse_directive,
+    parse_record,
+    render_directive,
+)
+
+PathLike = Union[str, Path]
+
+__all__ = ["DeltaLog", "LogEntry", "fsync_directory"]
+
+
+def fsync_directory(directory: Path) -> None:
+    """Flush a directory's entry table, making renames/creations inside
+    it durable.  Best-effort on platforms whose directories cannot be
+    opened or fsynced (e.g. Windows)."""
+    try:
+        handle = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(handle)
+    except OSError:
+        pass
+    finally:
+        os.close(handle)
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One committed batch: its sequence number and the batch itself."""
+
+    seq: int
+    delta: Delta
+
+
+class DeltaLog:
+    """Append-only batch-update log at a fixed path.
+
+    The file need not exist yet; the first :meth:`append` creates it.
+    Instances hold no open file handle — every operation opens, works,
+    and closes, so a log object is cheap and safe to share between a
+    journaling engine and a :class:`~repro.persist.snapshot.
+    SnapshotStore` reading it back.
+    """
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = Path(path)
+        self._next_seq: int | None = None  # lazily derived from the file
+        self._tail_known_clean = False  # our own appends end in "\n"
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+
+    def append(self, delta: Delta) -> int:
+        """Durably append one batch; returns its sequence number.
+
+        The whole entry is rendered in memory *before* the file is
+        touched, so a batch that cannot be serialized (non-int/str
+        labels) raises without leaving a torn entry on disk.  If a
+        previous crash left the file without a trailing newline, one is
+        prepended so the torn fragment cannot glue onto this entry's
+        ``%batch`` line.  The entry is flushed and fsynced before
+        returning, so once the caller sees the seq, recovery will
+        replay the batch.
+        """
+        seq = self._allocate_seq()
+        entry = "".join(
+            [render_directive("batch", seq)]
+            + [update_to_line(update) for update in delta]
+            + [render_directive("commit")]
+        )
+        created = not self.path.exists()
+        if self._missing_trailing_newline():
+            entry = "\n" + entry
+        with open(self.path, "a", encoding="utf-8") as stream:
+            stream.write(entry)
+            stream.flush()
+            os.fsync(stream.fileno())
+        if created:
+            fsync_directory(self.path.parent)  # the file's name itself
+        self._next_seq = seq + 1
+        return seq
+
+    def _missing_trailing_newline(self) -> bool:
+        """Probe the last byte — but only before this object's first
+        append; our own entries always end in a newline, so afterwards
+        the probe would be dead work on the per-batch hot path."""
+        if self._tail_known_clean:
+            return False
+        self._tail_known_clean = True
+        try:
+            with open(self.path, "rb") as stream:
+                stream.seek(0, os.SEEK_END)
+                if stream.tell() == 0:
+                    return False
+                stream.seek(-1, os.SEEK_END)
+                return stream.read(1) != b"\n"
+        except FileNotFoundError:
+            return False
+
+    def _allocate_seq(self) -> int:
+        if self._next_seq is None:
+            self._next_seq = self._scan_max_seq() + 1
+        return self._next_seq
+
+    def _scan_max_seq(self) -> int:
+        """Highest seq *mentioned* in the file — committed, torn, or
+        recorded by a ``%truncated`` compaction floor — so a reused log
+        never hands out a seq twice."""
+        highest = 0
+        if not self.path.exists():
+            return highest
+        with open(self.path, "r", encoding="utf-8") as stream:
+            for line in stream:
+                line = line.strip()
+                if line.startswith(("%batch", "%truncated")):
+                    try:
+                        _, operands = parse_directive(line)
+                        highest = max(highest, int(operands[0]))
+                    except (ValueError, IndexError, TypeError):
+                        continue  # torn mid-line; entries() reports it
+        return highest
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def entries(self, after: int = 0) -> list[LogEntry]:
+        """All committed entries with ``seq > after``, in log order.
+
+        The reading rule: **committed content must parse; everything
+        outside intact** ``%batch`` .. ``%commit`` **framing is torn
+        debris.**  A crash mid-append (whether at end-of-file or mid-file
+        before a healed-over later append) leaves an entry *prefix* —
+        ``%batch`` line possibly truncated, records possibly truncated,
+        ``%commit`` missing — and every such fragment is skipped: its
+        batch was never acknowledged as applied.  A ``%commit`` whose
+        entry failed to parse, by contrast, is structural corruption of
+        *acknowledged* data and raises :class:`PersistFormatError` —
+        errors must never pass silently.
+
+        Entries with ``seq <= after`` are skipped at the framing level —
+        their records are not tokenized or materialized — so recovery
+        read cost is sized by the tail, not the whole uncompacted log.
+        """
+        result: list[LogEntry] = []
+        if not self.path.exists():
+            return result
+        source = str(self.path)
+        open_seq: int | None = None
+        open_updates: list = []
+        poisoned = False  # inside a torn fragment, awaiting the next %batch
+        previous_seq = 0
+        with open(self.path, "r", encoding="utf-8") as stream:
+            for line_number, raw in enumerate(stream, start=1):
+                line = raw.strip()
+                if not line or line.startswith("#"):
+                    continue
+                if is_directive(line):
+                    try:
+                        keyword, operands = parse_directive(line)
+                    except ValueError:
+                        open_seq = None  # torn mid-directive
+                        poisoned = True
+                        continue
+                    if keyword == "batch":
+                        if len(operands) != 1 or not isinstance(operands[0], int):
+                            open_seq = None  # "%batch" torn before its seq
+                            poisoned = True
+                            continue
+                        # an open entry at this point was never committed
+                        open_seq = operands[0]
+                        open_updates = []
+                        poisoned = False
+                        if open_seq <= previous_seq:
+                            raise PersistFormatError(
+                                source,
+                                line_number,
+                                f"seq {open_seq} does not increase over {previous_seq}",
+                            )
+                    elif keyword == "commit":
+                        if poisoned or open_seq is None:
+                            raise PersistFormatError(
+                                source,
+                                line_number,
+                                "%commit closes an entry that did not parse — "
+                                "corrupt committed data",
+                            )
+                        previous_seq = open_seq
+                        if open_seq > after:
+                            result.append(LogEntry(open_seq, Delta(open_updates)))
+                        open_seq = None
+                        open_updates = []
+                    elif keyword == "truncated":
+                        # compaction floor: entries <= this seq were
+                        # committed and then compacted away.
+                        if len(operands) != 1 or not isinstance(operands[0], int):
+                            raise PersistFormatError(
+                                source, line_number, "%truncated needs one integer seq"
+                            )
+                        previous_seq = max(previous_seq, operands[0])
+                    else:
+                        open_seq = None  # torn directive prefix, e.g. "%bat"
+                        poisoned = True
+                    continue
+                # record line
+                if poisoned:
+                    continue  # torn fragment's records
+                if open_seq is None:
+                    raise PersistFormatError(
+                        source, line_number, "update record outside a %batch entry"
+                    )
+                if open_seq <= after:
+                    continue  # covered by the snapshot; framing only
+                try:
+                    open_updates.append(update_from_fields(list(parse_record(line))))
+                except ValueError:
+                    open_seq = None  # torn mid-record
+                    poisoned = True
+        return result
+
+    def last_seq(self) -> int:
+        """Seq of the newest committed entry (0 for an empty/new log).
+
+        A light line scan — no :class:`Delta` materialization — so
+        periodic :meth:`~repro.persist.snapshot.SnapshotStore.save`
+        calls stay cheap on long uncompacted logs.
+        """
+        last = 0
+        pending: int | None = None
+        if not self.path.exists():
+            return last
+        with open(self.path, "r", encoding="utf-8") as stream:
+            for line in stream:
+                line = line.strip()
+                if line.startswith("%batch"):
+                    try:
+                        _, operands = parse_directive(line)
+                        pending = int(operands[0])
+                    except (ValueError, IndexError, TypeError):
+                        pending = None  # torn framing; entries() decides
+                elif line.startswith("%truncated"):
+                    try:
+                        _, operands = parse_directive(line)
+                        last = max(last, int(operands[0]))
+                    except (ValueError, IndexError, TypeError):
+                        pass
+                elif line.startswith("%commit") and pending is not None:
+                    last = pending
+                    pending = None
+        return last
+
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+
+    def compact(self, after: int) -> int:
+        """Drop committed entries with ``seq <= after`` (they are covered
+        by a snapshot); returns the number of entries kept.
+
+        The compacted file opens with a ``%truncated <after>`` floor
+        marker so a fresh process reading the log still knows those seqs
+        were used — without it, seq allocation could restart below the
+        snapshot's ``last-seq`` stamp and newly journaled batches would
+        be invisible to the next recovery.  Rewrites the file via a
+        temp-and-rename so a crash mid-compaction leaves either the old
+        or the new log, never a hybrid.
+        """
+        kept = self.entries(after=after)
+        temp = self.path.with_suffix(self.path.suffix + ".tmp")
+        with open(temp, "w", encoding="utf-8") as stream:
+            stream.write(render_directive("truncated", after))
+            for entry in kept:
+                stream.write(render_directive("batch", entry.seq))
+                for update in entry.delta:
+                    stream.write(update_to_line(update))
+                stream.write(render_directive("commit"))
+            stream.flush()
+            os.fsync(stream.fileno())
+        os.replace(temp, self.path)
+        fsync_directory(self.path.parent)
+        return len(kept)

@@ -1,0 +1,87 @@
+"""Line-level grammar shared by snapshot files and delta logs.
+
+Both artifacts are plain UTF-8 text built from exactly two kinds of
+lines (plus ``#`` comments and blank lines, which readers skip):
+
+* **records** — whitespace-separated token rows using the lossless
+  quoting rules of :mod:`repro.graph.io_tokens` (bare ints round-trip as
+  ints, everything else as strings);
+* **directives** — lines starting with ``%``: a directive keyword
+  followed by token operands, e.g. ``%section view kws "my view"``.
+
+The full on-disk format is specified in ``docs/PERSISTENCE.md``; this
+module only owns the mechanics: rendering/parsing directive and record
+lines, and the versioned snapshot header.
+
+>>> render_directive("section", "view", "kws", "my view")
+'%section view kws "my view"\\n'
+>>> parse_directive('%section view kws "my view"')
+('section', ['view', 'kws', 'my view'])
+"""
+
+from __future__ import annotations
+
+from repro.graph.io_tokens import format_token, tokenize
+
+__all__ = [
+    "FORMAT_VERSION",
+    "SNAPSHOT_MAGIC",
+    "PersistFormatError",
+    "is_directive",
+    "parse_directive",
+    "parse_record",
+    "render_directive",
+    "render_record",
+]
+
+#: Directive keyword opening every snapshot file (``%repro-snapshot <v>``).
+SNAPSHOT_MAGIC = "repro-snapshot"
+
+#: Current on-disk format version (see docs/PERSISTENCE.md for history).
+FORMAT_VERSION = 1
+
+
+class PersistFormatError(ValueError):
+    """Malformed snapshot or delta-log text."""
+
+    def __init__(self, source: str, line_number: int, reason: str) -> None:
+        super().__init__(f"{source}, line {line_number}: {reason}")
+        self.source = source
+        self.line_number = line_number
+
+
+def render_record(values) -> str:
+    """Render one row of int/str values as a terminated record line."""
+    return " ".join(format_token(value) for value in values) + "\n"
+
+
+def parse_record(line: str) -> tuple:
+    """Parse a record line back into its row of values.
+
+    Raises plain :class:`ValueError` on bad quoting; callers wrap it with
+    file/line context.
+    """
+    return tuple(tokenize(line))
+
+
+def render_directive(keyword: str, *operands) -> str:
+    """Render a ``%keyword operands...`` directive line."""
+    parts = [f"%{keyword}"]
+    parts.extend(format_token(operand) for operand in operands)
+    return " ".join(parts) + "\n"
+
+
+def is_directive(line: str) -> bool:
+    return line.startswith("%")
+
+
+def parse_directive(line: str) -> tuple[str, list]:
+    """Split a directive line into ``(keyword, operands)``.
+
+    Raises plain :class:`ValueError` on bad quoting; callers wrap it with
+    file/line context.
+    """
+    head, _, rest = line[1:].partition(" ")
+    if not head:
+        raise ValueError("empty directive")
+    return head, tokenize(rest)

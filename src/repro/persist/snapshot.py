@@ -1,0 +1,336 @@
+"""Durable session snapshots, paired with the delta log for recovery.
+
+A :class:`SnapshotStore` owns one directory::
+
+    <root>/snapshot.repro   # last saved snapshot (atomic rename on save)
+    <root>/deltas.log       # write-ahead DeltaLog of applied batches
+
+:meth:`SnapshotStore.save` serializes the authoritative graph (via the
+lossless :mod:`repro.graph.io` records) plus every registered view's
+:meth:`~repro.engine.view.IncrementalView.snapshot`, stamped with the
+seq of the newest committed log entry.  :meth:`SnapshotStore.load`
+rebuilds the graph, restores each view through its class's ``restore``
+(no from-scratch recomputation), then replays the delta-log *tail*
+(entries newer than the stamp) through the engine's ordinary ``absorb``
+fan-out — recovery is itself an incremental computation.
+
+The on-disk format is a documented contract — see ``docs/PERSISTENCE.md``.
+
+Example — snapshot a session, lose the process, recover::
+
+    >>> import tempfile, pathlib
+    >>> from repro import DiGraph, Engine, insert
+    >>> from repro.scc import SCCIndex
+    >>> root = pathlib.Path(tempfile.mkdtemp())
+    >>> engine = Engine(DiGraph(labels={1: "a", 2: "b"}, edges=[(1, 2)]))
+    >>> _ = engine.register("scc", lambda g, m: SCCIndex(g, meter=m))
+    >>> store = SnapshotStore(root)
+    >>> _ = store.save(engine)              # durable point-in-time state
+    >>> store.attach(engine)                # journal batches from now on
+    >>> _ = engine.apply([insert(2, 1)])    # logged, not yet snapshotted
+    >>> del engine                          # the "crash"
+    >>> revived = store.load()              # snapshot + replayed tail
+    >>> revived["scc"].components() == {frozenset({1, 2})}
+    True
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.core.cost import CostMeter
+from repro.engine.session import Engine
+from repro.engine.view import IncrementalView, ViewSnapshot
+from repro.graph.digraph import DiGraph
+from repro.graph.io import apply_graph_record, graph_record_lines
+from repro.graph.io_tokens import format_token
+from repro.iso.incremental import ISOIndex
+from repro.kws.incremental import KWSIndex
+from repro.persist.deltalog import DeltaLog, fsync_directory
+from repro.persist.format import (
+    FORMAT_VERSION,
+    SNAPSHOT_MAGIC,
+    PersistFormatError,
+    is_directive,
+    parse_directive,
+    parse_record,
+    render_directive,
+    render_record,
+)
+from repro.rpq.incremental import RPQIndex
+from repro.scc.incremental import SCCIndex
+
+PathLike = Union[str, Path]
+
+__all__ = [
+    "SnapshotStore",
+    "load_session",
+    "register_view_kind",
+    "save_session",
+]
+
+#: kind tag -> view class; extended via :func:`register_view_kind`.
+VIEW_KINDS: dict[str, type] = {
+    "kws": KWSIndex,
+    "rpq": RPQIndex,
+    "scc": SCCIndex,
+    "iso": ISOIndex,
+}
+
+
+def register_view_kind(kind: str, view_class: type) -> None:
+    """Register a custom view class for snapshot round-trips.
+
+    ``view_class`` must implement the
+    :class:`~repro.engine.view.IncrementalView` protocol including the
+    ``snapshot``/``restore`` pair, and its ``snapshot()`` must use
+    ``kind`` as its tag.
+    """
+    existing = VIEW_KINDS.get(kind)
+    if existing is not None and existing is not view_class:
+        raise ValueError(
+            f"view kind {kind!r} is already registered to {existing.__name__}"
+        )
+    VIEW_KINDS[kind] = view_class
+
+
+class SnapshotStore:
+    """Snapshot + delta-log persistence rooted at one directory."""
+
+    SNAPSHOT_NAME = "snapshot.repro"
+    LOG_NAME = "deltas.log"
+
+    def __init__(self, root: PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.snapshot_path = self.root / self.SNAPSHOT_NAME
+        self.log = DeltaLog(self.root / self.LOG_NAME)
+
+    # ------------------------------------------------------------------
+    # Journaling
+    # ------------------------------------------------------------------
+
+    def attach(self, engine: Engine) -> None:
+        """Start journaling ``engine``'s applied batches into this
+        store's delta log (sugar for ``engine.set_journal(store.log)``)."""
+        engine.set_journal(self.log)
+
+    # ------------------------------------------------------------------
+    # Save
+    # ------------------------------------------------------------------
+
+    def save(self, engine: Engine, compact: bool = False) -> Path:
+        """Write a point-in-time snapshot of ``engine``; returns its path.
+
+        Lazy views are materialized first (their state must be captured).
+        The file is written to a temp path, fsynced, then atomically
+        renamed over the previous snapshot, and the directory entry is
+        fsynced before anything touches the log — a crash mid-save
+        leaves the old snapshot and the intact log, so recovery never
+        regresses, and a compaction can never outrun the snapshot that
+        justifies it.  With ``compact=True`` the log entries the new
+        snapshot covers are dropped afterwards.
+        """
+        last_seq = self.log.last_seq()
+        temp = self.snapshot_path.with_suffix(".tmp")
+        with open(temp, "w", encoding="utf-8") as stream:
+            stream.write(render_directive(SNAPSHOT_MAGIC, FORMAT_VERSION))
+            stream.write(render_directive("meta", "last-seq", last_seq))
+            stream.write(render_directive("section", "graph"))
+            for line in graph_record_lines(engine.graph):
+                stream.write(line)
+            for name in engine.names():
+                view = engine.view(name)  # materializes lazy views
+                state = view.snapshot()
+                stream.write(
+                    render_directive("section", "view", name, state.kind)
+                )
+                stream.write(render_directive("config", *state.config))
+                for row in state.records:
+                    stream.write(render_record(row))
+            stream.write(render_directive("end"))
+            stream.flush()
+            os.fsync(stream.fileno())
+        os.replace(temp, self.snapshot_path)
+        fsync_directory(self.root)  # the rename must be durable before
+        if compact:                 # the log below it is compacted
+            self.log.compact(after=last_seq)
+        return self.snapshot_path
+
+    # ------------------------------------------------------------------
+    # Load
+    # ------------------------------------------------------------------
+
+    def load(self, attach_journal: bool = True) -> Engine:
+        """Recover a session: restore the snapshot, replay the log tail.
+
+        Returns a fresh :class:`Engine` whose graph, views, and query
+        answers equal the session that was journaling at the moment of
+        its last durable write.  With ``attach_journal=True`` (default)
+        the recovered engine resumes journaling into the same log, so
+        save/load cycles chain.
+        """
+        graph, view_states, last_seq = self._read_snapshot()
+        engine = Engine(graph)
+        for name, state in view_states:
+            view_class = VIEW_KINDS.get(state.kind)
+            if view_class is None:
+                raise PersistFormatError(
+                    str(self.snapshot_path),
+                    0,
+                    f"unknown view kind {state.kind!r}; register it via "
+                    "repro.persist.register_view_kind",
+                )
+            view = view_class.restore(graph, state, meter=CostMeter())
+            engine.attach(name, view)
+        for entry in self.log.entries(after=last_seq):
+            engine.apply(entry.delta)  # journal not attached: no re-append
+        if attach_journal:
+            self.attach(engine)
+        return engine
+
+    def _read_snapshot(
+        self,
+    ) -> tuple[DiGraph, list[tuple[str, ViewSnapshot]], int]:
+        source = str(self.snapshot_path)
+        if not self.snapshot_path.exists():
+            raise FileNotFoundError(
+                f"no snapshot at {source}; call SnapshotStore.save first"
+            )
+        graph = DiGraph()
+        view_states: list[tuple[str, ViewSnapshot]] = []
+        last_seq = 0
+        section: Optional[str] = None  # None | "graph" | "view"
+        current_name: Optional[str] = None
+        current_kind: Optional[str] = None
+        current_config: Optional[tuple] = None
+        current_records: list[tuple] = []
+        versioned = False
+        ended = False
+        append_record = current_records.append
+
+        def close_view_section() -> None:
+            nonlocal current_name, current_kind, current_config
+            if section == "view":
+                if current_config is None:
+                    raise PersistFormatError(
+                        source, line_number, "view section is missing %config"
+                    )
+                view_states.append(
+                    (
+                        current_name,
+                        ViewSnapshot(
+                            kind=current_kind,
+                            config=current_config,
+                            records=tuple(current_records),
+                        ),
+                    )
+                )
+            current_name = current_kind = current_config = None
+            current_records.clear()
+
+        with open(self.snapshot_path, "r", encoding="utf-8") as stream:
+            line_number = 0
+            for line_number, raw in enumerate(stream, start=1):
+                line = raw.strip()
+                if not line or line.startswith("#"):
+                    continue
+                if ended:
+                    raise PersistFormatError(
+                        source, line_number, "content after %end"
+                    )
+                if is_directive(line):
+                    try:
+                        keyword, operands = parse_directive(line)
+                    except ValueError as exc:
+                        raise PersistFormatError(source, line_number, str(exc)) from None
+                    if keyword == SNAPSHOT_MAGIC:
+                        if operands != [FORMAT_VERSION]:
+                            raise PersistFormatError(
+                                source,
+                                line_number,
+                                f"unsupported snapshot version {operands!r}; "
+                                f"this reader understands version {FORMAT_VERSION}",
+                            )
+                        versioned = True
+                        continue
+                    if not versioned:
+                        raise PersistFormatError(
+                            source,
+                            line_number,
+                            f"missing %{SNAPSHOT_MAGIC} header",
+                        )
+                    if keyword == "meta":
+                        if len(operands) == 2 and operands[0] == "last-seq":
+                            last_seq = int(operands[1])
+                        continue  # unknown meta keys are ignored, not fatal
+                    if keyword == "section":
+                        close_view_section()
+                        if operands and operands[0] == "graph":
+                            section = "graph"
+                        elif len(operands) == 3 and operands[0] == "view":
+                            section = "view"
+                            current_name = operands[1]
+                            current_kind = operands[2]
+                        else:
+                            raise PersistFormatError(
+                                source, line_number, f"bad section {operands!r}"
+                            )
+                        continue
+                    if keyword == "config":
+                        if section != "view":
+                            raise PersistFormatError(
+                                source, line_number, "%config outside a view section"
+                            )
+                        current_config = tuple(operands)
+                        continue
+                    if keyword == "end":
+                        close_view_section()
+                        section = None
+                        ended = True
+                        continue
+                    raise PersistFormatError(
+                        source, line_number, f"unknown directive %{keyword}"
+                    )
+                # record line
+                try:
+                    row = parse_record(line)
+                except ValueError as exc:
+                    raise PersistFormatError(source, line_number, str(exc)) from None
+                if section == "graph":
+                    try:
+                        apply_graph_record(graph, list(row))
+                    except ValueError as exc:
+                        raise PersistFormatError(source, line_number, str(exc)) from None
+                elif section == "view":
+                    append_record(row)
+                else:
+                    raise PersistFormatError(
+                        source, line_number, "record outside any section"
+                    )
+        if not versioned:
+            raise PersistFormatError(source, 0, f"missing %{SNAPSHOT_MAGIC} header")
+        if not ended:
+            raise PersistFormatError(
+                source,
+                line_number,
+                "truncated snapshot (no %end); the file was not written by an "
+                "atomic save",
+            )
+        return graph, view_states, last_seq
+
+
+def save_session(engine: Engine, root: PathLike, compact: bool = False) -> Path:
+    """One-call convenience: snapshot ``engine`` into the store at
+    ``root`` and keep it journaling there afterwards."""
+    store = SnapshotStore(root)
+    path = store.save(engine, compact=compact)
+    store.attach(engine)
+    return path
+
+
+def load_session(root: PathLike, attach_journal: bool = True) -> Engine:
+    """One-call convenience: recover the session stored at ``root``."""
+    return SnapshotStore(root).load(attach_journal=attach_journal)

@@ -33,12 +33,13 @@ from dataclasses import dataclass
 
 from repro.core.cost import CostMeter, NULL_METER
 from repro.core.delta import Delta
+from repro.engine.view import ViewSnapshot
 from repro.graph.digraph import DiGraph, Node
 from repro.kws.kdist import node_order
-from repro.rpq.batch import rpq_nfa
+from repro.rpq.batch import compile_query, rpq_nfa
 from repro.rpq.markings import BOOTSTRAP, MarkEntry, Markings, ProductNode
 from repro.rpq.nfa import NFA, State
-from repro.rpq.regex import Regex
+from repro.rpq.regex import Regex, parse
 
 _INF = float("inf")
 
@@ -68,7 +69,8 @@ class RPQIndex:
     ) -> None:
         self.graph = graph
         self.meter = meter
-        result = rpq_nfa(graph, query, meter=meter)
+        self.query: Regex = parse(query) if isinstance(query, str) else query
+        result = rpq_nfa(graph, self.query, meter=meter)
         self.nfa: NFA = result.nfa
         self.markings: Markings = result.markings
         self.matches: set[tuple[Node, Node]] = result.matches
@@ -391,6 +393,127 @@ class RPQIndex:
                     child.cpre.discard((node, state))
         if state in self.nfa.accepting:
             self._note_pair(source, node)
+
+    # ------------------------------------------------------------------
+    # Persistence (repro.persist)
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> ViewSnapshot:
+        """Capture pmark_e as token rows.
+
+        Config row: ``(query_text,)`` — the regex in the concrete syntax
+        of :func:`repro.rpq.regex.parse` (``str(ast)`` round-trips, so
+        the NFA is rebuilt, not stored).  One record per marking entry:
+        ``(source, node, state, dist)``.
+
+        ``cpre``/``mpre`` are deliberately *not* stored: a product node
+        ``(v', s')`` is in ``(v, s)``'s cpre exactly when ``(v', v)`` is
+        a graph edge, ``s ∈ δ(s', l(v))``, and ``(v', s')`` carries an
+        entry — the same predecessor scan
+        :meth:`RPQIndex._create_entry` performs — and mpre is cpre's
+        ``dist(v', s') + 1 = dist(v, s)`` subset (plus the virtual
+        :data:`~repro.rpq.markings.BOOTSTRAP` parent at dist 0).  Both
+        are re-derived by :meth:`restore`, keeping snapshots linear in
+        the number of entries rather than in Σ|cpre|.
+        """
+        records = []
+        for source in self.markings.sources():
+            marks = self.markings.get(source)
+            for node, states in marks.by_node.items():
+                for state, entry in states.items():
+                    records.append((source, node, state, int(entry.dist)))
+        return ViewSnapshot(
+            kind="rpq", config=(str(self.query),), records=tuple(records)
+        )
+
+    @classmethod
+    def restore(
+        cls,
+        graph: DiGraph,
+        state: ViewSnapshot,
+        meter: CostMeter = NULL_METER,
+    ) -> "RPQIndex":
+        """Rebuild an index over ``graph`` from a snapshot — the NFA is
+        recompiled from the query text (O(|Q|)), the entries are writes,
+        cpre/mpre come from one predecessor scan per entry (no product
+        BFS, no priority queue), and the match set falls out of the
+        accepting states."""
+        if state.kind != "rpq":
+            raise ValueError(f"expected an 'rpq' snapshot, got {state.kind!r}")
+        index = cls.__new__(cls)
+        index.graph = graph
+        index.meter = meter
+        index.query, index.nfa = compile_query(state.config[0])
+        index.markings = Markings()
+        index.matches = set()
+        accepting = index.nfa.accepting
+        matches = index.matches
+
+        # Pass 1 — bulk-create the entry buckets (plain dict writes; the
+        # node → sources reverse index is filled in one sweep afterwards).
+        per_source: dict[Node, dict[Node, dict[State, MarkEntry]]] = {}
+        for row in state.records:
+            source, node, nfa_state, dist = row[0], row[1], int(row[2]), int(row[3])
+            by_node = per_source.get(source)
+            if by_node is None:
+                by_node = per_source[source] = {}
+            states = by_node.get(node)
+            if states is None:
+                states = by_node[node] = {}
+            states[nfa_state] = MarkEntry(dist=dist, cpre=set(), mpre=set())
+            if nfa_state in accepting:
+                matches.add((source, node))
+        sources_at = index.markings.sources_at
+        for source, by_node in per_source.items():
+            marks = index.markings.source(source)
+            marks.by_node = by_node
+            for node in by_node:
+                owners = sources_at.get(node)
+                if owners is None:
+                    owners = sources_at[node] = set()
+                owners.add(source)
+
+        # Pass 2 — derive cpre/mpre over the product edges among restored
+        # entries, resolving δ(pred_state, l(v)) once per (pred_state,
+        # node) pair — cheaper than the product BFS because nothing is
+        # queued, deduplicated, or discovered.
+        by_label_state: dict = {}
+        for from_state, by_label in index.nfa.transitions.items():
+            for label, targets in by_label.items():
+                by_label_state.setdefault(label, {})[from_state] = targets
+        labels = graph.labels
+        predecessors_of = graph.predecessors
+        for source, by_node in per_source.items():
+            for node, states in by_node.items():
+                state_map = by_label_state.get(labels[node])
+                if not state_map:
+                    continue
+                for predecessor in predecessors_of(node):
+                    pred_states = by_node.get(predecessor)
+                    if not pred_states:
+                        continue
+                    for pred_state, pred_entry in pred_states.items():
+                        targets = state_map.get(pred_state)
+                        if not targets:
+                            continue
+                        parent = (predecessor, pred_state)
+                        parent_reach = pred_entry.dist + 1
+                        for target_state in targets:
+                            entry = states.get(target_state)
+                            if entry is not None:
+                                entry.cpre.add(parent)
+                                if parent_reach == entry.dist:
+                                    entry.mpre.add(parent)
+            source_states = by_node.get(source)
+            if source_states:
+                for nfa_state in index.nfa.start_states(labels[source]):
+                    entry = source_states.get(nfa_state)
+                    if entry is not None:
+                        entry.cpre.add(BOOTSTRAP)
+                        if entry.dist == 0:
+                            entry.mpre.add(BOOTSTRAP)
+        index._pair_before = {}
+        return index
 
     # ------------------------------------------------------------------
     # ΔO bookkeeping

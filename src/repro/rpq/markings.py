@@ -100,6 +100,12 @@ class SourceMarks:
     def __len__(self) -> int:
         return sum(len(states) for states in self.by_node.values())
 
+    def __bool__(self) -> bool:
+        # Without this, truthiness falls back to __len__, which sums over
+        # every node bucket — O(reached nodes) for what hot paths
+        # (e.g. RPQIndex._finish_delta) use as an emptiness test.
+        return bool(self.by_node)
+
 
 class Markings:
     """pmark_e for all sources: ``{u: SourceMarks}``.

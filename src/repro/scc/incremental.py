@@ -49,7 +49,9 @@ from __future__ import annotations
 
 from repro.core.cost import CostMeter, NULL_METER
 from repro.core.delta import Delta, Update
+from repro.engine.view import ViewSnapshot
 from repro.graph.digraph import DiGraph, Edge, Node
+from repro.kws.kdist import node_order
 from repro.scc.condensation import CompId, Condensation
 from repro.scc.tarjan import EdgeKind, TarjanResult, tarjan_scc
 
@@ -494,6 +496,84 @@ class SCCIndex:
                 added_total, removed_total, gained, lost
             )
         return added_total, removed_total
+
+    # ------------------------------------------------------------------
+    # Persistence (repro.persist)
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> ViewSnapshot:
+        """Capture the partition and ranks as token rows.
+
+        Config row: ``(next_component_id,)``.  One record per component:
+        ``(comp_id, rank, member...)`` with the float rank carried as its
+        ``repr`` string (ranks need only stay unique and ordered;
+        ``repr`` round-trips floats exactly).  Inter-edge counters are
+        derived by one edge scan on restore, and the num/lowlink/
+        edge-kind caches are deliberately dropped — the partition never
+        depends on them, so the restored index starts with every
+        component marked stale and rebuilds caches lazily, exactly like
+        a component after an in-place intra-component insertion.
+        """
+        records = []
+        for comp_id, members in self.cond.members.items():
+            records.append(
+                (
+                    comp_id,
+                    repr(self.cond.rank[comp_id]),
+                    *sorted(members, key=node_order),
+                )
+            )
+        return ViewSnapshot(
+            kind="scc", config=(self.cond._next_id,), records=tuple(records)
+        )
+
+    @classmethod
+    def restore(
+        cls,
+        graph: DiGraph,
+        state: ViewSnapshot,
+        meter: CostMeter = NULL_METER,
+    ) -> "SCCIndex":
+        """Rebuild an index over ``graph`` from a snapshot — one O(|E|)
+        counter scan instead of a full Tarjan pass, no recursion."""
+        if state.kind != "scc":
+            raise ValueError(f"expected an 'scc' snapshot, got {state.kind!r}")
+        index = cls.__new__(cls)
+        index.graph = graph
+        index.meter = meter
+        index._split_view = graph
+        members: dict[CompId, set[Node]] = {}
+        comp_of: dict[Node, CompId] = {}
+        rank: dict[CompId, float] = {}
+        for row in state.records:
+            comp = int(row[0])
+            rank[comp] = float(row[1])
+            members[comp] = set(row[2:])
+            for node in row[2:]:
+                comp_of[node] = comp
+        succ: dict[CompId, dict[CompId, int]] = {comp: {} for comp in members}
+        pred: dict[CompId, dict[CompId, int]] = {comp: {} for comp in members}
+        for source, target in graph.edges():
+            source_comp = comp_of[source]
+            target_comp = comp_of[target]
+            if source_comp == target_comp:
+                continue
+            count = succ[source_comp].get(target_comp, 0) + 1
+            succ[source_comp][target_comp] = count
+            pred[target_comp][source_comp] = count
+        index.cond = Condensation(
+            members=members,
+            comp_of=comp_of,
+            succ=succ,
+            pred=pred,
+            rank=rank,
+            _next_id=int(state.config[0]),
+        )
+        index.num = {}
+        index.lowlink = {}
+        index._edge_kinds = {}
+        index._stale = set(members)
+        return index
 
     # ------------------------------------------------------------------
     # Internals

@@ -1,0 +1,31 @@
+"""Docstring examples in the public engine/persist APIs must stay
+runnable — the docs-can't-rot satellite of the persistence PR.  CI also
+runs these through ``pytest --doctest-modules`` (see the docs job); this
+mirror keeps them inside the tier-1 suite."""
+
+import doctest
+
+import pytest
+
+import repro.engine.session
+import repro.engine.view
+import repro.persist.deltalog
+import repro.persist.format
+import repro.persist.snapshot
+
+MODULES = [
+    repro.engine.session,
+    repro.engine.view,
+    repro.persist.deltalog,
+    repro.persist.format,
+    repro.persist.snapshot,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    failures, tests = doctest.testmod(
+        module, optionflags=doctest.ELLIPSIS, verbose=False
+    )
+    assert tests > 0, f"{module.__name__} has no doctests"
+    assert failures == 0

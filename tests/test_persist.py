@@ -1,0 +1,586 @@
+"""Persistence tests: delta-log durability semantics, per-view
+snapshot/restore equivalence, full SnapshotStore recovery (snapshot +
+replayed tail equals the uninterrupted session), engine view lifecycle
+(deregister / lazy build), and the save→load→replay property against
+from-scratch recomputation after randomized batches (mirroring
+``test_engine.py``'s consistency harness)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Delta, DiGraph, Engine, EngineError, delete, insert
+from repro.iso import ISOIndex, Pattern, vf2_matches
+from repro.kws import KWSIndex, KWSQuery, batch_kws
+from repro.persist import (
+    DeltaLog,
+    PersistFormatError,
+    SnapshotStore,
+    load_session,
+    save_session,
+)
+from repro.rpq import RPQIndex, matches_only, rpq_nfa
+from repro.scc import SCCIndex, tarjan_scc
+
+LABELS = ["a", "b", "c"]
+KWS_QUERY = KWSQuery(("a", "b"), bound=2)
+RPQ_QUERY = "a . (b + c)* . c"
+ISO_PATTERN = Pattern.from_edges({0: "a", 1: "b"}, [(0, 1)])
+
+
+def sample_graph() -> DiGraph:
+    return DiGraph(
+        labels={1: "a", 2: "b", 3: "c", 4: "a", 5: "b"},
+        edges=[(1, 2), (2, 3), (3, 1), (4, 5)],
+    )
+
+
+def four_view_engine(graph: DiGraph) -> Engine:
+    engine = Engine(graph)
+    engine.register("kws", lambda g, m: KWSIndex(g, KWS_QUERY, meter=m))
+    engine.register("rpq", lambda g, m: RPQIndex(g, RPQ_QUERY, meter=m))
+    engine.register("scc", lambda g, m: SCCIndex(g, meter=m))
+    engine.register("iso", lambda g, m: ISOIndex(g, ISO_PATTERN, meter=m))
+    return engine
+
+
+def assert_views_match_recompute(engine: Engine) -> None:
+    graph = engine.graph
+    assert engine["kws"].roots() == set(batch_kws(graph, KWS_QUERY))
+    assert engine["rpq"].matches == matches_only(graph, RPQ_QUERY)
+    assert engine["scc"].components() == tarjan_scc(graph).partition()
+    assert engine["iso"].matches == vf2_matches(graph, ISO_PATTERN)
+    engine["scc"].check_consistency()
+    engine["iso"].check_consistency()
+
+
+def assert_sessions_equal(recovered: Engine, reference: Engine) -> None:
+    """Graph, view outputs, and query answers all agree."""
+    assert recovered.graph == reference.graph
+    assert set(recovered.names()) == set(reference.names())
+    assert recovered["kws"].roots() == reference["kws"].roots()
+    assert recovered["kws"].profile() == reference["kws"].profile()
+    assert recovered["rpq"].matches == reference["rpq"].matches
+    assert recovered["scc"].components() == reference["scc"].components()
+    assert recovered["iso"].matches == reference["iso"].matches
+
+
+# ----------------------------------------------------------------------
+# DeltaLog
+# ----------------------------------------------------------------------
+
+
+class TestDeltaLog:
+    def test_append_and_read_back(self, tmp_path):
+        log = DeltaLog(tmp_path / "deltas.log")
+        first = Delta([insert(1, 2, "a", "b"), delete(3, 4)])
+        second = Delta([insert("spaced node", 'quo"ted', "x y", "")])
+        assert log.append(first) == 1
+        assert log.append(second) == 2
+        entries = log.entries()
+        assert [entry.seq for entry in entries] == [1, 2]
+        assert entries[0].delta.updates == first.updates
+        assert entries[1].delta.updates == second.updates
+
+    def test_after_filter_and_last_seq(self, tmp_path):
+        log = DeltaLog(tmp_path / "deltas.log")
+        assert log.last_seq() == 0
+        for k in range(3):
+            log.append(Delta([insert(k, k + 1)]))
+        assert log.last_seq() == 3
+        assert [entry.seq for entry in log.entries(after=2)] == [3]
+
+    def test_seq_survives_reopen(self, tmp_path):
+        path = tmp_path / "deltas.log"
+        DeltaLog(path).append(Delta([insert(1, 2)]))
+        assert DeltaLog(path).append(Delta([insert(2, 3)])) == 2
+
+    def test_torn_tail_is_dropped(self, tmp_path):
+        path = tmp_path / "deltas.log"
+        log = DeltaLog(path)
+        log.append(Delta([insert(1, 2)]))
+        with open(path, "a", encoding="utf-8") as stream:
+            stream.write("%batch 2\n+ 5 6")  # crash: no %commit, no newline
+        assert [entry.seq for entry in DeltaLog(path).entries()] == [1]
+
+    @pytest.mark.parametrize(
+        "torn", ["%bat", "%batch", "%comm", '%batch "'],
+        ids=["directive-prefix", "seq-missing", "commit-prefix", "mid-token"],
+    )
+    def test_torn_directive_tail_is_dropped(self, tmp_path, torn):
+        """A crash can tear the framing directives themselves; every torn
+        shape at EOF must be recoverable, not fatal."""
+        path = tmp_path / "deltas.log"
+        DeltaLog(path).append(Delta([insert(1, 2)]))
+        with open(path, "a", encoding="utf-8") as stream:
+            stream.write(torn)
+        assert [entry.seq for entry in DeltaLog(path).entries()] == [1]
+
+    def test_unserializable_batch_leaves_no_torn_entry(self, tmp_path):
+        from repro.graph.io_tokens import SerializationError
+
+        log = DeltaLog(tmp_path / "deltas.log")
+        log.append(Delta([insert(1, 2)]))
+        with pytest.raises(SerializationError):
+            log.append(Delta([insert(3, 4, source_label=("tu", "ple"))]))
+        assert [entry.seq for entry in DeltaLog(log.path).entries()] == [1]
+
+    def test_append_after_torn_tail_does_not_reuse_seq(self, tmp_path):
+        path = tmp_path / "deltas.log"
+        DeltaLog(path).append(Delta([insert(1, 2)]))
+        with open(path, "a", encoding="utf-8") as stream:
+            stream.write("%batch 2\n")  # torn entry claims seq 2
+        fresh = DeltaLog(path)
+        assert fresh.append(Delta([insert(2, 3)])) == 3
+        assert [entry.seq for entry in fresh.entries()] == [1, 3]
+
+    def test_corrupt_committed_entry_raises(self, tmp_path):
+        """A %commit whose records did not parse is corruption of
+        acknowledged data, not a torn fragment — it must raise."""
+        path = tmp_path / "deltas.log"
+        path.write_text(
+            "%batch 1\n? 1 2\n%commit\n%batch 2\n+ 2 3\n%commit\n",
+            encoding="utf-8",
+        )
+        with pytest.raises(PersistFormatError, match="corrupt committed data"):
+            DeltaLog(path).entries()
+
+    def test_mid_file_torn_entry_is_skipped(self, tmp_path):
+        """A torn entry prefix that a later (healed) append wrote past —
+        the realistic mid-file crash residue — is skipped, and the
+        committed entries around it survive."""
+        path = tmp_path / "deltas.log"
+        log = DeltaLog(path)
+        log.append(Delta([insert(1, 2)]))
+        with open(path, "a", encoding="utf-8") as stream:
+            stream.write("%batch 2\n- 1 ")  # crash mid-record, no commit
+        fresh = DeltaLog(path)
+        assert fresh.append(Delta([insert(5, 6)])) == 3
+        assert [entry.seq for entry in fresh.entries()] == [1, 3]
+
+    def test_non_increasing_seq_raises(self, tmp_path):
+        path = tmp_path / "deltas.log"
+        path.write_text(
+            "%batch 2\n%commit\n%batch 1\n%commit\n", encoding="utf-8"
+        )
+        with pytest.raises(PersistFormatError, match="does not increase"):
+            DeltaLog(path).entries()
+
+    def test_compact_drops_covered_entries(self, tmp_path):
+        log = DeltaLog(tmp_path / "deltas.log")
+        for k in range(4):
+            log.append(Delta([insert(k, k + 1)]))
+        assert log.compact(after=2) == 2
+        assert [entry.seq for entry in log.entries()] == [3, 4]
+        # seqs keep increasing after compaction
+        assert DeltaLog(log.path).append(Delta([insert(9, 10)])) == 5
+
+    def test_compact_floor_survives_fresh_process(self, tmp_path):
+        """A fully compacted (empty) log must not reset seq allocation
+        below the snapshot stamp — later appends would be invisible to
+        the next recovery's entries(after=stamp)."""
+        log = DeltaLog(tmp_path / "deltas.log")
+        log.append(Delta([insert(1, 2)]))
+        log.append(Delta([insert(2, 3)]))
+        log.compact(after=2)  # snapshot covered everything
+        fresh = DeltaLog(log.path)  # a new process
+        assert fresh.last_seq() == 2
+        assert fresh.append(Delta([insert(3, 4)])) == 3
+        assert [entry.seq for entry in fresh.entries(after=2)] == [3]
+
+    def test_append_heals_missing_trailing_newline(self, tmp_path):
+        """A torn final line without a newline must not glue onto the
+        next entry's %batch directive."""
+        path = tmp_path / "deltas.log"
+        log = DeltaLog(path)
+        log.append(Delta([insert(1, 2)]))
+        with open(path, "a", encoding="utf-8") as stream:
+            stream.write("%batch 2\n- 1 ")  # crash mid-record, no newline
+        fresh = DeltaLog(path)
+        assert fresh.append(Delta([insert(5, 6)])) == 3
+        assert [entry.seq for entry in fresh.entries()] == [1, 3]
+
+    def test_skipped_entries_are_not_parsed(self, tmp_path):
+        """entries(after=N) must not tokenize records of covered entries
+        (recovery reads are tail-sized)."""
+        import repro.persist.deltalog as deltalog_module
+
+        log = DeltaLog(tmp_path / "deltas.log")
+        for k in range(3):
+            log.append(Delta([insert(k, k + 1)]))
+        calls = []
+        original = deltalog_module.update_from_fields
+        deltalog_module.update_from_fields = lambda fields: (
+            calls.append(1),
+            original(fields),
+        )[1]
+        try:
+            tail = log.entries(after=2)
+        finally:
+            deltalog_module.update_from_fields = original
+        assert [entry.seq for entry in tail] == [3]
+        assert len(calls) == 1  # only the tail entry's single record
+
+
+# ----------------------------------------------------------------------
+# Per-view snapshot/restore
+# ----------------------------------------------------------------------
+
+
+class TestViewSnapshots:
+    """restore(graph, index.snapshot()) must be behaviorally identical to
+    the index itself — same answers now, same ΔO under further updates."""
+
+    FOLLOW_UP = Delta([delete(1, 2), insert(5, 3), insert(2, 4)])
+
+    def _roundtrip(self, make_index):
+        graph = sample_graph()
+        original = make_index(graph)
+        twin_graph = graph.copy()
+        restored = type(original).restore(twin_graph, original.snapshot())
+        first = original.apply(self.FOLLOW_UP)
+        second = restored.apply(self.FOLLOW_UP)
+        assert first == second
+        return original, restored
+
+    def test_kws(self):
+        original, restored = self._roundtrip(lambda g: KWSIndex(g, KWS_QUERY))
+        assert restored.profile() == original.profile()
+        assert restored.roots() == set(batch_kws(restored.graph, KWS_QUERY))
+
+    def test_rpq(self):
+        original, restored = self._roundtrip(lambda g: RPQIndex(g, RPQ_QUERY))
+        assert restored.matches == matches_only(restored.graph, RPQ_QUERY)
+        # the derived cpre/mpre must equal the incrementally maintained ones
+        for source in original.markings.sources():
+            marks = original.markings.get(source)
+            mirror_marks = restored.markings.get(source)
+            for node, states in marks.by_node.items():
+                for state, entry in states.items():
+                    mirror = mirror_marks.get(node, state)
+                    assert mirror is not None
+                    assert mirror.dist == entry.dist
+                    assert mirror.cpre == entry.cpre
+                    assert mirror.mpre == entry.mpre
+
+    def test_scc(self):
+        original, restored = self._roundtrip(lambda g: SCCIndex(g))
+        assert restored.components() == tarjan_scc(restored.graph).partition()
+        restored.check_consistency()
+
+    def test_iso(self):
+        original, restored = self._roundtrip(lambda g: ISOIndex(g, ISO_PATTERN))
+        assert restored.pattern.shape() == original.pattern.shape()
+        restored.check_consistency()
+
+    def test_wrong_kind_rejected(self):
+        graph = sample_graph()
+        state = SCCIndex(graph).snapshot()
+        with pytest.raises(ValueError, match="expected a 'kws' snapshot"):
+            KWSIndex.restore(graph, state)
+
+
+# ----------------------------------------------------------------------
+# SnapshotStore recovery
+# ----------------------------------------------------------------------
+
+PRE_BATCHES = [
+    Delta([delete(3, 1), insert(5, 4)]),
+    Delta([insert(3, 5, "c", "b")]),
+]
+POST_BATCHES = [
+    Delta([delete(1, 2)]),
+    Delta([insert(6, 1, "b", "a"), delete(4, 5)]),
+]
+
+
+class TestSnapshotStore:
+    def test_recovery_equals_uninterrupted_session(self, tmp_path):
+        reference = four_view_engine(sample_graph())
+        store = SnapshotStore(tmp_path / "store")
+        store.attach(reference)
+        for batch in PRE_BATCHES:
+            reference.apply(batch)
+        store.save(reference)
+        for batch in POST_BATCHES:
+            reference.apply(batch)  # journaled tail, not snapshotted
+
+        recovered = store.load()  # the process was "discarded"
+        assert_sessions_equal(recovered, reference)
+        assert_views_match_recompute(recovered)
+
+        # the recovered session keeps evolving identically
+        follow_up = Delta([insert(4, 2), delete(2, 3)])
+        assert (
+            recovered.apply(follow_up).output("scc")
+            == reference.apply(follow_up).output("scc")
+        )
+        assert_sessions_equal(recovered, reference)
+
+    def test_load_without_tail(self, tmp_path):
+        reference = four_view_engine(sample_graph())
+        store = SnapshotStore(tmp_path / "store")
+        store.save(reference)
+        assert_sessions_equal(store.load(), reference)
+
+    def test_recovered_session_journals_and_chains(self, tmp_path):
+        engine = four_view_engine(sample_graph())
+        store = SnapshotStore(tmp_path / "store")
+        store.save(engine)
+        store.attach(engine)
+        engine.apply(PRE_BATCHES[0])
+
+        second = store.load()  # journal re-attached by default
+        second.apply(PRE_BATCHES[1])
+        third = store.load()
+        engine.apply(PRE_BATCHES[1])
+        assert_sessions_equal(third, engine)
+
+    def test_save_compact_drops_replayed_tail(self, tmp_path):
+        engine = four_view_engine(sample_graph())
+        store = SnapshotStore(tmp_path / "store")
+        store.attach(engine)
+        for batch in PRE_BATCHES:
+            engine.apply(batch)
+        store.save(engine, compact=True)
+        assert store.log.entries() == []
+        engine.apply(POST_BATCHES[0])
+        assert_sessions_equal(store.load(), engine)
+
+    def test_rollback_is_journaled(self, tmp_path):
+        reference = four_view_engine(sample_graph())
+        store = SnapshotStore(tmp_path / "store")
+        store.save(reference)
+        store.attach(reference)
+        mark = reference.checkpoint()
+        for batch in PRE_BATCHES:
+            reference.apply(batch)
+        reference.rollback(mark)
+        recovered = store.load()
+        assert_sessions_equal(recovered, reference)
+
+    def test_lazy_views_are_materialized_by_save(self, tmp_path):
+        engine = Engine(sample_graph())
+        engine.register(
+            "scc", lambda g, m: SCCIndex(g, meter=m), build="on_first_apply"
+        )
+        store = SnapshotStore(tmp_path / "store")
+        store.save(engine)
+        recovered = store.load()
+        assert recovered["scc"].components() == engine["scc"].components()
+
+    def test_missing_snapshot_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="no snapshot"):
+            SnapshotStore(tmp_path / "store").load()
+
+    def test_version_mismatch_raises(self, tmp_path):
+        store = SnapshotStore(tmp_path / "store")
+        store.snapshot_path.write_text(
+            "%repro-snapshot 99\n%end\n", encoding="utf-8"
+        )
+        with pytest.raises(PersistFormatError, match="unsupported snapshot version"):
+            store.load()
+
+    def test_truncated_snapshot_raises(self, tmp_path):
+        store = SnapshotStore(tmp_path / "store")
+        store.snapshot_path.write_text(
+            "%repro-snapshot 1\n%section graph\nn 1 a\n", encoding="utf-8"
+        )
+        with pytest.raises(PersistFormatError, match="truncated snapshot"):
+            store.load()
+
+    def test_unknown_view_kind_raises(self, tmp_path):
+        store = SnapshotStore(tmp_path / "store")
+        store.snapshot_path.write_text(
+            "%repro-snapshot 1\n%section view w weird\n%config\n%end\n",
+            encoding="utf-8",
+        )
+        with pytest.raises(PersistFormatError, match="unknown view kind"):
+            store.load()
+
+    def test_directive_like_labels_round_trip(self, tmp_path):
+        """A node id or label starting with '%' must not masquerade as a
+        directive line (the writer quotes it)."""
+        graph = DiGraph(labels={"%cash": "%end", 2: "b"}, edges=[("%cash", 2)])
+        engine = Engine(graph)
+        engine.register("kws", lambda g, m: KWSIndex(g, KWSQuery(("%end", "b"), 2), meter=m))
+        engine.register("scc", lambda g, m: SCCIndex(g, meter=m))
+        store = SnapshotStore(tmp_path / "store")
+        store.save(engine)
+        recovered = store.load()
+        assert recovered.graph == engine.graph
+        assert recovered["kws"].roots() == engine["kws"].roots()
+
+    def test_unjournalable_batch_fails_before_mutation(self, tmp_path):
+        """Write-ahead ordering: a batch the journal cannot serialize is
+        rejected with graph, views, and log all untouched."""
+        from repro.graph.io_tokens import SerializationError
+
+        engine = four_view_engine(sample_graph())
+        store = SnapshotStore(tmp_path / "store")
+        store.save(engine)
+        store.attach(engine)
+        edges_before = set(engine.graph.edges())
+        roots_before = set(engine["kws"].roots())
+        with pytest.raises(SerializationError):
+            engine.apply(Delta([insert(9, 10, source_label=("tu", "ple"))]))
+        assert set(engine.graph.edges()) == edges_before
+        assert set(engine["kws"].roots()) == roots_before
+        assert store.log.entries() == []
+        engine.apply(PRE_BATCHES[0])  # journaling still works afterwards
+        assert_sessions_equal(store.load(), engine)
+
+    def test_convenience_wrappers(self, tmp_path):
+        engine = four_view_engine(sample_graph())
+        save_session(engine, tmp_path / "store")
+        engine.apply(PRE_BATCHES[0])  # journaled by save_session's attach
+        assert_sessions_equal(load_session(tmp_path / "store"), engine)
+
+
+# ----------------------------------------------------------------------
+# Engine view lifecycle
+# ----------------------------------------------------------------------
+
+
+class TestLifecycle:
+    def test_deregister_stops_fanout_and_frees_name(self):
+        engine = four_view_engine(sample_graph())
+        view = engine.deregister("iso")
+        assert "iso" not in engine and len(engine) == 3
+        report = engine.apply(Delta([delete(3, 1)]))
+        assert "iso" not in report.views
+        assert view.matches == vf2_matches(view.graph, ISO_PATTERN)
+        engine.register("iso", lambda g, m: ISOIndex(g, ISO_PATTERN, meter=m))
+        assert engine["iso"].matches == vf2_matches(engine.graph, ISO_PATTERN)
+
+    def test_deregister_unknown_name(self):
+        with pytest.raises(EngineError, match="no view named"):
+            Engine(sample_graph()).deregister("nope")
+
+    def test_lazy_register_defers_the_build(self):
+        calls = []
+        engine = Engine(sample_graph())
+
+        def factory(graph, meter):
+            calls.append("built")
+            return SCCIndex(graph, meter=meter)
+
+        assert engine.register("scc", factory, build="on_first_apply") is None
+        assert "scc" in engine and len(engine) == 1 and calls == []
+        report = engine.apply(Delta([delete(3, 1)]))
+        assert calls == ["built"]
+        # built on the pre-batch graph, then absorbed the batch
+        gained, lost = report.output("scc")
+        assert lost == {frozenset({1, 2, 3})}
+        assert engine["scc"].components() == tarjan_scc(engine.graph).partition()
+
+    def test_lazy_register_builds_on_first_access(self):
+        engine = Engine(sample_graph())
+        engine.register(
+            "scc", lambda g, m: SCCIndex(g, meter=m), build="on_first_apply"
+        )
+        assert engine["scc"].components() == tarjan_scc(engine.graph).partition()
+        assert engine.meter("scc").total() > 0
+
+    def test_lazy_deregister_before_build(self):
+        calls = []
+        engine = Engine(sample_graph())
+        engine.register(
+            "scc",
+            lambda g, m: calls.append("built") or SCCIndex(g, meter=m),
+            build="on_first_apply",
+        )
+        assert engine.deregister("scc") is None
+        engine.apply(Delta([delete(3, 1)]))
+        assert calls == []
+
+    def test_unknown_build_mode(self):
+        with pytest.raises(EngineError, match="unknown build mode"):
+            Engine(sample_graph()).register(
+                "scc", lambda g, m: SCCIndex(g, meter=m), build="later"
+            )
+
+    def test_lazy_name_collision_still_rejected(self):
+        engine = Engine(sample_graph())
+        engine.register(
+            "scc", lambda g, m: SCCIndex(g, meter=m), build="on_first_apply"
+        )
+        with pytest.raises(EngineError, match="already registered"):
+            engine.register("scc", lambda g, m: SCCIndex(g, meter=m))
+
+
+# ----------------------------------------------------------------------
+# Property: save → load → replay ≡ from-scratch recomputation after
+# randomized batches (mirrors test_engine.py's consistency harness).
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def persistence_workload(draw):
+    """A random labeled graph, batches applied before the snapshot, and
+    batches applied after it (the journaled tail)."""
+    size = draw(st.integers(min_value=2, max_value=8))
+    labels = {node: draw(st.sampled_from(LABELS)) for node in range(size)}
+    graph = DiGraph(labels=labels)
+    possible = [(s, t) for s in range(size) for t in range(size) if s != t]
+    for source, target in draw(
+        st.lists(st.sampled_from(possible), unique=True, max_size=3 * size)
+    ):
+        graph.add_edge(source, target)
+
+    batches = []
+    scratch = graph.copy()
+    for _ in range(draw(st.integers(min_value=2, max_value=4))):
+        edges = list(scratch.edges())
+        nodes = list(scratch.nodes())
+        non_edges = [
+            (s, t)
+            for s in nodes
+            for t in nodes
+            if s != t and not scratch.has_edge(s, t)
+        ]
+        deletions = draw(
+            st.lists(st.sampled_from(edges), unique=True, max_size=3)
+            if edges
+            else st.just([])
+        )
+        insertions = draw(
+            st.lists(st.sampled_from(non_edges), unique=True, max_size=3)
+            if non_edges
+            else st.just([])
+        )
+        updates = [delete(*edge) for edge in deletions]
+        updates += [insert(*edge) for edge in insertions]
+        if draw(st.booleans()) and nodes:
+            new_node = scratch.num_nodes + 100
+            updates.append(
+                insert(
+                    draw(st.sampled_from(nodes)),
+                    new_node,
+                    target_label=draw(st.sampled_from(LABELS)),
+                )
+            )
+        batch = Delta(list(draw(st.permutations(updates))))
+        batch.apply_to(scratch)
+        batches.append(batch)
+    cut = draw(st.integers(min_value=0, max_value=len(batches)))
+    return graph, batches[:cut], batches[cut:]
+
+
+@settings(max_examples=25, deadline=None)
+@given(persistence_workload())
+def test_save_load_replay_property(tmp_path_factory, case):
+    graph, before, after = case
+    root = tmp_path_factory.mktemp("store")
+    engine = four_view_engine(graph.copy())
+    store = SnapshotStore(root)
+    store.attach(engine)
+    for batch in before:
+        engine.apply(batch)
+    store.save(engine)
+    for batch in after:
+        engine.apply(batch)
+
+    recovered = store.load()
+    assert_sessions_equal(recovered, engine)
+    assert_views_match_recompute(recovered)

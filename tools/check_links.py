@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Check that relative markdown links resolve to real files.
+
+Scans every ``*.md`` in the repository (skipping hidden directories),
+extracts ``[text](target)`` links, and verifies each *relative* target
+exists on disk (anchors are stripped; ``http(s)``/``mailto`` targets are
+skipped — CI must not depend on the network).  Also verifies that
+in-file anchor-only links (``#section``) point at a real heading.
+
+Exit status 0 when every link resolves; 1 otherwise, listing each
+broken link as ``file:line``.
+
+Run:  python tools/check_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def prose_lines(text: str) -> list[tuple[int, str]]:
+    """``(line_number, line)`` pairs outside fenced code blocks — a
+    ``# comment`` inside a fence is not a heading, and a link-shaped
+    string in example code is not a link."""
+    lines = []
+    in_fence = False
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            lines.append((line_number, line))
+    return lines
+
+
+def heading_anchors(lines: list[tuple[int, str]]) -> set[str]:
+    """GitHub-style anchors for every markdown heading."""
+    anchors = set()
+    for _, line in lines:
+        if not line.startswith("#"):
+            continue
+        title = line.lstrip("#").strip().lower()
+        slug = re.sub(r"[^\w\- ]", "", title).replace(" ", "-")
+        anchors.add(slug)
+    return anchors
+
+
+def check_file(path: Path, root: Path) -> list[str]:
+    lines = prose_lines(path.read_text(encoding="utf-8"))
+    anchors = heading_anchors(lines)
+    problems = []
+    for line_number, line in lines:
+        for match in LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(EXTERNAL):
+                continue
+            if target.startswith("#"):
+                if target[1:].lower() not in anchors:
+                    problems.append(
+                        f"{path.relative_to(root)}:{line_number}: "
+                        f"missing anchor {target!r}"
+                    )
+                continue
+            file_part = target.split("#", 1)[0]
+            if not file_part:
+                continue
+            resolved = (path.parent / file_part).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{path.relative_to(root)}:{line_number}: "
+                    f"broken link {target!r}"
+                )
+    return problems
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    problems = []
+    checked = 0
+    for path in sorted(root.rglob("*.md")):
+        if any(part.startswith(".") for part in path.relative_to(root).parts):
+            continue
+        checked += 1
+        problems.extend(check_file(path, root))
+    if problems:
+        print(f"{len(problems)} broken link(s) across {checked} file(s):")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(f"all markdown links resolve ({checked} files checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,7 +37,13 @@ from repro.engine import (
 )
 from repro.graph.digraph import DiGraph
 from repro.graph.updates import delta_fraction, random_delta
-from repro.persist import DeltaLog, SnapshotStore, load_session, save_session
+from repro.persist import (
+    DeltaLog,
+    SnapshotPolicy,
+    SnapshotStore,
+    load_session,
+    save_session,
+)
 
 __version__ = "1.2.0"
 
@@ -53,6 +59,7 @@ __all__ = [
     "IncrementalSession",
     "IncrementalView",
     "InvalidDeltaError",
+    "SnapshotPolicy",
     "SnapshotStore",
     "Update",
     "ViewSnapshot",

@@ -1,0 +1,263 @@
+"""The fan-out scheduler: relevance routing, parallel dispatch, dirty
+accounting.
+
+:class:`~repro.engine.session.Engine.apply` used to hand the entire
+normalized batch to every registered view.  The scheduler refines that
+hottest path in three ways:
+
+* **Relevance routing** — each view may expose a ``relevance()`` hook
+  returning a :class:`~repro.engine.relevance.DeltaFilter`;
+  :meth:`FanOutScheduler.partition` evaluates every filter in **one
+  pass** over the batch and builds each view's sub-delta (original
+  update order preserved) plus the subset of brand-new nodes the view
+  must see (nodes it asked for via ``wants_node``, plus endpoints of its
+  delivered updates).  A view whose sub-delta and new-node subset are
+  both empty is *skipped*: its ``absorb`` is never called and its
+  per-batch cost is exactly zero.  Views without a filter — or with
+  :class:`~repro.engine.relevance.SubscribeAll` — receive the full
+  batch (the topology-only escape hatch).
+* **Parallel dispatch** — views own disjoint auxiliary state and only
+  *read* the shared graph during ``absorb``, so independent views can
+  repair concurrently.  The executor strategy is pluggable: ``"serial"``
+  (default) or ``"threads"`` (a shared :class:`concurrent.futures.
+  ThreadPoolExecutor`); pick one per engine via ``Engine(executor=...)``
+  or process-wide via the ``REPRO_ENGINE_EXECUTOR`` environment
+  variable.  Every :class:`ViewReport` carries wall-clock ``wall_seconds``
+  alongside its :class:`~repro.core.cost.CostSnapshot` units.
+* **Dirty accounting** — the dispatch result says which views absorbed a
+  non-empty delivery; the engine folds that into its dirty set, which is
+  what lets :meth:`repro.persist.SnapshotStore.save` with
+  ``incremental=True`` rewrite only the view sections that actually
+  changed since the last snapshot.
+
+>>> from repro import DiGraph, Engine, insert
+>>> from repro.kws import KWSIndex, KWSQuery
+>>> from repro.scc import SCCIndex
+>>> g = DiGraph(labels={1: "a", 2: "b", 3: "c", 4: "c"}, edges=[(1, 2)])
+>>> engine = Engine(g)   # routing on by default
+>>> _ = engine.register("kws", lambda g, m: KWSIndex(g, KWSQuery(("a",), 2), meter=m))
+>>> _ = engine.register("scc", lambda g, m: SCCIndex(g, meter=m))
+>>> report = engine.apply([insert(3, 4)])  # no keyword can reach through c→c
+>>> report.views["kws"].skipped, report.cost("kws").total()
+(True, 0)
+>>> report.views["scc"].skipped          # SCC subscribes to all edges
+False
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections.abc import Mapping
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.core.cost import CostMeter, CostSnapshot
+from repro.core.delta import Delta
+from repro.engine.relevance import DeltaFilter, SubscribeAll
+from repro.engine.view import IncrementalView
+from repro.graph.digraph import DiGraph, Node
+
+__all__ = [
+    "EXECUTOR_ENV",
+    "EXECUTOR_STRATEGIES",
+    "FanOutScheduler",
+    "RouteStats",
+    "SchedulerError",
+    "ViewReport",
+]
+
+#: Environment variable selecting the default executor strategy.
+EXECUTOR_ENV = "REPRO_ENGINE_EXECUTOR"
+
+#: Accepted executor strategy names.
+EXECUTOR_STRATEGIES = ("serial", "threads")
+
+_ZERO_COST = CostSnapshot(
+    node_visits=0, distinct_nodes=0, edges_traversed=0, writes=0, pq_ops=0
+)
+
+
+class SchedulerError(RuntimeError):
+    """Invalid scheduler configuration."""
+
+
+@dataclass(frozen=True)
+class ViewReport:
+    """One view's contribution to a batch: its ΔO and the work it cost.
+
+    ``skipped`` views were routed an empty sub-delta and never ran;
+    their ``cost`` is exactly zero and ``output`` is the view's empty ΔO
+    (``None`` for views that do not implement ``empty_output``).
+    ``routed_updates`` counts the unit updates actually delivered, and
+    ``wall_seconds`` is the wall-clock time ``absorb`` took (0.0 when
+    skipped).
+    """
+
+    name: str
+    output: Any
+    cost: CostSnapshot
+    wall_seconds: float = 0.0
+    skipped: bool = False
+    routed_updates: int = 0
+
+
+@dataclass
+class RouteStats:
+    """Cumulative routing counters for one view across a session."""
+
+    batches_routed: int = 0
+    batches_skipped: int = 0
+    updates_delivered: int = 0
+
+
+@dataclass(frozen=True)
+class _Dispatch:
+    """One view's routing decision for one batch."""
+
+    name: str
+    view: Optional[IncrementalView]
+    meter: Optional[CostMeter]
+    delta: Delta
+    new_nodes: frozenset[Node]
+    skipped: bool
+
+
+def _resolve_executor(executor: Optional[str]) -> str:
+    if executor is None:
+        executor = os.environ.get(EXECUTOR_ENV) or "serial"
+    if executor not in EXECUTOR_STRATEGIES:
+        raise SchedulerError(
+            f"unknown executor strategy {executor!r}; expected one of "
+            f"{EXECUTOR_STRATEGIES} (set via Engine(executor=...) or the "
+            f"{EXECUTOR_ENV} environment variable)"
+        )
+    return executor
+
+
+class FanOutScheduler:
+    """Routes one normalized batch to many views and dispatches absorbs."""
+
+    def __init__(self, executor: Optional[str] = None) -> None:
+        self.executor = _resolve_executor(executor)
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def partition(
+        self,
+        delta: Delta,
+        new_nodes: frozenset[Node],
+        graph: DiGraph,
+        views: Mapping[str, IncrementalView],
+        meters: Mapping[str, CostMeter],
+        filters: Mapping[str, Optional[DeltaFilter]],
+    ) -> list[_Dispatch]:
+        """Pre-partition ``delta`` once: each filtered view gets the
+        sub-delta its filter wants (original order preserved); broadcast
+        views (filter ``None``) get the full batch.  The graph already
+        holds ``G ⊕ ΔG``, so every endpoint label resolves through it.
+        """
+        # SubscribeAll wants every update by definition; route it down
+        # the broadcast path so the batch is never copied per view.
+        filtered = [
+            (name, flt)
+            for name, flt in filters.items()
+            if flt is not None and not isinstance(flt, SubscribeAll)
+        ]
+        wanted: dict[str, list] = {name: [] for name, _ in filtered}
+        touched: dict[str, set[Node]] = {name: set() for name, _ in filtered}
+        if filtered and delta:
+            label_of = graph.label
+            for update in delta:
+                source_label = label_of(update.source)
+                target_label = label_of(update.target)
+                for name, flt in filtered:
+                    if flt.wants_update(update, source_label, target_label):
+                        wanted[name].append(update)
+                        if new_nodes:
+                            touch = touched[name]
+                            touch.add(update.source)
+                            touch.add(update.target)
+
+        plans: list[_Dispatch] = []
+        for name, view in views.items():
+            flt = filters.get(name)
+            if flt is None or isinstance(flt, SubscribeAll):
+                sub_delta, sub_new = delta, new_nodes
+            else:
+                sub_delta = Delta(wanted[name])
+                if new_nodes:
+                    keep = touched[name]
+                    sub_new = frozenset(
+                        node
+                        for node in new_nodes
+                        if node in keep or flt.wants_node(node, graph.label(node))
+                    )
+                else:
+                    sub_new = new_nodes
+            skipped = not sub_delta and not sub_new
+            plans.append(
+                _Dispatch(name, view, meters[name], sub_delta, sub_new, skipped)
+            )
+        return plans
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def dispatch(self, plans: list[_Dispatch]) -> dict[str, ViewReport]:
+        """Run every non-skipped plan under the executor strategy and
+        assemble the per-view reports in registration order."""
+        live = [plan for plan in plans if not plan.skipped]
+        if self.executor == "threads" and len(live) > 1:
+            results = dict(
+                zip(
+                    (plan.name for plan in live),
+                    self._thread_pool().map(self._run_one, live),
+                )
+            )
+        else:
+            results = {plan.name: self._run_one(plan) for plan in live}
+        reports: dict[str, ViewReport] = {}
+        for plan in plans:
+            if plan.skipped:
+                empty = getattr(plan.view, "empty_output", None)
+                reports[plan.name] = ViewReport(
+                    name=plan.name,
+                    output=empty() if empty is not None else None,
+                    cost=_ZERO_COST,
+                    wall_seconds=0.0,
+                    skipped=True,
+                    routed_updates=0,
+                )
+            else:
+                reports[plan.name] = results[plan.name]
+        return reports
+
+    @staticmethod
+    def _run_one(plan: _Dispatch) -> ViewReport:
+        meter = plan.meter
+        before = meter.snapshot()
+        started = time.perf_counter()
+        output = plan.view.absorb(plan.delta, plan.new_nodes)
+        wall = time.perf_counter() - started
+        return ViewReport(
+            name=plan.name,
+            output=output,
+            cost=meter.snapshot().since(before),
+            wall_seconds=wall,
+            skipped=False,
+            routed_updates=len(plan.delta),
+        )
+
+    def _thread_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            workers = min(32, (os.cpu_count() or 2))
+            self._pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-fanout"
+            )
+        return self._pool

@@ -10,9 +10,14 @@ maintain *many* query answers with bounded / localizable work.  The
   object instead of each owning a copy;
 * :meth:`Engine.apply` validates and normalizes an incoming
   :class:`~repro.core.delta.Delta` **once**, applies ``G ⊕ ΔG`` to the
-  shared graph **once**, and fans the batch out to every view's
-  ``absorb`` hook — so N views over one graph no longer pay N graph
-  mutations — collecting each view's ΔO and per-view cost into one
+  shared graph **once**, and hands the batch to the
+  :class:`~repro.engine.scheduler.FanOutScheduler`, which *routes* it:
+  each view's :meth:`relevance` filter (see
+  :mod:`repro.engine.relevance`) selects the sub-delta that can actually
+  affect its answer, views routed an empty sub-delta are skipped at zero
+  cost, and the remaining absorbs run under a pluggable executor
+  strategy (``serial`` default, ``threads`` for parallel dispatch) —
+  collecting each view's ΔO, cost units, and wall-clock into one
   :class:`EngineReport`;
 * :meth:`Engine.checkpoint` / :meth:`Engine.rollback` undo applied
   batches through :meth:`Delta.inverted`, repairing every view along the
@@ -59,6 +64,8 @@ from typing import Any, Optional, Union
 
 from repro.core.cost import CostMeter, CostSnapshot, NULL_METER
 from repro.core.delta import Delta, InvalidDeltaError, Update, concat, delete, insert
+from repro.engine.relevance import DeltaFilter
+from repro.engine.scheduler import FanOutScheduler, RouteStats, ViewReport
 from repro.engine.view import IncrementalView
 from repro.graph.digraph import DiGraph, Label, Node
 
@@ -72,18 +79,40 @@ class EngineError(RuntimeError):
     """A view registration or session operation is invalid."""
 
 
-@dataclass(frozen=True)
-class ViewReport:
-    """One view's contribution to a batch: its ΔO and the work it cost."""
+class AutosnapshotError(RuntimeError):
+    """The auto-snapshot hook failed *after* the batch fully succeeded.
 
-    name: str
-    output: Any
-    cost: CostSnapshot
+    By the time the hook runs, ``G ⊕ ΔG`` is applied, every view has
+    absorbed its delivery, and the batch is journaled — the session is
+    consistent and the batch is NOT rolled back.  Only the snapshot
+    write failed (e.g. disk full); the write-ahead log still covers the
+    batch, so durability is degraded to log replay, not lost.  The
+    batch's :class:`EngineReport` is carried on :attr:`report`; catch
+    this error, consume the report, and keep streaming — the policy
+    will retry the snapshot on a later batch.
+    """
+
+    def __init__(self, report: "EngineReport", cause: BaseException) -> None:
+        super().__init__(
+            f"auto-snapshot hook failed after the batch was applied and "
+            f"journaled: {cause}"
+        )
+        #: The successfully applied batch's report.
+        self.report = report
 
 
 @dataclass(frozen=True)
 class EngineReport:
-    """Combined result of one ``engine.apply``: ΔG in, every view's ΔO out."""
+    """Combined result of one ``engine.apply``: ΔG in, every view's ΔO out.
+
+    Every registered view appears exactly once, including views the
+    relevance router *skipped* for this batch — their
+    :class:`~repro.engine.scheduler.ViewReport` carries the view's empty
+    ΔO and an all-zero :class:`~repro.core.cost.CostSnapshot` (never a
+    stale cumulative meter reading; in particular a view materialized
+    lazily during this ``apply`` and then skipped reports zero, not its
+    from-scratch build cost).
+    """
 
     delta: Delta
     new_nodes: frozenset[Node]
@@ -98,8 +127,19 @@ class EngineReport:
         return self.views[name].cost
 
     def total_cost(self) -> int:
-        """Summed work across all views (one scalar per batch)."""
+        """Summed work across all views (one scalar per batch); skipped
+        views contribute exactly zero."""
         return sum(report.cost.total() for report in self.views.values())
+
+    def skipped(self, name: str) -> bool:
+        """Was the named view skipped by relevance routing this batch?"""
+        return self.views[name].skipped
+
+    def wall_seconds(self) -> float:
+        """Summed wall-clock across all view absorbs (serial dispatch:
+        the fan-out's own duration; threaded dispatch: the aggregate CPU
+        wall of all views, which can exceed the batch's elapsed time)."""
+        return sum(report.wall_seconds for report in self.views.values())
 
     def __iter__(self):
         return iter(self.views.values())
@@ -113,12 +153,35 @@ class Engine:
     in the views.
     """
 
-    def __init__(self, graph: Optional[DiGraph] = None) -> None:
+    def __init__(
+        self,
+        graph: Optional[DiGraph] = None,
+        executor: Optional[str] = None,
+        routing: bool = True,
+    ) -> None:
         self.graph = graph if graph is not None else DiGraph()
+        #: Fan-out scheduler (see :mod:`repro.engine.scheduler`).
+        #: ``executor`` is ``"serial"`` or ``"threads"``; ``None`` reads
+        #: the ``REPRO_ENGINE_EXECUTOR`` environment variable.
+        self.scheduler = FanOutScheduler(executor)
+        #: With ``routing=False`` every view receives the full batch
+        #: (broadcast fan-out) — the pre-scheduler behavior, kept for
+        #: benchmarking and for the routed≡broadcast equivalence tests.
+        self.routing = routing
         self._views: dict[str, Optional[IncrementalView]] = {}
         self._meters: dict[str, CostMeter] = {}
+        self._filters: dict[str, Optional[DeltaFilter]] = {}
         self._pending: dict[str, ViewFactory] = {}
         self._history: list[Delta] = []
+        #: View names whose auxiliary state changed since the last
+        #: snapshot of this engine (see :meth:`dirty_views`).
+        self._dirty: set[str] = set()
+        #: Per-view cumulative meter totals recorded at the last full
+        #: capture — the out-of-band-mutation tripwire (dirty_views()).
+        self._clean_marks: dict[str, int] = {}
+        self._snapshot_epoch = 0
+        self._route_stats: dict[str, RouteStats] = {}
+        self._autosnapshot: Optional[Callable[["Engine"], None]] = None
         #: Write-ahead log every applied batch is appended to (see
         #: :meth:`set_journal`); ``None`` disables journaling.
         self.journal = None
@@ -163,6 +226,8 @@ class Engine:
         if build == "on_first_apply":
             self._views[name] = None
             self._pending[name] = factory
+            self._dirty.add(name)  # never snapshotted yet
+            self._route_stats.setdefault(name, RouteStats())
             return None
         meter = CostMeter()
         view = factory(self.graph, meter)
@@ -187,7 +252,11 @@ class Engine:
             raise EngineError(f"no view named {name!r} is registered")
         view = self._views.pop(name)
         self._meters.pop(name, None)
+        self._filters.pop(name, None)
         self._pending.pop(name, None)
+        self._dirty.discard(name)
+        self._clean_marks.pop(name, None)
+        self._route_stats.pop(name, None)
         return view
 
     def attach(self, name: str, view: IncrementalView) -> IncrementalView:
@@ -220,6 +289,12 @@ class Engine:
             )
         self._views[name] = view
         self._meters[name] = meter
+        # The optional relevance() hook opts the view into routed fan-out;
+        # views without it are broadcast every batch (escape hatch).
+        relevance = getattr(view, "relevance", None)
+        self._filters[name] = relevance() if relevance is not None else None
+        self._dirty.add(name)  # state not yet captured by any snapshot
+        self._route_stats.setdefault(name, RouteStats())
         return view
 
     def _check_name_free(self, name: str) -> None:
@@ -304,6 +379,15 @@ class Engine:
             self.journal.append(delta)
         report = self._fan_out(delta)
         self._history.append(delta)
+        if self._autosnapshot is not None:
+            try:
+                self._autosnapshot(self)
+            except Exception as exc:
+                # The batch itself succeeded (applied + absorbed +
+                # journaled); surface the snapshot failure distinctly so
+                # the caller neither mistakes it for a failed batch nor
+                # loses the report.
+                raise AutosnapshotError(report, exc) from exc
         return report
 
     def insert_edge(
@@ -351,12 +435,23 @@ class Engine:
             node for node in delta.touched_nodes() if node not in self.graph
         )
         delta.apply_to(self.graph)  # the single G ⊕ ΔG
-        views: dict[str, ViewReport] = {}
-        for name, view in self._views.items():
-            meter = self._meters[name]
-            before = meter.snapshot()
-            output = view.absorb(delta, new_nodes)
-            views[name] = ViewReport(name, output, meter.snapshot().since(before))
+        filters = (
+            self._filters
+            if self.routing
+            else {name: None for name in self._views}
+        )
+        plans = self.scheduler.partition(
+            delta, new_nodes, self.graph, self._views, self._meters, filters
+        )
+        views = self.scheduler.dispatch(plans)
+        for report in views.values():
+            stats = self._route_stats[report.name]
+            if report.skipped:
+                stats.batches_skipped += 1
+            else:
+                stats.batches_routed += 1
+                stats.updates_delivered += report.routed_updates
+                self._dirty.add(report.name)
         return EngineReport(delta=delta, new_nodes=new_nodes, views=views)
 
     # ------------------------------------------------------------------
@@ -395,6 +490,105 @@ class Engine:
             self.journal.append(undo)  # write-ahead, as in apply()
         self._history = self._history[:checkpoint]
         return self._fan_out(undo)
+
+    # ------------------------------------------------------------------
+    # Routing and dirty-set accounting (see repro.engine.scheduler)
+    # ------------------------------------------------------------------
+
+    def routing_stats(self) -> dict[str, RouteStats]:
+        """Cumulative per-view routing counters: batches delivered vs.
+        skipped by relevance routing, and unit updates delivered.
+
+        >>> from repro import DiGraph, Engine, insert
+        >>> from repro.scc import SCCIndex
+        >>> engine = Engine(DiGraph(labels={1: "a", 2: "b"}, edges=[(1, 2)]))
+        >>> _ = engine.register("scc", lambda g, m: SCCIndex(g, meter=m))
+        >>> _ = engine.apply([insert(2, 1)])
+        >>> engine.routing_stats()["scc"].batches_routed
+        1
+        """
+        return dict(self._route_stats)
+
+    def dirty_views(self) -> frozenset[str]:
+        """Names of views whose auxiliary state may have changed since
+        the last snapshot of this engine.
+
+        A view is dirty from registration (no snapshot holds it yet) and
+        whenever it absorbs a non-empty routed delivery — through
+        :meth:`apply` or :meth:`rollback`.  Views skipped by relevance
+        routing stay clean, which is what lets
+        :meth:`repro.persist.SnapshotStore.save` with
+        ``incremental=True`` carry their sections forward instead of
+        re-serializing them.
+
+        Views can also be mutated *outside* the fan-out — e.g.
+        :func:`repro.kws.snapshot.extend_bound` widens an index in
+        place.  Every built-in mutation path ticks the view's
+        :class:`~repro.core.cost.CostMeter`, so a view whose cumulative
+        meter moved since the last capture is reported dirty too (the
+        tripwire errs toward re-serializing — a meter that moved on
+        reads merely costs a fresh section, never a stale one).  Code
+        that mutates a view without touching its meter must call
+        :meth:`mark_views_dirty`.
+        """
+        dirty = set(self._dirty)
+        for name, meter in self._meters.items():
+            if name in dirty:
+                continue
+            if self._clean_marks.get(name) != meter.total():
+                dirty.add(name)
+        return frozenset(dirty)
+
+    def mark_views_dirty(self, names: Iterable[str]) -> None:
+        """Explicitly flag views as changed — the escape hatch for code
+        that mutates a view's auxiliary state outside the fan-out
+        without ticking its cost meter."""
+        for name in names:
+            if name not in self._views:
+                raise EngineError(f"no view named {name!r} is registered")
+            self._dirty.add(name)
+
+    def mark_views_clean(self, names: Optional[Iterable[str]] = None) -> None:
+        """Clear the dirty flag (all views, or just ``names``) — called
+        by :meth:`repro.persist.SnapshotStore.save` once a snapshot has
+        durably captured the current view state.
+
+        A full clean (``names=None``) advances :attr:`snapshot_epoch`:
+        the dirty set is always relative to the engine's *most recent*
+        full capture, and stores compare epochs to decide whether their
+        own on-disk snapshot is that capture (a store holding an older
+        one must not carry sections forward from it)."""
+        if names is None:
+            self._dirty.clear()
+            self._snapshot_epoch += 1
+            self._clean_marks = {
+                name: meter.total() for name, meter in self._meters.items()
+            }
+        else:
+            self._dirty.difference_update(names)
+            for name in names:
+                meter = self._meters.get(name)
+                if meter is not None:
+                    self._clean_marks[name] = meter.total()
+
+    @property
+    def snapshot_epoch(self) -> int:
+        """Monotonic count of full captures of this engine's view state
+        (see :meth:`mark_views_clean`)."""
+        return self._snapshot_epoch
+
+    def set_autosnapshot(self, hook) -> None:
+        """Attach an auto-snapshot hook (or ``None`` to detach).
+
+        ``hook(engine)`` is invoked after every successful
+        :meth:`apply`, once the batch is fully absorbed and journaled —
+        in practice the closure :meth:`repro.persist.SnapshotStore.
+        attach` installs when given a ``SnapshotPolicy``, which decides
+        per batch whether to write an incremental snapshot.  A hook
+        failure is re-raised as :class:`AutosnapshotError` (carrying the
+        batch's report): the batch itself is applied and journaled, only
+        the snapshot write failed."""
+        self._autosnapshot = hook
 
     # ------------------------------------------------------------------
     # Journaling (write-ahead delta log)

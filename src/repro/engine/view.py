@@ -31,6 +31,25 @@ normalized batch, and ``restore(graph, index.snapshot(), meter)`` must be
 behaviorally identical to ``index`` itself — the cross-view property
 tests enforce both by comparing every view's answer against from-scratch
 recomputation after randomized engine batches.
+
+Two *optional* extensions participate in the engine's routed fan-out
+(:mod:`repro.engine.scheduler`); they are deliberately not part of the
+structural protocol, so minimal views remain valid:
+
+* ``relevance() -> DeltaFilter`` — returns a filter declaring which unit
+  updates can possibly change the view's answer (see
+  :mod:`repro.engine.relevance`).  Views without the hook are broadcast
+  every batch.  A filter must be *conservative*: dropping an update must
+  provably leave ``absorb``'s result unchanged; routed and broadcast
+  fan-out are required to produce identical view snapshots.
+* ``empty_output()`` — the view's empty ΔO, reported for batches the
+  router skipped the view on (so ``EngineReport.output`` stays uniform).
+
+Snapshots must be **canonical**: ``snapshot()`` emits records in a
+deterministic sorted order independent of internal dict/set history, so
+two behaviorally identical views (e.g. one maintained by routed fan-out
+and one by broadcast) serialize byte-identically, and incremental
+snapshot saves can carry clean sections forward verbatim.
 """
 
 from __future__ import annotations

@@ -32,7 +32,9 @@ from dataclasses import dataclass
 
 from repro.core.cost import CostMeter, NULL_METER
 from repro.core.delta import Delta
+from repro.engine.relevance import PatternRelevance
 from repro.engine.view import ViewSnapshot
+from repro.kws.kdist import node_order
 from repro.graph.digraph import DiGraph, Edge, Node
 from repro.graph.neighborhood import nodes_within
 from repro.iso.patterns import Match, Pattern, make_match
@@ -170,6 +172,26 @@ class ISOIndex:
         return self.graph.subgraph(nodes)
 
     # ------------------------------------------------------------------
+    # Engine routing (repro.engine.relevance)
+    # ------------------------------------------------------------------
+
+    def relevance(self) -> PatternRelevance:
+        """Routing filter: an insertion can only create matches when its
+        endpoint label pair occurs among the pattern's edge label pairs
+        (anchored VF2 pins a pattern edge to the inserted edge); a
+        deletion only matters when the edge → matches index holds it."""
+        pattern_graph = self.pattern.graph
+        label_pairs = frozenset(
+            (pattern_graph.label(source), pattern_graph.label(target))
+            for source, target in pattern_graph.edges()
+        )
+        return PatternRelevance(self, label_pairs)
+
+    def empty_output(self) -> ISODelta:
+        """The ΔO of a batch that touched nothing this view depends on."""
+        return ISODelta(frozenset(), frozenset())
+
+    # ------------------------------------------------------------------
     # Persistence (repro.persist)
     # ------------------------------------------------------------------
 
@@ -179,19 +201,42 @@ class ISOIndex:
         Records are tagged: ``("pn", node, label)`` and
         ``("pe", source, target)`` spell out the pattern graph, and one
         ``("m", pattern_node, graph_node, ...)`` row per match flattens
-        its retained embedding.  The canonical node/edge sets and the
-        edge → matches index are derived state, re-canonicalized through
+        its retained embedding.  Rows of each tag are emitted in sorted
+        order (the canonical order, so behaviorally identical indexes
+        serialize byte-identically regardless of set history).  The
+        canonical node/edge sets and the edge → matches index are
+        derived state, re-canonicalized through
         :func:`~repro.iso.patterns.make_match` on restore.
         """
+
+        def row_key(row: tuple) -> tuple:
+            return tuple(node_order(value) for value in row)
+
         records: list[tuple] = []
         pattern_graph = self.pattern.graph
-        for node in pattern_graph.nodes():
-            records.append(("pn", node, pattern_graph.label(node)))
-        for source, target in pattern_graph.edges():
-            records.append(("pe", source, target))
-        for match in self.matches:
-            flat = [value for pair in match.embedding for value in pair]
-            records.append(("m", *flat))
+        records.extend(
+            sorted(
+                (("pn", node, pattern_graph.label(node))
+                 for node in pattern_graph.nodes()),
+                key=row_key,
+            )
+        )
+        records.extend(
+            sorted(
+                (("pe", source, target)
+                 for source, target in pattern_graph.edges()),
+                key=row_key,
+            )
+        )
+        records.extend(
+            sorted(
+                (
+                    ("m", *(value for pair in match.embedding for value in pair))
+                    for match in self.matches
+                ),
+                key=row_key,
+            )
+        )
         return ViewSnapshot(kind="iso", config=(), records=tuple(records))
 
     @classmethod

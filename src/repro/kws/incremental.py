@@ -32,6 +32,7 @@ from dataclasses import dataclass
 
 from repro.core.cost import CostMeter, NULL_METER
 from repro.core.delta import Delta
+from repro.engine.relevance import KeywordRelevance
 from repro.engine.view import ViewSnapshot
 from repro.graph.digraph import DiGraph, Label, Node
 from repro.kws.batch import compute_kdist
@@ -291,6 +292,22 @@ class KWSIndex:
             self._settle(keyword, affected, queue)
 
     # ------------------------------------------------------------------
+    # Engine routing (repro.engine.relevance)
+    # ------------------------------------------------------------------
+
+    def relevance(self) -> KeywordRelevance:
+        """Routing filter: deletions matter only when a chosen shortest
+        path routes through the deleted edge; insertions only when the
+        target can supply a distance (an in-bound kdist entry or a
+        keyword label); new keyword-labeled nodes always reach
+        ``absorb`` for their dist-0 bootstrap."""
+        return KeywordRelevance(self)
+
+    def empty_output(self) -> KWSDelta:
+        """The ΔO of a batch that touched nothing this view depends on."""
+        return KWSDelta(frozenset(), frozenset(), frozenset())
+
+    # ------------------------------------------------------------------
     # Persistence (repro.persist)
     # ------------------------------------------------------------------
 
@@ -299,13 +316,18 @@ class KWSIndex:
 
         Config row: ``(bound, keyword...)``.  One record per entry:
         ``(keyword, node, dist)`` for keyword-matching nodes (``next`` is
-        ``nil``) and ``(keyword, node, dist, next)`` otherwise.  The
+        ``nil``) and ``(keyword, node, dist, next)`` otherwise, nodes in
+        :func:`~repro.kws.kdist.node_order` within each keyword — the
+        canonical order, so behaviorally identical indexes serialize
+        byte-identically regardless of internal dict history.  The
         reverse next-pointer maps are derived state and are rebuilt by
         :meth:`restore`.
         """
         records = []
         for keyword in self.query.keywords:
-            for node, entry in self.kdist.entries(keyword).items():
+            entries = self.kdist.entries(keyword)
+            for node in sorted(entries, key=node_order):
+                entry = entries[node]
                 if entry.next is None:
                     records.append((keyword, node, entry.dist))
                 else:

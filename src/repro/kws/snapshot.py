@@ -40,6 +40,10 @@ def extend_bound(index: KWSIndex, new_bound: int) -> KWSDelta:
     index.kdist.query = index.query
     if new_bound == old_bound:
         return index._finish_op()
+    # The bound is part of the snapshot config row: tick the meter so an
+    # engine's dirty tripwire sees the mutation even when no kdist entry
+    # changes (empty frontier) — see Engine.dirty_views.
+    index.meter.write()
     for keyword in index.query.keywords:
         _resume_propagation(index, keyword, old_bound, new_bound)
     return index._finish_op()

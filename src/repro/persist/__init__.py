@@ -23,6 +23,7 @@ The on-disk format is a documented contract: ``docs/PERSISTENCE.md``.
 from repro.persist.deltalog import DeltaLog, LogEntry
 from repro.persist.format import FORMAT_VERSION, PersistFormatError
 from repro.persist.snapshot import (
+    SnapshotPolicy,
     SnapshotStore,
     load_session,
     register_view_kind,
@@ -34,6 +35,7 @@ __all__ = [
     "FORMAT_VERSION",
     "LogEntry",
     "PersistFormatError",
+    "SnapshotPolicy",
     "SnapshotStore",
     "load_session",
     "register_view_kind",

@@ -32,6 +32,7 @@ __all__ = [
     "parse_record",
     "render_directive",
     "render_record",
+    "split_view_sections",
 ]
 
 #: Directive keyword opening every snapshot file (``%repro-snapshot <v>``).
@@ -85,3 +86,73 @@ def parse_directive(line: str) -> tuple[str, list]:
     if not head:
         raise ValueError("empty directive")
     return head, tokenize(rest)
+
+
+def split_view_sections(
+    lines, source: str = "<snapshot>"
+) -> dict[str, tuple[str, list[str]]]:
+    """Split a snapshot file's raw lines into per-view section bodies.
+
+    Returns ``{view_name: (kind, body_lines)}`` where ``body_lines`` are
+    the section's raw lines **verbatim** (the ``%config`` directive and
+    every record row, newline-terminated) — everything between the
+    section's ``%section view`` line and the next ``%section``/``%end``.
+    The graph section and ``%meta`` header lines are not returned.
+
+    This is the substrate of incremental snapshot saves
+    (:meth:`repro.persist.SnapshotStore.save` with ``incremental=True``):
+    a *clean* view's body is carried forward into the new snapshot by
+    literal line copy, with no deserialization and no call to the view's
+    ``snapshot()``.  Verbatim copy is sound because view snapshots are
+    canonical (see :mod:`repro.engine.view`): an unchanged view would
+    re-render byte-identical lines.
+
+    The versioned header is still enforced — carrying sections forward
+    from a format this reader does not understand would silently launder
+    them into a new file.
+
+    >>> text = (
+    ...     "%repro-snapshot 1\\n%meta last-seq 3\\n%section graph\\n"
+    ...     "n 1 a\\n%section view watch kws\\n%config 2 a\\na 1 0\\n%end\\n"
+    ... )
+    >>> split_view_sections(text.splitlines(keepends=True))
+    {'watch': ('kws', ['%config 2 a\\n', 'a 1 0\\n'])}
+    """
+    sections: dict[str, tuple[str, list[str]]] = {}
+    body: list[str] | None = None
+    versioned = False
+    for line_number, raw in enumerate(lines, start=1):
+        stripped = raw.strip()
+        if not stripped or stripped.startswith("#"):
+            continue  # reader-skipped lines are not part of any body
+        if not raw.endswith("\n"):
+            raw = raw + "\n"
+        if is_directive(stripped):
+            try:
+                keyword, operands = parse_directive(stripped)
+            except ValueError as exc:
+                raise PersistFormatError(source, line_number, str(exc)) from None
+            if keyword == SNAPSHOT_MAGIC:
+                if operands != [FORMAT_VERSION]:
+                    raise PersistFormatError(
+                        source,
+                        line_number,
+                        f"unsupported snapshot version {operands!r}; "
+                        f"this reader understands version {FORMAT_VERSION}",
+                    )
+                versioned = True
+                continue
+            if keyword == "section":
+                body = None
+                if len(operands) == 3 and operands[0] == "view":
+                    body = []
+                    sections[operands[1]] = (operands[2], body)
+                continue
+            if keyword == "end":
+                body = None
+                continue
+        if body is not None:
+            body.append(raw)
+    if not versioned:
+        raise PersistFormatError(source, 0, f"missing %{SNAPSHOT_MAGIC} header")
+    return sections

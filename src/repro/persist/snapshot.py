@@ -37,6 +37,9 @@ Example — snapshot a session, lose the process, recover::
 from __future__ import annotations
 
 import os
+import time
+import weakref
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional, Union
 
@@ -58,6 +61,7 @@ from repro.persist.format import (
     parse_record,
     render_directive,
     render_record,
+    split_view_sections,
 )
 from repro.rpq.incremental import RPQIndex
 from repro.scc.incremental import SCCIndex
@@ -65,6 +69,7 @@ from repro.scc.incremental import SCCIndex
 PathLike = Union[str, Path]
 
 __all__ = [
+    "SnapshotPolicy",
     "SnapshotStore",
     "load_session",
     "register_view_kind",
@@ -96,6 +101,84 @@ def register_view_kind(kind: str, view_class: type) -> None:
     VIEW_KINDS[kind] = view_class
 
 
+@dataclass
+class SnapshotPolicy:
+    """When should a journaling session auto-snapshot itself?
+
+    Any combination of triggers may be set; the policy fires when *any*
+    of them is reached (and at least one must be configured):
+
+    * ``every_batches`` — after N applied batches;
+    * ``every_seconds`` — when the last snapshot is older than N seconds
+      (checked per batch; an idle session does not wake itself up);
+    * ``dirty_threshold`` — when at least N views have absorbed changes
+      since the last snapshot.
+
+    Pass a policy to :meth:`SnapshotStore.attach` and every firing saves
+    an *incremental* snapshot (only dirty view sections rewritten) and
+    resets the counters.  ``saves`` counts the snapshots the policy has
+    triggered.
+
+    >>> policy = SnapshotPolicy(every_batches=2)
+    >>> policy.note_batch(); policy.due(dirty_count=1)
+    False
+    >>> policy.note_batch(); policy.due(dirty_count=1)
+    True
+    >>> policy.note_save(); policy.due(dirty_count=1)
+    False
+    """
+
+    every_batches: Optional[int] = None
+    every_seconds: Optional[float] = None
+    dirty_threshold: Optional[int] = None
+    #: Snapshots triggered so far (incremented by :meth:`note_save`).
+    saves: int = 0
+    _batches: int = field(default=0, repr=False)
+    _last_save: float = field(default_factory=time.monotonic, repr=False)
+
+    def __post_init__(self) -> None:
+        if (
+            self.every_batches is None
+            and self.every_seconds is None
+            and self.dirty_threshold is None
+        ):
+            raise ValueError(
+                "a SnapshotPolicy needs at least one trigger: every_batches, "
+                "every_seconds, or dirty_threshold"
+            )
+        for name in ("every_batches", "dirty_threshold"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ValueError(f"{name} must be >= 1, got {value}")
+        if self.every_seconds is not None and self.every_seconds < 0:
+            raise ValueError(
+                f"every_seconds must be non-negative, got {self.every_seconds}"
+            )
+
+    def note_batch(self) -> None:
+        """Record one applied batch."""
+        self._batches += 1
+
+    def due(self, dirty_count: int) -> bool:
+        """Should a snapshot be taken now?"""
+        if self.every_batches is not None and self._batches >= self.every_batches:
+            return True
+        if (
+            self.every_seconds is not None
+            and time.monotonic() - self._last_save >= self.every_seconds
+        ):
+            return True
+        if self.dirty_threshold is not None and dirty_count >= self.dirty_threshold:
+            return True
+        return False
+
+    def note_save(self) -> None:
+        """Reset the counters after a snapshot was written."""
+        self.saves += 1
+        self._batches = 0
+        self._last_save = time.monotonic()
+
+
 class SnapshotStore:
     """Snapshot + delta-log persistence rooted at one directory."""
 
@@ -107,21 +190,52 @@ class SnapshotStore:
         self.root.mkdir(parents=True, exist_ok=True)
         self.snapshot_path = self.root / self.SNAPSHOT_NAME
         self.log = DeltaLog(self.root / self.LOG_NAME)
+        # Which engine capture this store's on-disk snapshot holds:
+        # (weakref to the engine, its snapshot_epoch at write time).
+        # Incremental saves may only carry sections forward when the
+        # previous file *is* the engine's most recent full capture —
+        # an engine saved elsewhere in between cleans its dirty set
+        # against that other store, and carrying from ours would
+        # resurrect stale state.  Unknown provenance (fresh store,
+        # different engine) falls back to a full write, which is
+        # always sound.
+        self._captured: Optional[tuple[weakref.ref, int]] = None
 
     # ------------------------------------------------------------------
     # Journaling
     # ------------------------------------------------------------------
 
-    def attach(self, engine: Engine) -> None:
+    def attach(self, engine: Engine, policy: Optional[SnapshotPolicy] = None) -> None:
         """Start journaling ``engine``'s applied batches into this
-        store's delta log (sugar for ``engine.set_journal(store.log)``)."""
+        store's delta log (sugar for ``engine.set_journal(store.log)``).
+
+        With a :class:`SnapshotPolicy` the session also *auto-snapshots*:
+        after every applied batch the policy is consulted, and when it
+        fires the store writes an incremental snapshot (dirty view
+        sections only — see :meth:`save`) before control returns from
+        ``engine.apply``.
+        """
         engine.set_journal(self.log)
+        if policy is not None:
+
+            def autosnapshot(session: Engine) -> None:
+                policy.note_batch()
+                if policy.due(dirty_count=len(session.dirty_views())):
+                    self.save(session, incremental=True)
+                    policy.note_save()
+
+            engine.set_autosnapshot(autosnapshot)
 
     # ------------------------------------------------------------------
     # Save
     # ------------------------------------------------------------------
 
-    def save(self, engine: Engine, compact: bool = False) -> Path:
+    def save(
+        self,
+        engine: Engine,
+        compact: bool = False,
+        incremental: bool = False,
+    ) -> Path:
         """Write a point-in-time snapshot of ``engine``; returns its path.
 
         Lazy views are materialized first (their state must be captured).
@@ -132,8 +246,40 @@ class SnapshotStore:
         regresses, and a compaction can never outrun the snapshot that
         justifies it.  With ``compact=True`` the log entries the new
         snapshot covers are dropped afterwards.
+
+        With ``incremental=True`` only *dirty* views (per
+        :meth:`~repro.engine.session.Engine.dirty_views` — views that
+        absorbed changes since the last save) are re-serialized through
+        their ``snapshot()``; every clean view's section is carried
+        forward from the previous snapshot file by literal line copy
+        (sound because view snapshots are canonical — an unchanged view
+        would re-render the same bytes).  The result is a complete,
+        self-contained snapshot in the ordinary format; ``load()`` does
+        not distinguish the two.  The graph section is always rewritten
+        (``G ⊕ ΔG`` touches it every batch).  Falls back to a full write
+        per view when no previous snapshot exists, the view has no
+        carried section, or this store's snapshot is not the engine's
+        most recent full capture (the dirty set is relative to the last
+        save *anywhere*; carrying from an older file would resurrect
+        stale state).  Either way the save marks every view clean.
         """
         last_seq = self.log.last_seq()
+        carried: dict[str, tuple[str, list[str]]] = {}
+        if (
+            incremental
+            and self._holds_current_capture(engine)
+            and self.snapshot_path.exists()
+        ):
+            dirty = engine.dirty_views()
+            with open(self.snapshot_path, "r", encoding="utf-8") as stream:
+                previous = split_view_sections(
+                    stream, source=str(self.snapshot_path)
+                )
+            carried = {
+                name: section
+                for name, section in previous.items()
+                if name not in dirty
+            }
         temp = self.snapshot_path.with_suffix(".tmp")
         with open(temp, "w", encoding="utf-8") as stream:
             stream.write(render_directive(SNAPSHOT_MAGIC, FORMAT_VERSION))
@@ -142,6 +288,12 @@ class SnapshotStore:
             for line in graph_record_lines(engine.graph):
                 stream.write(line)
             for name in engine.names():
+                section = carried.get(name)
+                if section is not None:
+                    kind, body = section
+                    stream.write(render_directive("section", "view", name, kind))
+                    stream.writelines(body)
+                    continue
                 view = engine.view(name)  # materializes lazy views
                 state = view.snapshot()
                 stream.write(
@@ -155,9 +307,20 @@ class SnapshotStore:
             os.fsync(stream.fileno())
         os.replace(temp, self.snapshot_path)
         fsync_directory(self.root)  # the rename must be durable before
+        engine.mark_views_clean()   # every section is now on disk
+        self._note_capture(engine)
         if compact:                 # the log below it is compacted
             self.log.compact(after=last_seq)
         return self.snapshot_path
+
+    def _note_capture(self, engine: Engine) -> None:
+        self._captured = (weakref.ref(engine), engine.snapshot_epoch)
+
+    def _holds_current_capture(self, engine: Engine) -> bool:
+        if self._captured is None:
+            return False
+        ref, epoch = self._captured
+        return ref() is engine and epoch == engine.snapshot_epoch
 
     # ------------------------------------------------------------------
     # Load
@@ -185,6 +348,11 @@ class SnapshotStore:
                 )
             view = view_class.restore(graph, state, meter=CostMeter())
             engine.attach(name, view)
+        # The restored views are exactly what the snapshot on disk holds,
+        # so they start clean; replaying the tail re-dirties the views it
+        # actually touches, keeping incremental saves minimal after load.
+        engine.mark_views_clean()
+        self._note_capture(engine)
         for entry in self.log.entries(after=last_seq):
             engine.apply(entry.delta)  # journal not attached: no re-append
         if attach_journal:

@@ -33,6 +33,7 @@ from dataclasses import dataclass
 
 from repro.core.cost import CostMeter, NULL_METER
 from repro.core.delta import Delta
+from repro.engine.relevance import AlphabetRelevance
 from repro.engine.view import ViewSnapshot
 from repro.graph.digraph import DiGraph, Node
 from repro.kws.kdist import node_order
@@ -395,6 +396,25 @@ class RPQIndex:
             self._note_pair(source, node)
 
     # ------------------------------------------------------------------
+    # Engine routing (repro.engine.relevance)
+    # ------------------------------------------------------------------
+
+    def relevance(self) -> AlphabetRelevance:
+        """Routing filter: a graph edge only induces product edges via
+        ``δ(s, l(target))``, so updates whose target label is outside the
+        NFA alphabet can never touch a marking; new nodes matter only
+        when their label has start states (``δ(s0, l)`` non-empty)."""
+        alphabet = self.nfa.alphabet()
+        start_labels = frozenset(
+            label for label in alphabet if self.nfa.start_states(label)
+        )
+        return AlphabetRelevance(alphabet, start_labels)
+
+    def empty_output(self) -> RPQDelta:
+        """The ΔO of a batch that touched nothing this view depends on."""
+        return RPQDelta(frozenset(), frozenset())
+
+    # ------------------------------------------------------------------
     # Persistence (repro.persist)
     # ------------------------------------------------------------------
 
@@ -404,7 +424,9 @@ class RPQIndex:
         Config row: ``(query_text,)`` — the regex in the concrete syntax
         of :func:`repro.rpq.regex.parse` (``str(ast)`` round-trips, so
         the NFA is rebuilt, not stored).  One record per marking entry:
-        ``(source, node, state, dist)``.
+        ``(source, node, state, dist)``, in canonical
+        ``(source, node, state)`` order so behaviorally identical indexes
+        serialize byte-identically regardless of internal dict history.
 
         ``cpre``/``mpre`` are deliberately *not* stored: a product node
         ``(v', s')`` is in ``(v, s)``'s cpre exactly when ``(v', v)`` is
@@ -417,11 +439,12 @@ class RPQIndex:
         the number of entries rather than in Σ|cpre|.
         """
         records = []
-        for source in self.markings.sources():
+        for source in sorted(self.markings.sources(), key=node_order):
             marks = self.markings.get(source)
-            for node, states in marks.by_node.items():
-                for state, entry in states.items():
-                    records.append((source, node, state, int(entry.dist)))
+            for node in sorted(marks.by_node, key=node_order):
+                states = marks.by_node[node]
+                for state in sorted(states):
+                    records.append((source, node, state, int(states[state].dist)))
         return ViewSnapshot(
             kind="rpq", config=(str(self.query),), records=tuple(records)
         )

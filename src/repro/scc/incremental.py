@@ -49,6 +49,7 @@ from __future__ import annotations
 
 from repro.core.cost import CostMeter, NULL_METER
 from repro.core.delta import Delta, Update
+from repro.engine.relevance import SubscribeAll
 from repro.engine.view import ViewSnapshot
 from repro.graph.digraph import DiGraph, Edge, Node
 from repro.kws.kdist import node_order
@@ -498,13 +499,30 @@ class SCCIndex:
         return added_total, removed_total
 
     # ------------------------------------------------------------------
+    # Engine routing (repro.engine.relevance)
+    # ------------------------------------------------------------------
+
+    def relevance(self) -> SubscribeAll:
+        """The correctness escape hatch: SCC(G) depends on topology
+        alone — any insertion can close a cycle and any deletion can
+        break one, whatever the labels — so the view subscribes to every
+        edge and is never skipped on a non-empty batch."""
+        return SubscribeAll()
+
+    def empty_output(self) -> SCCDelta:
+        """The ΔO of an empty batch."""
+        return set(), set()
+
+    # ------------------------------------------------------------------
     # Persistence (repro.persist)
     # ------------------------------------------------------------------
 
     def snapshot(self) -> ViewSnapshot:
         """Capture the partition and ranks as token rows.
 
-        Config row: ``(next_component_id,)``.  One record per component:
+        Config row: ``(next_component_id,)``.  One record per component
+        in ascending component-id order (the canonical order, so
+        behaviorally identical indexes serialize byte-identically):
         ``(comp_id, rank, member...)`` with the float rank carried as its
         ``repr`` string (ranks need only stay unique and ordered;
         ``repr`` round-trips floats exactly).  Inter-edge counters are
@@ -515,12 +533,12 @@ class SCCIndex:
         a component after an in-place intra-component insertion.
         """
         records = []
-        for comp_id, members in self.cond.members.items():
+        for comp_id in sorted(self.cond.members):
             records.append(
                 (
                     comp_id,
                     repr(self.cond.rank[comp_id]),
-                    *sorted(members, key=node_order),
+                    *sorted(self.cond.members[comp_id], key=node_order),
                 )
             )
         return ViewSnapshot(

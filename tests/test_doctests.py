@@ -7,6 +7,8 @@ import doctest
 
 import pytest
 
+import repro.engine.relevance
+import repro.engine.scheduler
 import repro.engine.session
 import repro.engine.view
 import repro.persist.deltalog
@@ -14,6 +16,8 @@ import repro.persist.format
 import repro.persist.snapshot
 
 MODULES = [
+    repro.engine.relevance,
+    repro.engine.scheduler,
     repro.engine.session,
     repro.engine.view,
     repro.persist.deltalog,

@@ -136,12 +136,17 @@ def _resolve_executor(executor: Optional[str]) -> str:
     return executor
 
 
+#: Process-wide absorb pool, created on first threaded dispatch and
+#: shared by every scheduler — engines come and go (one per recovered
+#: session, for instance) but worker threads should not accumulate.
+_SHARED_POOL: Optional[ThreadPoolExecutor] = None
+
+
 class FanOutScheduler:
     """Routes one normalized batch to many views and dispatches absorbs."""
 
     def __init__(self, executor: Optional[str] = None) -> None:
         self.executor = _resolve_executor(executor)
-        self._pool: Optional[ThreadPoolExecutor] = None
 
     # ------------------------------------------------------------------
     # Routing
@@ -254,10 +259,12 @@ class FanOutScheduler:
             routed_updates=len(plan.delta),
         )
 
-    def _thread_pool(self) -> ThreadPoolExecutor:
-        if self._pool is None:
+    @staticmethod
+    def _thread_pool() -> ThreadPoolExecutor:
+        global _SHARED_POOL
+        if _SHARED_POOL is None:
             workers = min(32, (os.cpu_count() or 2))
-            self._pool = ThreadPoolExecutor(
+            _SHARED_POOL = ThreadPoolExecutor(
                 max_workers=workers, thread_name_prefix="repro-fanout"
             )
-        return self._pool
+        return _SHARED_POOL

@@ -112,11 +112,17 @@ class EngineReport:
     stale cumulative meter reading; in particular a view materialized
     lazily during this ``apply`` and then skipped reports zero, not its
     from-scratch build cost).
+
+    ``seq`` is the write-ahead log sequence number the attached journal
+    assigned this batch (``None`` when the session is not journaling, or
+    the journal's ``append`` does not return one) — the stable identity
+    persistence uses for per-view replay cursors and log compaction.
     """
 
     delta: Delta
     new_nodes: frozenset[Node]
     views: dict[str, ViewReport] = field(default_factory=dict)
+    seq: Optional[int] = None
 
     def output(self, name: str) -> Any:
         """The named view's ΔO for this batch."""
@@ -185,6 +191,13 @@ class Engine:
         #: Write-ahead log every applied batch is appended to (see
         #: :meth:`set_journal`); ``None`` disables journaling.
         self.journal = None
+        #: Bumped whenever :meth:`set_journal` swaps the journal object —
+        #: persistence's continuity tripwire (a store may only derive a
+        #: graph diff from its own log if the engine journaled into that
+        #: log, uninterrupted, since the store's previous capture).
+        self._journal_epoch = 0
+        #: Seq of the newest batch the attached journal acknowledged.
+        self._last_journaled_seq: Optional[int] = None
 
     # ------------------------------------------------------------------
     # View registration
@@ -333,6 +346,16 @@ class Engine:
         """Registered view names, in registration order."""
         return list(self._views)
 
+    def relevance_filter(self, name: str) -> Optional[DeltaFilter]:
+        """The cached relevance filter the named view registered with
+        (``None`` for broadcast views, unknown names, or lazy views not
+        yet materialized — all of which callers must treat as
+        "subscribes to everything").  Never materializes a lazy view:
+        consumers like relevance-aware log compaction only need the
+        filter opportunistically, and a conservative ``None`` is always
+        sound."""
+        return self._filters.get(name)
+
     def __getitem__(self, name: str) -> IncrementalView:
         return self.view(name)
 
@@ -375,9 +398,10 @@ class Engine:
             delta = delta.normalized()
         self._validate(delta)  # before materializing: a bad batch stays free
         self._materialize_pending()
+        seq = None
         if self.journal is not None:
-            self.journal.append(delta)
-        report = self._fan_out(delta)
+            seq = self.journal.append(delta)
+        report = self._fan_out(delta, seq=seq)
         self._history.append(delta)
         if self._autosnapshot is not None:
             try:
@@ -430,7 +454,7 @@ class Engine:
                 overlay_removed.add(edge)
                 overlay_added.discard(edge)
 
-    def _fan_out(self, delta: Delta) -> EngineReport:
+    def _fan_out(self, delta: Delta, seq: Optional[int] = None) -> EngineReport:
         new_nodes = frozenset(
             node for node in delta.touched_nodes() if node not in self.graph
         )
@@ -444,7 +468,15 @@ class Engine:
             delta, new_nodes, self.graph, self._views, self._meters, filters
         )
         views = self.scheduler.dispatch(plans)
-        for report in views.values():
+        self._record_reports(views)
+        if seq is not None:
+            self._last_journaled_seq = seq
+        return EngineReport(delta=delta, new_nodes=new_nodes, views=views, seq=seq)
+
+    def _record_reports(self, reports: dict[str, ViewReport]) -> None:
+        """Fold one dispatch's reports into routing stats + dirty set
+        (shared by the apply fan-out and the replay :meth:`deliver`)."""
+        for report in reports.values():
             stats = self._route_stats[report.name]
             if report.skipped:
                 stats.batches_skipped += 1
@@ -452,7 +484,6 @@ class Engine:
                 stats.batches_routed += 1
                 stats.updates_delivered += report.routed_updates
                 self._dirty.add(report.name)
-        return EngineReport(delta=delta, new_nodes=new_nodes, views=views)
 
     # ------------------------------------------------------------------
     # Checkpoint / rollback (Delta.inverted)
@@ -486,10 +517,66 @@ class Engine:
             batch.inverted() for batch in reversed(self._history[checkpoint:])
         ).normalized()
         self._materialize_pending()
+        seq = None
         if self.journal is not None and undo:
-            self.journal.append(undo)  # write-ahead, as in apply()
+            seq = self.journal.append(undo)  # write-ahead, as in apply()
         self._history = self._history[:checkpoint]
-        return self._fan_out(undo)
+        return self._fan_out(undo, seq=seq)
+
+    # ------------------------------------------------------------------
+    # Replay delivery (persistence recovery path)
+    # ------------------------------------------------------------------
+
+    def deliver(
+        self,
+        delta: Union[Delta, Iterable[Update]],
+        names: Iterable[str],
+        strict: bool = False,
+    ) -> dict[str, ViewReport]:
+        """Route ``delta`` to the named views **without mutating the
+        graph** — the per-view replay path of
+        :meth:`repro.persist.SnapshotStore.load`.
+
+        The graph must already contain the batch's effects: recovery
+        uses this to bring a view whose snapshot section was serialized
+        at an older log seq (its *replay cursor*) up to date on log
+        entries the restored graph already absorbed.  Each named view's
+        relevance filter decides, update by update, whether anything
+        must actually be absorbed; under the snapshot writer's cursor
+        invariant (a section is only carried forward while the view
+        stays clean) every such delivery routes empty.
+
+        With ``strict=True`` a delivery that routes a *non-empty*
+        sub-delta to any view raises :class:`EngineError` **before any
+        view absorbs anything** — the snapshot's cursor claimed the view
+        was current through these entries, so routed work means the
+        snapshot and log disagree.  Deliveries are not journaled and do
+        not join the rollback history (the graph never changed).
+        """
+        if not isinstance(delta, Delta):
+            delta = Delta(list(delta))
+        views: dict[str, IncrementalView] = {}
+        meters: dict[str, CostMeter] = {}
+        filters: dict[str, Optional[DeltaFilter]] = {}
+        for name in names:
+            self.view(name)  # materializes lazy views
+            views[name] = self._views[name]
+            meters[name] = self._meters[name]
+            filters[name] = self._filters[name]
+        plans = self.scheduler.partition(
+            delta, frozenset(), self.graph, views, meters, filters
+        )
+        if strict:
+            routed = [plan.name for plan in plans if not plan.skipped]
+            if routed:
+                raise EngineError(
+                    f"replay delivery routed updates to views {routed!r} whose "
+                    "snapshot cursor claimed they were already current — the "
+                    "snapshot and delta log disagree"
+                )
+        reports = self.scheduler.dispatch(plans)
+        self._record_reports(reports)
+        return reports
 
     # ------------------------------------------------------------------
     # Routing and dirty-set accounting (see repro.engine.scheduler)
@@ -619,4 +706,22 @@ class Engine:
         >>> len(engine.journal.entries)
         1
         """
+        if journal is not self.journal:
+            self._journal_epoch += 1
         self.journal = journal
+
+    @property
+    def journal_epoch(self) -> int:
+        """Monotonic count of journal swaps (see :meth:`set_journal`).
+
+        :class:`repro.persist.SnapshotStore` compares epochs across
+        captures: an incremental graph diff may only be derived from the
+        store's own log when the engine journaled into that log,
+        uninterrupted, since the previous capture."""
+        return self._journal_epoch
+
+    @property
+    def last_journaled_seq(self) -> Optional[int]:
+        """Sequence number of the newest batch the attached journal
+        acknowledged (``None`` before the first journaled batch)."""
+        return self._last_journaled_seq

@@ -73,7 +73,7 @@ class DiGraph:
         assert list(g.predecessors(2)) == [1]
     """
 
-    __slots__ = ("_succ", "_pred", "_labels", "_num_edges")
+    __slots__ = ("_succ", "_pred", "_labels", "_num_edges", "_oob_version")
 
     def __init__(
         self,
@@ -84,6 +84,7 @@ class DiGraph:
         self._pred: dict[Node, set[Node]] = {}
         self._labels: dict[Node, Label] = {}
         self._num_edges = 0
+        self._oob_version = 0
         if labels:
             for node, label in labels.items():
                 self.add_node(node, label=label)
@@ -111,6 +112,7 @@ class DiGraph:
         clone._succ = {node: set(targets) for node, targets in self._succ.items()}
         clone._pred = {node: set(sources) for node, sources in self._pred.items()}
         clone._num_edges = self._num_edges
+        clone._oob_version = self._oob_version
         return clone
 
     # ------------------------------------------------------------------
@@ -122,12 +124,15 @@ class DiGraph:
         if node not in self._succ:
             self._succ[node] = set()
             self._pred[node] = set()
+        elif self._labels[node] != label:
+            self._oob_version += 1  # relabel: no delta can express this
         self._labels[node] = label
 
     def remove_node(self, node: Node) -> None:
         """Remove ``node`` and every incident edge."""
         if node not in self._succ:
             raise MissingNodeError(node)
+        self._oob_version += 1  # no delta can express node removal
         for target in tuple(self._succ[node]):
             self.remove_edge(node, target)
         for source in tuple(self._pred[node]):
@@ -150,7 +155,19 @@ class DiGraph:
         """Relabel an existing node."""
         if node not in self._succ:
             raise MissingNodeError(node)
+        if self._labels[node] != label:
+            self._oob_version += 1  # relabel: no delta can express this
         self._labels[node] = label
+
+    @property
+    def oob_version(self) -> int:
+        """Monotonic count of mutations no batch update can express —
+        relabels of existing nodes and node removals.  Edge updates flow
+        through the engine's journal, so persistence derives incremental
+        graph diffs from the log; this counter is the tripwire telling
+        :meth:`repro.persist.SnapshotStore.save` the graph moved outside
+        that channel and the diff base must be rewritten in full."""
+        return self._oob_version
 
     def nodes(self) -> Iterator[Node]:
         """Iterate over all nodes (insertion order)."""

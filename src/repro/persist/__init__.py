@@ -21,8 +21,15 @@ The on-disk format is a documented contract: ``docs/PERSISTENCE.md``.
 """
 
 from repro.persist.deltalog import DeltaLog, LogEntry
-from repro.persist.format import FORMAT_VERSION, PersistFormatError
+from repro.persist.format import (
+    FORMAT_VERSION,
+    SUPPORTED_VERSIONS,
+    PersistFormatError,
+    split_snapshot_sections,
+    split_view_sections,
+)
 from repro.persist.snapshot import (
+    LoadReport,
     SnapshotPolicy,
     SnapshotStore,
     load_session,
@@ -33,11 +40,15 @@ from repro.persist.snapshot import (
 __all__ = [
     "DeltaLog",
     "FORMAT_VERSION",
+    "LoadReport",
     "LogEntry",
     "PersistFormatError",
+    "SUPPORTED_VERSIONS",
     "SnapshotPolicy",
     "SnapshotStore",
     "load_session",
     "register_view_kind",
     "save_session",
+    "split_snapshot_sections",
+    "split_view_sections",
 ]

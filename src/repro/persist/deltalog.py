@@ -19,10 +19,11 @@ acknowledged, so dropping it is the correct recovery.
 Replaying the committed entries, in order, over the graph they started
 from reproduces the session state; :class:`repro.persist.SnapshotStore`
 pairs this log with periodic snapshots so only the tail after the last
-snapshot is ever replayed.  A compacted log opens with a ``%truncated
-<seq>`` floor marker recording the seqs that were committed and then
-dropped, so sequence allocation and recovery stay correct across
-processes.
+snapshot is ever replayed.  A compacted log carries a ``%truncated
+<seq>`` watermark recording the seqs that were committed and then
+dropped (preceded by any snapshot-covered entries a lagging view's
+relevance filter still retains), so sequence allocation and recovery
+stay correct across processes.
 
 Example::
 
@@ -62,6 +63,18 @@ PathLike = Union[str, Path]
 __all__ = ["DeltaLog", "LogEntry", "fsync_directory"]
 
 
+def _directive_seq(line: str) -> int | None:
+    """The integer seq operand of a stripped directive line, or ``None``
+    when the line is torn/malformed — the one parsing rule every log
+    scan (:meth:`DeltaLog._scan_max_seq`, :meth:`DeltaLog.last_seq`,
+    :meth:`DeltaLog._scan_floor`) shares."""
+    try:
+        _, operands = parse_directive(line)
+        return int(operands[0])
+    except (ValueError, IndexError, TypeError):
+        return None
+
+
 def fsync_directory(directory: Path) -> None:
     """Flush a directory's entry table, making renames/creations inside
     it durable.  Best-effort on platforms whose directories cannot be
@@ -84,6 +97,71 @@ class LogEntry:
 
     seq: int
     delta: Delta
+
+
+def _net_cancel_window(
+    entries: list[LogEntry], after: int, graph_nodes
+) -> list[LogEntry]:
+    """Collapse opposing update runs per edge across the survivor window.
+
+    Operates only on entries with ``seq > after`` (entries at or below
+    the floor retained for lagging views are replayed verbatim).  For
+    each edge, the window's updates alternate insert/delete (any
+    committed sequence was applicable); an even-length run cancels
+    entirely and an odd-length run keeps only its final update — the net
+    effect on the graph is unchanged, every intermediate batch stays
+    individually applicable (no other update touches the edge between
+    cancelled neighbors), and each view's answer after replay still
+    equals Q(final graph) because absorb is confluent.
+
+    Cancelling an *insert* additionally requires both endpoints to
+    predate the window: an insert that introduced a node leaves that
+    node behind in the live graph even after the edge is deleted, so
+    dropping it would lose the node on replay.  ``graph_nodes`` is the
+    witness set — the nodes known to exist at the window start (the
+    compaction floor).
+    """
+    ops: dict[tuple, list[tuple[int, int]]] = {}
+    for entry_index, entry in enumerate(entries):
+        if entry.seq <= after:
+            continue
+        for update_index, update in enumerate(entry.delta):
+            ops.setdefault(update.edge, []).append((entry_index, update_index))
+    pre_window = set(graph_nodes)
+    dropped: set[tuple[int, int]] = set()
+    for edge, positions in ops.items():
+        if len(positions) < 2:
+            continue
+        updates = [entries[ei].delta[ui] for ei, ui in positions]
+        if any(
+            first.kind == second.kind
+            for first, second in zip(updates, updates[1:])
+        ):
+            continue  # non-alternating run: corrupt or exotic — keep all
+        candidates = positions[:-1] if len(positions) % 2 else positions
+        candidate_updates = updates[:-1] if len(positions) % 2 else updates
+        if any(
+            update.is_insert
+            and not (update.source in pre_window and update.target in pre_window)
+            for update in candidate_updates
+        ):
+            continue  # cancelling would lose a window-introduced node
+        dropped.update(candidates)
+    if not dropped:
+        return entries
+    result: list[LogEntry] = []
+    for entry_index, entry in enumerate(entries):
+        if entry.seq <= after:
+            result.append(entry)
+            continue
+        survivors = [
+            update
+            for update_index, update in enumerate(entry.delta)
+            if (entry_index, update_index) not in dropped
+        ]
+        # an emptied entry keeps its frame: the seq stays spoken for
+        result.append(LogEntry(entry.seq, Delta(survivors)))
+    return result
 
 
 class DeltaLog:
@@ -168,11 +246,9 @@ class DeltaLog:
             for line in stream:
                 line = line.strip()
                 if line.startswith(("%batch", "%truncated")):
-                    try:
-                        _, operands = parse_directive(line)
-                        highest = max(highest, int(operands[0]))
-                    except (ValueError, IndexError, TypeError):
-                        continue  # torn mid-line; entries() reports it
+                    seq = _directive_seq(line)
+                    if seq is not None:  # torn mid-line; entries() reports it
+                        highest = max(highest, seq)
         return highest
 
     # ------------------------------------------------------------------
@@ -288,17 +364,12 @@ class DeltaLog:
             for line in stream:
                 line = line.strip()
                 if line.startswith("%batch"):
-                    try:
-                        _, operands = parse_directive(line)
-                        pending = int(operands[0])
-                    except (ValueError, IndexError, TypeError):
-                        pending = None  # torn framing; entries() decides
+                    # None on torn framing; entries() decides
+                    pending = _directive_seq(line)
                 elif line.startswith("%truncated"):
-                    try:
-                        _, operands = parse_directive(line)
-                        last = max(last, int(operands[0]))
-                    except (ValueError, IndexError, TypeError):
-                        pass
+                    floor = _directive_seq(line)
+                    if floor is not None:
+                        last = max(last, floor)
                 elif line.startswith("%commit") and pending is not None:
                     last = pending
                     pending = None
@@ -308,29 +379,133 @@ class DeltaLog:
     # Compaction
     # ------------------------------------------------------------------
 
-    def compact(self, after: int) -> int:
+    def compact(
+        self,
+        after: int,
+        *,
+        lagging=(),
+        label_of=None,
+        graph_nodes=None,
+    ) -> int:
         """Drop committed entries with ``seq <= after`` (they are covered
         by a snapshot); returns the number of entries kept.
 
-        The compacted file opens with a ``%truncated <after>`` floor
-        marker so a fresh process reading the log still knows those seqs
-        were used — without it, seq allocation could restart below the
-        snapshot's ``last-seq`` stamp and newly journaled batches would
-        be invisible to the next recovery.  Rewrites the file via a
-        temp-and-rename so a crash mid-compaction leaves either the old
-        or the new log, never a hybrid.
+        The compacted file opens with a ``%truncated <floor>`` marker so
+        a fresh process reading the log still knows those seqs were used
+        — without it, seq allocation could restart below the snapshot's
+        ``last-seq`` stamp and newly journaled batches would be invisible
+        to the next recovery.  Rewrites the file via a temp-and-rename so
+        a crash mid-compaction leaves either the old or the new log,
+        never a hybrid.
+
+        **Relevance-aware retention** (``lagging``): a sequence of
+        ``(cursor, filter)`` pairs, one per view whose snapshot replay
+        cursor lags the snapshot's graph seq.  An entry with
+        ``seq <= after`` is only dropped when every lagging pair with
+        ``cursor < seq`` provably does not want it — ``filter`` is a
+        :class:`~repro.engine.relevance.DeltaFilter` consulted per
+        update (``None`` means the view broadcasts, so its entries are
+        conservatively kept).  ``label_of`` resolves endpoint labels for
+        the filters; without it no filter can be consulted, so every
+        lagging window is conservatively retained.  Retained entries at
+        or below the watermark are written *before* the ``%truncated``
+        marker (readers fold a mid-file marker into their monotone
+        floor), so the watermark itself never shrinks — dropping it
+        below a committed seq would let a fresh process re-allocate that
+        seq, and recovery would never apply the reused batch to the
+        graph.
+
+        **Net-cancellation** (``graph_nodes``): within the survivor
+        window (``seq > after``), opposing update runs on the same edge
+        collapse to their net effect — an edge inserted in one batch and
+        deleted two batches later vanishes from both.  ``graph_nodes``
+        is the set of nodes known to exist at the window start (for
+        :meth:`repro.persist.SnapshotStore.compact_log`: the nodes of
+        the snapshot's graph section); an insert is only cancelled when
+        both endpoints are in it, because cancelling an insert that
+        introduced a node would lose that node — edge deletion never
+        removes endpoints, so the node survives in the live graph and
+        must survive replay.  Emptied survivor entries keep their
+        ``%batch``/``%commit`` frame: their seqs stay spoken for, so
+        allocation and cursors never regress.  Pass ``graph_nodes=None``
+        (the default) to skip cancellation entirely.
         """
-        kept = self.entries(after=after)
+        lagging = list(lagging)
+        retained: list[LogEntry] = []
+        if lagging:
+            read_from = min([after] + [cursor for cursor, _ in lagging])
+            for entry in self.entries(after=read_from):
+                if entry.seq > after or self._wanted_by_lagging(
+                    entry, lagging, label_of
+                ):
+                    retained.append(entry)
+        else:
+            retained = self.entries(after=after)
+        if graph_nodes is not None:
+            retained = _net_cancel_window(retained, after, graph_nodes)
+        # The allocation watermark must never shrink: every seq <= after
+        # was committed (whether or not a lagging view retains it), and a
+        # previous compaction's floor may sit even higher.  Writing a
+        # lower watermark would let a fresh process re-allocate a covered
+        # seq, whose batch the next recovery would then never apply to
+        # the graph (it reads as snapshot-covered) — silent data loss.
+        watermark = max(after, self._scan_floor())
+        low = [entry for entry in retained if entry.seq <= watermark]
+        high = [entry for entry in retained if entry.seq > watermark]
+
+        def write_entry(stream, entry: LogEntry) -> None:
+            stream.write(render_directive("batch", entry.seq))
+            for update in entry.delta:
+                stream.write(update_to_line(update))
+            stream.write(render_directive("commit"))
+
         temp = self.path.with_suffix(self.path.suffix + ".tmp")
         with open(temp, "w", encoding="utf-8") as stream:
-            stream.write(render_directive("truncated", after))
-            for entry in kept:
-                stream.write(render_directive("batch", entry.seq))
-                for update in entry.delta:
-                    stream.write(update_to_line(update))
-                stream.write(render_directive("commit"))
+            # retained lagging entries precede the watermark marker —
+            # the reader folds a mid-file %truncated into its monotone
+            # floor, so their (lower) seqs still parse cleanly.
+            for entry in low:
+                write_entry(stream, entry)
+            stream.write(render_directive("truncated", watermark))
+            for entry in high:
+                write_entry(stream, entry)
             stream.flush()
             os.fsync(stream.fileno())
         os.replace(temp, self.path)
         fsync_directory(self.path.parent)
-        return len(kept)
+        return len(retained)
+
+    def _scan_floor(self) -> int:
+        """Highest ``%truncated`` watermark already recorded in the file
+        (0 when absent) — committed-and-dropped seqs must stay spoken
+        for across repeated compactions."""
+        floor = 0
+        if not self.path.exists():
+            return floor
+        with open(self.path, "r", encoding="utf-8") as stream:
+            for line in stream:
+                line = line.strip()
+                if line.startswith("%truncated"):
+                    watermark = _directive_seq(line)
+                    if watermark is not None:
+                        floor = max(floor, watermark)
+        return floor
+
+    @staticmethod
+    def _wanted_by_lagging(entry: LogEntry, lagging, label_of) -> bool:
+        """Does any lagging view still need this snapshot-covered entry?"""
+        for cursor, delta_filter in lagging:
+            if cursor >= entry.seq:
+                continue  # this view already absorbed the entry
+            if delta_filter is None or (label_of is None and entry.delta):
+                # broadcast view — or no label resolver to consult the
+                # filter with: either way, conservatively retain (the
+                # unsafe direction would be dropping an entry a lagging
+                # view still needs).
+                return True
+            for update in entry.delta:
+                if delta_filter.wants_update(
+                    update, label_of(update.source), label_of(update.target)
+                ):
+                    return True
+        return False

@@ -21,17 +21,24 @@ lines, and the versioned snapshot header.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+from typing import NamedTuple, Optional
+
 from repro.graph.io_tokens import format_token, tokenize
 
 __all__ = [
     "FORMAT_VERSION",
     "SNAPSHOT_MAGIC",
+    "SUPPORTED_VERSIONS",
     "PersistFormatError",
+    "SnapshotSections",
+    "ViewSection",
     "is_directive",
     "parse_directive",
     "parse_record",
     "render_directive",
     "render_record",
+    "split_snapshot_sections",
     "split_view_sections",
 ]
 
@@ -39,7 +46,13 @@ __all__ = [
 SNAPSHOT_MAGIC = "repro-snapshot"
 
 #: Current on-disk format version (see docs/PERSISTENCE.md for history).
-FORMAT_VERSION = 1
+#: Version 2 added per-view replay cursors (a fourth ``%section view``
+#: operand) and incremental ``%graphdiff`` chunks in the graph section.
+FORMAT_VERSION = 2
+
+#: Versions this reader understands.  Version-1 files (no cursors, no
+#: ``%graphdiff``) load unchanged; the writer always emits version 2.
+SUPPORTED_VERSIONS = (1, 2)
 
 
 class PersistFormatError(ValueError):
@@ -88,38 +101,122 @@ def parse_directive(line: str) -> tuple[str, list]:
     return head, tokenize(rest)
 
 
-def split_view_sections(
-    lines, source: str = "<snapshot>"
-) -> dict[str, tuple[str, list[str]]]:
-    """Split a snapshot file's raw lines into per-view section bodies.
+def check_snapshot_version(operands, source: str, line_number: int) -> int:
+    """Validate a ``%repro-snapshot`` directive's operands; returns the
+    accepted version.  One rule, shared by every snapshot parser."""
+    if len(operands) != 1 or operands[0] not in SUPPORTED_VERSIONS:
+        raise PersistFormatError(
+            source,
+            line_number,
+            f"unsupported snapshot version {operands!r}; this reader "
+            f"understands versions {SUPPORTED_VERSIONS}",
+        )
+    return operands[0]
 
-    Returns ``{view_name: (kind, body_lines)}`` where ``body_lines`` are
-    the section's raw lines **verbatim** (the ``%config`` directive and
-    every record row, newline-terminated) — everything between the
-    section's ``%section view`` line and the next ``%section``/``%end``.
-    The graph section and ``%meta`` header lines are not returned.
 
-    This is the substrate of incremental snapshot saves
-    (:meth:`repro.persist.SnapshotStore.save` with ``incremental=True``):
-    a *clean* view's body is carried forward into the new snapshot by
-    literal line copy, with no deserialization and no call to the view's
-    ``snapshot()``.  Verbatim copy is sound because view snapshots are
+def parse_view_section_operands(
+    operands, source: str, line_number: int
+) -> tuple[str, str, Optional[int]]:
+    """Validate ``%section view`` operands; returns ``(name, kind,
+    cursor)`` with ``cursor=None`` for cursor-less (v1) sections."""
+    cursor = None
+    if len(operands) == 4:
+        if not isinstance(operands[3], int) or operands[3] < 0:
+            raise PersistFormatError(
+                source,
+                line_number,
+                f"view cursor must be a non-negative integer, "
+                f"got {operands[3]!r}",
+            )
+        cursor = operands[3]
+    return operands[1], operands[2], cursor
+
+
+def check_graphdiff_context(
+    version: int, in_graph_section: bool, source: str, line_number: int
+) -> None:
+    """Validate that a ``%graphdiff`` directive may appear here."""
+    if not in_graph_section:
+        raise PersistFormatError(
+            source, line_number, "%graphdiff outside the graph section"
+        )
+    if version < 2:
+        raise PersistFormatError(
+            source,
+            line_number,
+            "%graphdiff is a version-2 construct in a version-1 file",
+        )
+
+
+class ViewSection(NamedTuple):
+    """One view section lifted verbatim from a snapshot file."""
+
+    #: View-kind tag (``kws`` / ``rpq`` / ``scc`` / ``iso`` / extension).
+    kind: str
+    #: Replay cursor — the log seq at which the section's bytes were
+    #: serialized (``None`` in version-1 files, which predate cursors;
+    #: readers default it to the file's ``last-seq``).
+    cursor: Optional[int]
+    #: Raw body lines (the ``%config`` directive and every record row).
+    body: list[str]
+
+
+@dataclass
+class SnapshotSections:
+    """A snapshot file split into carry-forwardable raw sections.
+
+    This is the substrate of incremental saves: both clean view bodies
+    and the whole graph portion (base records plus any accumulated
+    ``%graphdiff`` chunks) are carried into the next snapshot by literal
+    line copy, with no deserialization.
+    """
+
+    #: Format version of the source file.
+    version: int = FORMAT_VERSION
+    #: The file's ``%meta last-seq`` stamp (0 when absent).
+    last_seq: int = 0
+    #: Graph-section lines verbatim — base ``n``/``e`` records and every
+    #: ``%graphdiff`` directive + diff record, in file order.
+    graph_lines: list[str] = field(default_factory=list)
+    #: Number of ``%graphdiff`` chunks already accumulated in the file.
+    graphdiff_chunks: int = 0
+    #: ``{view_name: ViewSection}`` in file order.
+    views: dict[str, ViewSection] = field(default_factory=dict)
+
+
+def split_snapshot_sections(lines, source: str = "<snapshot>") -> SnapshotSections:
+    """Split a snapshot file's raw lines into carry-forwardable sections.
+
+    Returns a :class:`SnapshotSections` whose bodies are the raw lines
+    **verbatim** (newline-terminated), ready to be copied into a new
+    snapshot file.  ``%meta`` header lines are folded into
+    :attr:`SnapshotSections.last_seq`; everything else between a
+    ``%section`` line and the next ``%section``/``%end`` lands in the
+    matching body.
+
+    Verbatim copy is sound for view sections because view snapshots are
     canonical (see :mod:`repro.engine.view`): an unchanged view would
-    re-render byte-identical lines.
+    re-render byte-identical lines.  The graph portion is carried as an
+    opaque replay script — base records plus ordered ``%graphdiff``
+    chunks — which the v2 reader applies in file order.
 
     The versioned header is still enforced — carrying sections forward
     from a format this reader does not understand would silently launder
     them into a new file.
 
     >>> text = (
-    ...     "%repro-snapshot 1\\n%meta last-seq 3\\n%section graph\\n"
-    ...     "n 1 a\\n%section view watch kws\\n%config 2 a\\na 1 0\\n%end\\n"
+    ...     "%repro-snapshot 2\\n%meta last-seq 3\\n%section graph\\n"
+    ...     "n 1 a\\n%section view watch kws 3\\n%config 2 a\\na 1 0\\n%end\\n"
     ... )
-    >>> split_view_sections(text.splitlines(keepends=True))
-    {'watch': ('kws', ['%config 2 a\\n', 'a 1 0\\n'])}
+    >>> sections = split_snapshot_sections(text.splitlines(keepends=True))
+    >>> sections.last_seq, sections.graph_lines
+    (3, ['n 1 a\\n'])
+    >>> sections.views
+    {'watch': ViewSection(kind='kws', cursor=3, body=['%config 2 a\\n', 'a 1 0\\n'])}
     """
-    sections: dict[str, tuple[str, list[str]]] = {}
+    result = SnapshotSections()
     body: list[str] | None = None
+    in_graph = False
     versioned = False
     for line_number, raw in enumerate(lines, start=1):
         stripped = raw.strip()
@@ -133,26 +230,63 @@ def split_view_sections(
             except ValueError as exc:
                 raise PersistFormatError(source, line_number, str(exc)) from None
             if keyword == SNAPSHOT_MAGIC:
-                if operands != [FORMAT_VERSION]:
-                    raise PersistFormatError(
-                        source,
-                        line_number,
-                        f"unsupported snapshot version {operands!r}; "
-                        f"this reader understands version {FORMAT_VERSION}",
-                    )
+                result.version = check_snapshot_version(
+                    operands, source, line_number
+                )
                 versioned = True
+                continue
+            if keyword == "meta":
+                if len(operands) == 2 and operands[0] == "last-seq":
+                    result.last_seq = int(operands[1])
+                continue
+            if keyword == "graphdiff":
+                check_graphdiff_context(
+                    result.version, in_graph, source, line_number
+                )
+                result.graphdiff_chunks += 1
+                body.append(raw)  # carried as part of the graph replay script
                 continue
             if keyword == "section":
                 body = None
-                if len(operands) == 3 and operands[0] == "view":
+                in_graph = False
+                if operands and operands[0] == "graph":
+                    in_graph = True
+                    body = result.graph_lines
+                elif len(operands) in (3, 4) and operands[0] == "view":
+                    name, kind, cursor = parse_view_section_operands(
+                        operands, source, line_number
+                    )
                     body = []
-                    sections[operands[1]] = (operands[2], body)
+                    result.views[name] = ViewSection(kind, cursor, body)
                 continue
             if keyword == "end":
                 body = None
+                in_graph = False
                 continue
         if body is not None:
             body.append(raw)
     if not versioned:
         raise PersistFormatError(source, 0, f"missing %{SNAPSHOT_MAGIC} header")
-    return sections
+    return result
+
+
+def split_view_sections(
+    lines, source: str = "<snapshot>"
+) -> dict[str, tuple[str, list[str]]]:
+    """Compatibility wrapper over :func:`split_snapshot_sections`.
+
+    Returns ``{view_name: (kind, body_lines)}`` — the pre-cursor shape,
+    still used by callers that only care about view bodies.
+
+    >>> text = (
+    ...     "%repro-snapshot 1\\n%meta last-seq 3\\n%section graph\\n"
+    ...     "n 1 a\\n%section view watch kws\\n%config 2 a\\na 1 0\\n%end\\n"
+    ... )
+    >>> split_view_sections(text.splitlines(keepends=True))
+    {'watch': ('kws', ['%config 2 a\\n', 'a 1 0\\n'])}
+    """
+    sections = split_snapshot_sections(lines, source=source)
+    return {
+        name: (section.kind, section.body)
+        for name, section in sections.views.items()
+    }

@@ -44,10 +44,16 @@ from pathlib import Path
 from typing import Optional, Union
 
 from repro.core.cost import CostMeter
-from repro.engine.session import Engine
+from repro.core.delta import InvalidDeltaError, concat
+from repro.engine.session import Engine, EngineError
 from repro.engine.view import IncrementalView, ViewSnapshot
 from repro.graph.digraph import DiGraph
-from repro.graph.io import apply_graph_record, graph_record_lines
+from repro.graph.io import (
+    apply_graph_record,
+    graph_record_lines,
+    update_from_fields,
+    update_to_line,
+)
 from repro.graph.io_tokens import format_token
 from repro.iso.incremental import ISOIndex
 from repro.kws.incremental import KWSIndex
@@ -56,12 +62,16 @@ from repro.persist.format import (
     FORMAT_VERSION,
     SNAPSHOT_MAGIC,
     PersistFormatError,
+    SnapshotSections,
+    check_graphdiff_context,
+    check_snapshot_version,
     is_directive,
     parse_directive,
     parse_record,
+    parse_view_section_operands,
     render_directive,
     render_record,
-    split_view_sections,
+    split_snapshot_sections,
 )
 from repro.rpq.incremental import RPQIndex
 from repro.scc.incremental import SCCIndex
@@ -69,6 +79,7 @@ from repro.scc.incremental import SCCIndex
 PathLike = Union[str, Path]
 
 __all__ = [
+    "LoadReport",
     "SnapshotPolicy",
     "SnapshotStore",
     "load_session",
@@ -101,6 +112,23 @@ def register_view_kind(kind: str, view_class: type) -> None:
     VIEW_KINDS[kind] = view_class
 
 
+@dataclass(frozen=True)
+class LoadReport:
+    """Phase breakdown of one :meth:`SnapshotStore.load`.
+
+    ``restore_seconds`` covers parsing the snapshot and rebuilding graph
+    + views; ``replay_seconds`` covers driving the log tail through the
+    engine.  ``entries_replayed`` counts log entries applied to the
+    graph (past the snapshot's ``last-seq``), ``entries_delivered``
+    counts lagging-window entries routed to cursor-lagging views only.
+    """
+
+    restore_seconds: float = 0.0
+    replay_seconds: float = 0.0
+    entries_replayed: int = 0
+    entries_delivered: int = 0
+
+
 @dataclass
 class SnapshotPolicy:
     """When should a journaling session auto-snapshot itself?
@@ -119,6 +147,13 @@ class SnapshotPolicy:
     resets the counters.  ``saves`` counts the snapshots the policy has
     triggered.
 
+    ``compact_every_batches`` is the background **log-compaction**
+    trigger: every N applied batches the store runs a relevance-aware
+    :meth:`SnapshotStore.compact_log` — entries covered by the last
+    snapshot (respecting per-view replay cursors) are dropped and the
+    survivor window is net-cancelled.  It counts as a trigger for
+    validation purposes, so a compaction-only policy is legal.
+
     >>> policy = SnapshotPolicy(every_batches=2)
     >>> policy.note_batch(); policy.due(dirty_count=1)
     False
@@ -131,9 +166,13 @@ class SnapshotPolicy:
     every_batches: Optional[int] = None
     every_seconds: Optional[float] = None
     dirty_threshold: Optional[int] = None
+    compact_every_batches: Optional[int] = None
     #: Snapshots triggered so far (incremented by :meth:`note_save`).
     saves: int = 0
+    #: Log compactions triggered so far (incremented by :meth:`note_compaction`).
+    compactions: int = 0
     _batches: int = field(default=0, repr=False)
+    _batches_since_compact: int = field(default=0, repr=False)
     _last_save: float = field(default_factory=time.monotonic, repr=False)
 
     def __post_init__(self) -> None:
@@ -141,12 +180,13 @@ class SnapshotPolicy:
             self.every_batches is None
             and self.every_seconds is None
             and self.dirty_threshold is None
+            and self.compact_every_batches is None
         ):
             raise ValueError(
                 "a SnapshotPolicy needs at least one trigger: every_batches, "
-                "every_seconds, or dirty_threshold"
+                "every_seconds, dirty_threshold, or compact_every_batches"
             )
-        for name in ("every_batches", "dirty_threshold"):
+        for name in ("every_batches", "dirty_threshold", "compact_every_batches"):
             value = getattr(self, name)
             if value is not None and value < 1:
                 raise ValueError(f"{name} must be >= 1, got {value}")
@@ -158,6 +198,19 @@ class SnapshotPolicy:
     def note_batch(self) -> None:
         """Record one applied batch."""
         self._batches += 1
+        self._batches_since_compact += 1
+
+    def compaction_due(self) -> bool:
+        """Should the delta log be compacted now?"""
+        return (
+            self.compact_every_batches is not None
+            and self._batches_since_compact >= self.compact_every_batches
+        )
+
+    def note_compaction(self) -> None:
+        """Reset the compaction counter after the log was compacted."""
+        self.compactions += 1
+        self._batches_since_compact = 0
 
     def due(self, dirty_count: int) -> bool:
         """Should a snapshot be taken now?"""
@@ -185,21 +238,40 @@ class SnapshotStore:
     SNAPSHOT_NAME = "snapshot.repro"
     LOG_NAME = "deltas.log"
 
-    def __init__(self, root: PathLike) -> None:
+    def __init__(self, root: PathLike, graphdiff_limit: int = 8) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.snapshot_path = self.root / self.SNAPSHOT_NAME
         self.log = DeltaLog(self.root / self.LOG_NAME)
+        #: Maximum ``%graphdiff`` chunks a snapshot accumulates before an
+        #: incremental save consolidates the graph section into a fresh
+        #: full base (bounds both file growth and load-time replay).
+        self.graphdiff_limit = graphdiff_limit
         # Which engine capture this store's on-disk snapshot holds:
-        # (weakref to the engine, its snapshot_epoch at write time).
-        # Incremental saves may only carry sections forward when the
-        # previous file *is* the engine's most recent full capture —
-        # an engine saved elsewhere in between cleans its dirty set
-        # against that other store, and carrying from ours would
-        # resurrect stale state.  Unknown provenance (fresh store,
-        # different engine) falls back to a full write, which is
-        # always sound.
-        self._captured: Optional[tuple[weakref.ref, int]] = None
+        # (weakref to the engine, its snapshot_epoch at write time, its
+        # journal_epoch at write time).  Incremental saves may only
+        # carry sections forward when the previous file *is* the
+        # engine's most recent full capture — an engine saved elsewhere
+        # in between cleans its dirty set against that other store, and
+        # carrying from ours would resurrect stale state.  The journal
+        # epoch additionally gates graph diffs: the diff is derived from
+        # this store's log tail, which only covers the window if the
+        # engine journaled here, uninterrupted, since the capture.
+        # Unknown provenance (fresh store, different engine) falls back
+        # to a full write, which is always sound.
+        self._captured: Optional[tuple[weakref.ref, int, int]] = None
+        #: Per-view replay cursors as recorded in the snapshot on disk
+        #: (mirrors the file; drives relevance-aware log compaction).
+        self._cursors: dict[str, int] = {}
+        #: ``%meta last-seq`` of the snapshot on disk (None before the
+        #: first save/load through this store object).
+        self._last_saved_seq: Optional[int] = None
+        #: Phase breakdown of the most recent :meth:`load` (None before).
+        self.last_load_report: Optional[LoadReport] = None
+        #: Node set of the on-disk snapshot's graph (the compaction-floor
+        #: state), cached by save()/load() so compact_log() does not have
+        #: to re-parse the file; None falls back to a file scan.
+        self._floor_nodes: Optional[frozenset] = None
 
     # ------------------------------------------------------------------
     # Journaling
@@ -223,6 +295,9 @@ class SnapshotStore:
                 if policy.due(dirty_count=len(session.dirty_views())):
                     self.save(session, incremental=True)
                     policy.note_save()
+                if policy.compaction_due():
+                    self.compact_log(session)
+                    policy.note_compaction()
 
             engine.set_autosnapshot(autosnapshot)
 
@@ -253,55 +328,80 @@ class SnapshotStore:
         their ``snapshot()``; every clean view's section is carried
         forward from the previous snapshot file by literal line copy
         (sound because view snapshots are canonical — an unchanged view
-        would re-render the same bytes).  The result is a complete,
-        self-contained snapshot in the ordinary format; ``load()`` does
-        not distinguish the two.  The graph section is always rewritten
-        (``G ⊕ ΔG`` touches it every batch).  Falls back to a full write
-        per view when no previous snapshot exists, the view has no
-        carried section, or this store's snapshot is not the engine's
-        most recent full capture (the dirty set is relative to the last
-        save *anywhere*; carrying from an older file would resurrect
-        stale state).  Either way the save marks every view clean.
+        would re-render the same bytes), keeping the replay cursor it
+        was originally serialized at.  The **graph section goes
+        incremental too**: when the previous file is this store's own
+        current capture and the engine has journaled here uninterrupted,
+        the previous graph portion is carried verbatim and a
+        ``%graphdiff`` chunk — the net edge diff derived from the log
+        tail since the previous save — is appended, so steady-state
+        snapshot serialization cost is proportional to the change, not
+        to |G|.  After :attr:`graphdiff_limit` accumulated chunks the
+        graph is consolidated into a fresh full base.  The result is a
+        complete, self-contained snapshot; ``load()`` does not
+        distinguish the two.  Falls back to a full write per view (and
+        per graph) whenever carry provenance cannot be established —
+        which is always sound.  Either way the save marks every view
+        clean.
         """
         last_seq = self.log.last_seq()
-        carried: dict[str, tuple[str, list[str]]] = {}
+        previous: Optional[SnapshotSections] = None
+        carried_names: frozenset[str] = frozenset()
         if (
             incremental
             and self._holds_current_capture(engine)
             and self.snapshot_path.exists()
         ):
-            dirty = engine.dirty_views()
             with open(self.snapshot_path, "r", encoding="utf-8") as stream:
-                previous = split_view_sections(
+                previous = split_snapshot_sections(
                     stream, source=str(self.snapshot_path)
                 )
-            carried = {
-                name: section
-                for name, section in previous.items()
-                if name not in dirty
-            }
+            carried_names = frozenset(previous.views) - engine.dirty_views()
+        graph_plan = None
+        if previous is not None:
+            graph_plan = self._plan_graph_carry(engine, previous, last_seq)
+        cursors: dict[str, int] = {}
         temp = self.snapshot_path.with_suffix(".tmp")
         with open(temp, "w", encoding="utf-8") as stream:
             stream.write(render_directive(SNAPSHOT_MAGIC, FORMAT_VERSION))
             stream.write(render_directive("meta", "last-seq", last_seq))
             stream.write(render_directive("section", "graph"))
-            for line in graph_record_lines(engine.graph):
-                stream.write(line)
+            if graph_plan is None:
+                for line in graph_record_lines(engine.graph):
+                    stream.write(line)
+            else:
+                carried_graph, diff_lines = graph_plan
+                stream.writelines(carried_graph)
+                if diff_lines:
+                    stream.write(render_directive("graphdiff", last_seq))
+                    stream.writelines(diff_lines)
             for name in engine.names():
-                section = carried.get(name)
-                if section is not None:
-                    kind, body = section
-                    stream.write(render_directive("section", "view", name, kind))
-                    stream.writelines(body)
+                if name in carried_names:
+                    section = previous.views[name]
+                    cursor = (
+                        section.cursor
+                        if section.cursor is not None
+                        else previous.last_seq  # v1 sections predate cursors
+                    )
+                    stream.write(
+                        render_directive(
+                            "section", "view", name, section.kind, cursor
+                        )
+                    )
+                    stream.writelines(section.body)
+                    cursors[name] = cursor
                     continue
                 view = engine.view(name)  # materializes lazy views
                 state = view.snapshot()
                 stream.write(
-                    render_directive("section", "view", name, state.kind)
+                    render_directive(
+                        "section", "view", name, state.kind, last_seq
+                    )
                 )
                 stream.write(render_directive("config", *state.config))
                 for row in state.records:
                     stream.write(render_record(row))
+                cursors[name] = last_seq
             stream.write(render_directive("end"))
             stream.flush()
             os.fsync(stream.fileno())
@@ -309,24 +409,177 @@ class SnapshotStore:
         fsync_directory(self.root)  # the rename must be durable before
         engine.mark_views_clean()   # every section is now on disk
         self._note_capture(engine)
+        self._cursors = cursors
+        self._last_saved_seq = last_seq
+        # the file just written captures exactly the current graph
+        self._floor_nodes = frozenset(engine.graph.nodes())
         if compact:                 # the log below it is compacted
-            self.log.compact(after=last_seq)
+            self.compact_log(engine)
         return self.snapshot_path
 
+    def _plan_graph_carry(
+        self, engine: Engine, previous: SnapshotSections, last_seq: int
+    ) -> Optional[tuple[list[str], list[str]]]:
+        """Can the graph section be carried forward with a diff chunk?
+
+        Returns ``(carried_lines, diff_lines)`` — the previous graph
+        portion verbatim plus the new chunk's records — or ``None`` to
+        force a full rewrite.  The diff is derived from this store's own
+        log tail ``(previous.last_seq, last_seq]``, which covers the
+        window exactly when the engine journaled into this log,
+        uninterrupted, since the previous capture (``journal_epoch``
+        tripwire); the provenance check in :meth:`save` already
+        established that the previous file captures this engine's state.
+
+        The chunk opens with one ``n <node> <label>`` record per node the
+        tail touched (idempotent re-declarations for pre-existing nodes;
+        creations, with the authoritative current label, for nodes the
+        tail introduced — including nodes whose introducing edge was
+        later deleted, which the net delta alone would lose), followed by
+        the tail's net-normalized ``+``/``-`` update records.
+        """
+        if previous.graphdiff_chunks >= self.graphdiff_limit:
+            return None  # consolidate: rewrite a fresh full base
+        if engine.journal is not self.log or not self._journal_uninterrupted(
+            engine
+        ):
+            return None
+        if previous.last_seq > last_seq:
+            return None  # foreign file: its stamp outruns our log
+        tail = self.log.entries(after=previous.last_seq)
+        if not tail:
+            return (previous.graph_lines, [])
+        try:
+            net = concat(entry.delta for entry in tail).normalized()
+        except InvalidDeltaError:
+            return None  # inconsistent window — full rewrite is always sound
+        touched = set()
+        for entry in tail:
+            touched.update(entry.delta.touched_nodes())
+        diff_lines = []
+        graph = engine.graph
+        try:
+            for node in sorted(touched, key=repr):
+                diff_lines.append(render_record(("n", node, graph.label(node))))
+        except KeyError:
+            return None  # a touched node left the graph out-of-band
+        for update in net:
+            diff_lines.append(update_to_line(update))
+        return (previous.graph_lines, diff_lines)
+
     def _note_capture(self, engine: Engine) -> None:
-        self._captured = (weakref.ref(engine), engine.snapshot_epoch)
+        self._captured = (
+            weakref.ref(engine),
+            engine.snapshot_epoch,
+            engine.journal_epoch,
+            engine.graph.oob_version,
+        )
 
     def _holds_current_capture(self, engine: Engine) -> bool:
         if self._captured is None:
             return False
-        ref, epoch = self._captured
+        ref, epoch, _, _ = self._captured
         return ref() is engine and epoch == engine.snapshot_epoch
+
+    def _journal_uninterrupted(self, engine: Engine) -> bool:
+        """Has every graph change since the capture flowed through this
+        store's log?  Requires both an unswapped journal (epoch) and no
+        out-of-band graph mutation (relabel / node removal — legal
+        :class:`DiGraph` operations no journaled delta can express, so
+        a log-derived diff would silently drop them)."""
+        if self._captured is None:
+            return False
+        ref, _, journal_epoch, graph_oob = self._captured
+        return (
+            ref() is engine
+            and journal_epoch == engine.journal_epoch
+            and graph_oob == engine.graph.oob_version
+        )
+
+    # ------------------------------------------------------------------
+    # Log compaction
+    # ------------------------------------------------------------------
+
+    def compact_log(self, engine: Engine) -> int:
+        """Relevance-aware log compaction; returns entries kept.
+
+        The compaction floor is the last snapshot's ``last-seq`` stamp:
+        entries at or below it are covered by the graph section on disk.
+        Views whose replay cursor lags that stamp (sections an
+        incremental save carried forward) keep the entries their
+        relevance filter still wants — under the writer's invariant
+        that is none of them, but the filter check makes the drop
+        *provable* rather than assumed.  The survivor window above the
+        floor is net-cancelled (insert/delete runs on the same edge
+        collapse when node-safe; see :meth:`DeltaLog.compact`).
+
+        Wired into the batch stream via
+        ``SnapshotPolicy(compact_every_batches=N)``; a free no-op
+        (returning 0) until this store has saved or loaded a snapshot.
+        Cost is O(|log|): the
+        floor-state node set that makes net-cancellation node-safe is
+        cached by save()/load() (a file scan is the fallback for a store
+        object that somehow lost the cache).
+        """
+        if self._last_saved_seq is None:
+            return 0  # nothing is covered yet; don't even read the log
+        floor = self._last_saved_seq
+        lagging = []
+        for name, cursor in self._cursors.items():
+            if cursor >= floor:
+                continue
+            # engine.relevance_filter never materializes a lazy view and
+            # returns None for unregistered-but-snapshotted names — the
+            # conservative "retain everything it might still replay".
+            lagging.append((cursor, engine.relevance_filter(name)))
+        floor_nodes = self._floor_nodes
+        if floor_nodes is None:
+            floor_nodes = self._snapshot_graph_nodes()
+        return self.log.compact(
+            after=floor,
+            lagging=lagging,
+            label_of=engine.graph.label,
+            graph_nodes=floor_nodes,
+        )
+
+    def _snapshot_graph_nodes(self) -> set:
+        """Node set of the on-disk snapshot's graph section — the graph
+        as of the compaction floor.  Every node a graph-section record
+        mentions exists at the floor (nodes are never removed), and
+        every floor node has an ``n`` record (in the base or, for
+        window-introduced nodes, in a ``%graphdiff`` chunk), so the
+        union over record operands is exact.  One streaming pass over
+        :func:`~repro.persist.format.split_snapshot_sections` (the same
+        parser the incremental writer uses); no :class:`DiGraph` is
+        materialized.
+        """
+        nodes: set = set()
+        if not self.snapshot_path.exists():
+            return nodes
+        with open(self.snapshot_path, "r", encoding="utf-8") as stream:
+            sections = split_snapshot_sections(
+                stream, source=str(self.snapshot_path)
+            )
+        for raw in sections.graph_lines:
+            line = raw.strip()
+            if is_directive(line):
+                continue  # the %graphdiff chunk markers
+            try:
+                row = parse_record(line)
+            except ValueError:
+                continue  # load() is the authority on malformed files
+            if len(row) >= 2 and row[0] == "n":
+                nodes.add(row[1])
+            elif len(row) >= 3 and row[0] in ("e", "+", "-"):
+                nodes.add(row[1])
+                nodes.add(row[2])
+        return nodes
 
     # ------------------------------------------------------------------
     # Load
     # ------------------------------------------------------------------
 
-    def load(self, attach_journal: bool = True) -> Engine:
+    def load(self, attach_journal: bool = True, routed: bool = True) -> Engine:
         """Recover a session: restore the snapshot, replay the log tail.
 
         Returns a fresh :class:`Engine` whose graph, views, and query
@@ -334,10 +587,31 @@ class SnapshotStore:
         its last durable write.  With ``attach_journal=True`` (default)
         the recovered engine resumes journaling into the same log, so
         save/load cycles chain.
+
+        Replay is **per-view and cursor-driven**: each view section
+        carries the log seq at which its bytes were serialized (its
+        *replay cursor* — older than the file's ``last-seq`` for
+        sections an incremental save carried forward), and every log
+        entry is delivered only to the views whose cursor it outruns.
+        Entries past the graph's ``last-seq`` stamp go through the
+        ordinary ``apply`` path (graph mutation + fan-out); entries at
+        or below it reach only the lagging views, through
+        :meth:`Engine.deliver` — routed through the relevance filters,
+        which (per the writer's invariant: a section is only carried
+        while its view stays clean) route them empty.  A lagging
+        delivery that routes non-empty means snapshot and log disagree
+        and raises :class:`~repro.persist.format.PersistFormatError`.
+
+        ``routed=False`` replays the tail through broadcast fan-out (no
+        relevance routing) — the reference mode the equivalence tests
+        and ``benchmarks/bench_recovery.py`` compare cursor-driven
+        routed replay against.
         """
+        phase_started = time.perf_counter()
         graph, view_states, last_seq = self._read_snapshot()
         engine = Engine(graph)
-        for name, state in view_states:
+        cursors: dict[str, int] = {}
+        for name, state, cursor in view_states:
             view_class = VIEW_KINDS.get(state.kind)
             if view_class is None:
                 raise PersistFormatError(
@@ -348,31 +622,82 @@ class SnapshotStore:
                 )
             view = view_class.restore(graph, state, meter=CostMeter())
             engine.attach(name, view)
+            # v1 sections predate cursors: they were serialized by the
+            # save that stamped last-seq.  A cursor can never outrun the
+            # graph stamp; clamp defensively against foreign files.
+            cursors[name] = last_seq if cursor is None else min(cursor, last_seq)
         # The restored views are exactly what the snapshot on disk holds,
         # so they start clean; replaying the tail re-dirties the views it
         # actually touches, keeping incremental saves minimal after load.
         engine.mark_views_clean()
-        self._note_capture(engine)
-        for entry in self.log.entries(after=last_seq):
-            engine.apply(entry.delta)  # journal not attached: no re-append
+        # pre-replay graph == the file's graph == the compaction floor
+        self._floor_nodes = frozenset(graph.nodes())
+        restore_seconds = time.perf_counter() - phase_started
+        replay_from = min([last_seq] + list(cursors.values()))
+        entries_replayed = entries_delivered = 0
+        previous_routing = engine.routing
+        engine.routing = routed
+        phase_started = time.perf_counter()
+        applied_seq = 0
+        try:
+            for entry in self.log.entries(after=replay_from):
+                if entry.seq > last_seq:
+                    # journal not attached: no re-append.  Entries are
+                    # seq-ordered, so no lagging delivery can follow the
+                    # first applied entry — the per-view cursor fold
+                    # happens once, after the loop.
+                    engine.apply(entry.delta)
+                    entries_replayed += 1
+                    applied_seq = entry.seq
+                    continue
+                lagging = [
+                    name for name, cursor in cursors.items() if cursor < entry.seq
+                ]
+                if lagging:
+                    try:
+                        engine.deliver(entry.delta, lagging, strict=True)
+                    except EngineError as exc:
+                        raise PersistFormatError(
+                            str(self.snapshot_path), 0, str(exc)
+                        ) from exc
+                    entries_delivered += 1
+                    for name in lagging:
+                        cursors[name] = entry.seq
+        finally:
+            engine.routing = previous_routing
+        if applied_seq:
+            for name in cursors:
+                cursors[name] = applied_seq
+        self.last_load_report = LoadReport(
+            restore_seconds=restore_seconds,
+            replay_seconds=time.perf_counter() - phase_started,
+            entries_replayed=entries_replayed,
+            entries_delivered=entries_delivered,
+        )
+        self._cursors = cursors
+        self._last_saved_seq = last_seq
         if attach_journal:
             self.attach(engine)
+        self._note_capture(engine)
         return engine
 
     def _read_snapshot(
         self,
-    ) -> tuple[DiGraph, list[tuple[str, ViewSnapshot]], int]:
+    ) -> tuple[DiGraph, list[tuple[str, ViewSnapshot, Optional[int]]], int]:
         source = str(self.snapshot_path)
         if not self.snapshot_path.exists():
             raise FileNotFoundError(
                 f"no snapshot at {source}; call SnapshotStore.save first"
             )
         graph = DiGraph()
-        view_states: list[tuple[str, ViewSnapshot]] = []
+        view_states: list[tuple[str, ViewSnapshot, Optional[int]]] = []
         last_seq = 0
+        version = FORMAT_VERSION
         section: Optional[str] = None  # None | "graph" | "view"
+        graph_mode = "base"  # "base" | "diff" (after a %graphdiff directive)
         current_name: Optional[str] = None
         current_kind: Optional[str] = None
+        current_cursor: Optional[int] = None
         current_config: Optional[tuple] = None
         current_records: list[tuple] = []
         versioned = False
@@ -380,7 +705,7 @@ class SnapshotStore:
         append_record = current_records.append
 
         def close_view_section() -> None:
-            nonlocal current_name, current_kind, current_config
+            nonlocal current_name, current_kind, current_cursor, current_config
             if section == "view":
                 if current_config is None:
                     raise PersistFormatError(
@@ -394,9 +719,10 @@ class SnapshotStore:
                             config=current_config,
                             records=tuple(current_records),
                         ),
+                        current_cursor,
                     )
                 )
-            current_name = current_kind = current_config = None
+            current_name = current_kind = current_cursor = current_config = None
             current_records.clear()
 
         with open(self.snapshot_path, "r", encoding="utf-8") as stream:
@@ -415,13 +741,9 @@ class SnapshotStore:
                     except ValueError as exc:
                         raise PersistFormatError(source, line_number, str(exc)) from None
                     if keyword == SNAPSHOT_MAGIC:
-                        if operands != [FORMAT_VERSION]:
-                            raise PersistFormatError(
-                                source,
-                                line_number,
-                                f"unsupported snapshot version {operands!r}; "
-                                f"this reader understands version {FORMAT_VERSION}",
-                            )
+                        version = check_snapshot_version(
+                            operands, source, line_number
+                        )
                         versioned = True
                         continue
                     if not versioned:
@@ -436,16 +758,26 @@ class SnapshotStore:
                         continue  # unknown meta keys are ignored, not fatal
                     if keyword == "section":
                         close_view_section()
+                        graph_mode = "base"
                         if operands and operands[0] == "graph":
                             section = "graph"
-                        elif len(operands) == 3 and operands[0] == "view":
+                        elif len(operands) in (3, 4) and operands[0] == "view":
                             section = "view"
-                            current_name = operands[1]
-                            current_kind = operands[2]
+                            current_name, current_kind, current_cursor = (
+                                parse_view_section_operands(
+                                    operands, source, line_number
+                                )
+                            )
                         else:
                             raise PersistFormatError(
                                 source, line_number, f"bad section {operands!r}"
                             )
+                        continue
+                    if keyword == "graphdiff":
+                        check_graphdiff_context(
+                            version, section == "graph", source, line_number
+                        )
+                        graph_mode = "diff"
                         continue
                     if keyword == "config":
                         if section != "view":
@@ -469,8 +801,11 @@ class SnapshotStore:
                     raise PersistFormatError(source, line_number, str(exc)) from None
                 if section == "graph":
                     try:
-                        apply_graph_record(graph, list(row))
-                    except ValueError as exc:
+                        if graph_mode == "base":
+                            apply_graph_record(graph, list(row))
+                        else:
+                            _apply_graphdiff_record(graph, list(row))
+                    except (ValueError, KeyError) as exc:
                         raise PersistFormatError(source, line_number, str(exc)) from None
                 elif section == "view":
                     append_record(row)
@@ -488,6 +823,34 @@ class SnapshotStore:
                 "atomic save",
             )
         return graph, view_states, last_seq
+
+
+def _apply_graphdiff_record(graph: DiGraph, fields: list) -> None:
+    """Replay one ``%graphdiff`` chunk record into ``graph``.
+
+    Chunk records are ``n <node> <label>`` node declarations (idempotent
+    for pre-existing nodes — the writer emits the authoritative current
+    label) followed by the window's net ``+``/``-`` update records.
+    Raises plain :class:`ValueError`/:class:`KeyError` on malformed or
+    inapplicable records; the caller wraps them with line context.
+    """
+    tag = fields[0]
+    if tag == "n":
+        apply_graph_record(graph, fields)
+        return
+    if tag in ("+", "-"):
+        update = update_from_fields(fields)
+        if update.is_insert:
+            graph.add_edge(
+                update.source,
+                update.target,
+                source_label=update.source_label,
+                target_label=update.target_label,
+            )
+        else:
+            graph.remove_edge(update.source, update.target)
+        return
+    raise ValueError(f"unknown graphdiff record tag {tag!r}")
 
 
 def save_session(engine: Engine, root: PathLike, compact: bool = False) -> Path:

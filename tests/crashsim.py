@@ -1,0 +1,236 @@
+"""Deterministic crash injection for the persistence layer.
+
+The harness simulates a process dying mid-write at an exact byte
+boundary, so the crash-recovery suite (``tests/test_crash_recovery.py``)
+can enumerate *every* kill point of an operation and assert that
+recovery always lands on a consistent state — the operation either
+happened or it did not, never a torn hybrid.
+
+Mechanics
+---------
+
+:class:`FaultyFile` proxies a real text-mode file object and shares a
+*fuel* budget with its :class:`CrashInjector`: each ``write`` consumes
+one unit of fuel per byte and, when the fuel runs out, writes only the
+affordable prefix, flushes it to disk (the bytes really land — that is
+the torn state under test), and raises :class:`SimulatedCrash`.  Each
+``os.replace`` of an injected path consumes one unit of fuel too, so the
+kill-point space also covers "crashed just before the atomic rename"
+(the rename itself stays atomic, as the OS guarantees).
+
+:class:`CrashInjector` installs the shims while active:
+
+* ``open`` is shadowed inside ``repro.persist.deltalog`` and
+  ``repro.persist.snapshot`` (module-global assignment, which wins over
+  the builtin) so every *write-mode* open under the injected root
+  returns a :class:`FaultyFile`;
+* ``os.replace`` is wrapped for paths under the injected root.
+
+Reads are never intercepted — recovery itself runs clean, as it would
+in a fresh process.
+
+Usage::
+
+    injector = CrashInjector(root)
+    with injector.armed(fuel=None):      # dry run: count the kill points
+        operation()
+    total = injector.consumed
+    for fuel in range(total):            # then kill at every boundary
+        with injector.armed(fuel=fuel):
+            try:
+                operation()
+            except SimulatedCrash:
+                pass
+        recover_and_assert()
+
+:class:`FaultyStore` packages that loop for ``SnapshotStore``-level
+operations.
+"""
+
+from __future__ import annotations
+
+import builtins
+import os
+from contextlib import contextmanager
+from pathlib import Path
+
+import repro.persist.deltalog as deltalog_module
+import repro.persist.snapshot as snapshot_module
+from repro.persist import SnapshotStore
+
+__all__ = ["CrashInjector", "FaultyFile", "FaultyStore", "SimulatedCrash"]
+
+#: Modules whose module-global ``open`` the injector shadows.
+_PATCHED_MODULES = (deltalog_module, snapshot_module)
+
+
+class SimulatedCrash(BaseException):
+    """The injected process death.
+
+    Derives from ``BaseException`` so production ``except Exception``
+    handlers cannot swallow it — a real ``SIGKILL`` is not catchable
+    either.
+    """
+
+
+class FaultyFile:
+    """Text-file proxy that dies after a shared byte budget is spent.
+
+    Only ``write``/``writelines`` consume fuel; everything else
+    delegates.  On exhaustion the affordable prefix is written *and
+    flushed* (those bytes durably hit the disk, exactly like a torn
+    write before a crash), then :class:`SimulatedCrash` propagates.
+    """
+
+    def __init__(self, real, injector: "CrashInjector") -> None:
+        self._real = real
+        self._injector = injector
+
+    def write(self, text: str) -> int:
+        affordable = self._injector.spend(len(text))
+        if affordable >= len(text):
+            return self._real.write(text)
+        self._real.write(text[:affordable])
+        self._real.flush()
+        os.fsync(self._real.fileno())
+        raise SimulatedCrash(
+            f"write torn after {affordable}/{len(text)} bytes of {text!r}"
+        )
+
+    def writelines(self, lines) -> None:
+        for line in lines:
+            self.write(line)
+
+    def __getattr__(self, name):
+        return getattr(self._real, name)
+
+    def __enter__(self) -> "FaultyFile":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._real.close()
+
+    def __iter__(self):
+        return iter(self._real)
+
+
+class CrashInjector:
+    """Installs the crash shims for all persistence writes under ``root``."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root).resolve()
+        #: Fuel units consumed by the last (or current) armed run.
+        self.consumed = 0
+        self._fuel: int | None = None
+
+    # -- fuel accounting -------------------------------------------------
+
+    def spend(self, wanted: int) -> int:
+        """Consume up to ``wanted`` fuel; returns the affordable amount."""
+        if self._fuel is None:
+            self.consumed += wanted
+            return wanted
+        affordable = min(wanted, self._fuel)
+        self._fuel -= affordable
+        self.consumed += affordable
+        return affordable
+
+    def _covers(self, path) -> bool:
+        try:
+            Path(path).resolve().relative_to(self.root)
+        except (ValueError, TypeError):
+            return False
+        return True
+
+    # -- shim installation ----------------------------------------------
+
+    @contextmanager
+    def armed(self, fuel: int | None):
+        """Install the shims; ``fuel=None`` records without crashing."""
+        self._fuel = fuel
+        self.consumed = 0
+        real_open = builtins.open
+        real_replace = os.replace
+
+        def faulty_open(path, mode="r", *args, **kwargs):
+            stream = real_open(path, mode, *args, **kwargs)
+            if ("w" in mode or "a" in mode) and "b" not in mode and self._covers(
+                path
+            ):
+                return FaultyFile(stream, self)
+            return stream
+
+        def faulty_replace(src, dst, *args, **kwargs):
+            if self._covers(dst):
+                if self.spend(1) < 1:
+                    raise SimulatedCrash(f"died before os.replace -> {dst}")
+            return real_replace(src, dst, *args, **kwargs)
+
+        for module in _PATCHED_MODULES:
+            module.open = faulty_open
+        os.replace = faulty_replace
+        try:
+            yield self
+        finally:
+            os.replace = real_replace
+            for module in _PATCHED_MODULES:
+                try:
+                    del module.open
+                except AttributeError:
+                    pass
+            self._fuel = None
+
+
+class FaultyStore:
+    """Kill-point enumeration for one persistence operation.
+
+    The test owns the disk state: ``setup()`` must rebuild the
+    operation's starting directory (and any live objects) from scratch,
+    because a killed run leaves *real* torn bytes behind — exactly what
+    the next recovery must digest, but not a valid starting point for
+    the next kill.  ``operation()`` is a zero-arg callable performing
+    the write being tortured; ``recover(completed)`` receives whether
+    the run finished and must assert the recovered state is exactly the
+    pre- or post-operation state.
+
+    ``torture()`` walks every kill point (strided in the quick tier-1
+    configuration; exhaustive byte-by-byte when
+    ``REPRO_CRASHSIM_EXHAUSTIVE=1``), then runs the uninjected
+    completion as the final point.  Returns the number of kill points
+    exercised.
+    """
+
+    def __init__(self, root, setup, operation, recover, stride: int = 1) -> None:
+        self.root = Path(root)
+        self.injector = CrashInjector(root)
+        self.setup = setup
+        self.operation = operation
+        self.recover = recover
+        self.stride = max(1, stride)
+
+    def run(self, fuel: int | None) -> bool:
+        """One armed run at ``fuel``; True if the operation completed."""
+        try:
+            with self.injector.armed(fuel=fuel):
+                self.operation()
+        except SimulatedCrash:
+            return False
+        return True
+
+    def torture(self) -> int:
+        self.setup()
+        total = self._count()
+        points = list(range(0, total, self.stride)) + [total]
+        for fuel in points:
+            self.setup()
+            completed = self.run(fuel)
+            assert completed == (fuel >= total), (
+                f"fuel {fuel}/{total} completed={completed}"
+            )
+            self.recover(completed)
+        return len(points)
+
+    def _count(self) -> int:
+        with self.injector.armed(fuel=None):
+            self.operation()
+        return self.injector.consumed

@@ -1,0 +1,314 @@
+"""Crash-injection torture tests for the persistence layer.
+
+Every byte boundary of ``DeltaLog.append``, ``DeltaLog.compact``, and
+``SnapshotStore.save`` (full *and* incremental, including ``%graphdiff``
+chunks and ``compact=True``) is a kill point: the write is severed
+there, the torn bytes really reach the disk, and a fresh process must
+recover to a state equal to either the pre-operation or the
+post-operation state — never a torn hybrid.
+
+Tier-1 strides the byte space (every write-call boundary is still always
+covered, because each record/directive is a separate ``write``);
+``REPRO_CRASHSIM_EXHAUSTIVE=1`` (the nightly CI job) walks every single
+byte.
+"""
+
+import os
+
+import pytest
+
+from crashsim import FaultyStore
+from repro import Delta, DiGraph, Engine, delete, insert
+from repro.iso import ISOIndex, Pattern
+from repro.kws import KWSIndex, KWSQuery
+from repro.persist import DeltaLog, SnapshotStore
+from repro.rpq import RPQIndex
+from repro.scc import SCCIndex
+
+EXHAUSTIVE = os.environ.get("REPRO_CRASHSIM_EXHAUSTIVE") == "1"
+#: Byte stride between kill points in the quick configuration.  Chosen
+#: co-prime with common record lengths so strided points drift across
+#: line offsets instead of hitting the same column every time.
+STRIDE = 1 if EXHAUSTIVE else 7
+#: Snapshot saves are a few KB; a wider (still co-prime) stride keeps
+#: tier-1 fast while every record boundary is still crossed — each
+#: record is its own write call, so a kill point inside *any* record
+#: severs at that record's boundary offset.  Nightly walks every byte.
+SAVE_STRIDE = 1 if EXHAUSTIVE else 23
+
+KWS_QUERY = KWSQuery(("a", "b"), bound=2)
+RPQ_QUERY = "a . (b + c)* . c"
+ISO_PATTERN = Pattern.from_edges({0: "a", 1: "b"}, [(0, 1)])
+
+
+def sample_graph() -> DiGraph:
+    return DiGraph(
+        labels={1: "a", 2: "b", 3: "c", 4: "a", 5: "b", 6: "d", 7: "d"},
+        edges=[(1, 2), (2, 3), (3, 1), (4, 5), (6, 7)],
+    )
+
+
+def four_view_engine(graph: DiGraph) -> Engine:
+    engine = Engine(graph)
+    engine.register("kws", lambda g, m: KWSIndex(g, KWS_QUERY, meter=m))
+    engine.register("rpq", lambda g, m: RPQIndex(g, RPQ_QUERY, meter=m))
+    engine.register("scc", lambda g, m: SCCIndex(g, meter=m))
+    engine.register("iso", lambda g, m: ISOIndex(g, ISO_PATTERN, meter=m))
+    return engine
+
+
+def assert_recovered_equals(recovered: Engine, reference: Engine) -> None:
+    assert recovered.graph == reference.graph
+    assert recovered["kws"].roots() == reference["kws"].roots()
+    assert recovered["rpq"].matches == reference["rpq"].matches
+    assert recovered["scc"].components() == reference["scc"].components()
+    assert recovered["iso"].matches == reference["iso"].matches
+
+
+# ----------------------------------------------------------------------
+# DeltaLog.append
+# ----------------------------------------------------------------------
+
+
+class TestTornAppend:
+    def test_append_recovers_at_every_kill_point(self, tmp_path):
+        """A killed append leaves either the old committed entries or the
+        old entries plus the new one — and the log stays appendable with
+        never-reused seqs."""
+        root = tmp_path / "log"
+        pre = [
+            Delta([insert(1, 2, "a", "b"), delete(3, 4)]),
+            Delta([insert("spaced node", 'quo"ted', "x y", "")]),
+        ]
+        new_batch = Delta([insert(7, 8, "c", "d"), delete(1, 2)])
+
+        def setup():
+            if root.exists():
+                for child in root.iterdir():
+                    child.unlink()
+            root.mkdir(exist_ok=True)
+            log = DeltaLog(root / "deltas.log")
+            for batch in pre:
+                log.append(batch)
+
+        def operation():
+            DeltaLog(root / "deltas.log").append(new_batch)
+
+        def recover(completed):
+            log = DeltaLog(root / "deltas.log")
+            entries = log.entries()
+            seqs = [entry.seq for entry in entries]
+            # pre- or post-state, never a hybrid: a kill that tore only
+            # the final newline leaves a fully parseable entry, which
+            # recovery MAY keep (redo semantics — unacknowledged but
+            # intact); every other kill must drop the whole entry.
+            assert seqs in ([1, 2], [1, 2, 3])
+            if completed:
+                assert seqs == [1, 2, 3]
+            if seqs == [1, 2, 3]:
+                assert entries[-1].delta.updates == new_batch.updates
+            assert entries[0].delta.updates == pre[0].updates
+            assert entries[1].delta.updates == pre[1].updates
+            # the log must stay appendable, without seq reuse
+            next_seq = log.append(Delta([insert(9, 9)]))
+            assert next_seq >= 3 and next_seq > max(seqs)
+            tail = DeltaLog(root / "deltas.log").entries()
+            assert tail[-1].delta.updates == [insert(9, 9)]
+
+        harness = FaultyStore(root, setup, operation, recover, stride=STRIDE)
+        assert harness.torture() > 4
+
+    def test_append_after_torn_append_never_reuses_a_mentioned_seq(
+        self, tmp_path
+    ):
+        """If the torn fragment already mentioned its seq on disk, a
+        fresh process must skip past it."""
+        root = tmp_path / "log"
+        root.mkdir()
+        path = root / "deltas.log"
+        log = DeltaLog(path)
+        log.append(Delta([insert(1, 2)]))
+        harness = FaultyStore(root, lambda: None, lambda: None, lambda _: None)
+        killed = harness.run(fuel=12)  # dies mid-entry, after "%batch 2\n"
+        assert killed  # nothing ran; arming alone must not crash
+
+        def torn_append():
+            DeltaLog(path).append(Delta([insert(5, 6)]))
+
+        harness.operation = torn_append
+        assert not harness.run(fuel=9)  # "%batch 2\n" is 9 bytes: seq torn in
+        fresh = DeltaLog(path)
+        assert [entry.seq for entry in fresh.entries()] == [1]
+        assert fresh.append(Delta([insert(6, 7)])) == 3  # 2 is spoken for
+
+
+# ----------------------------------------------------------------------
+# DeltaLog.compact
+# ----------------------------------------------------------------------
+
+
+class TestTornCompact:
+    def test_compact_recovers_at_every_kill_point(self, tmp_path):
+        root = tmp_path / "log"
+        batches = [Delta([insert(k, k + 1)]) for k in range(4)]
+
+        def setup():
+            if root.exists():
+                for child in root.iterdir():
+                    child.unlink()
+            root.mkdir(exist_ok=True)
+            log = DeltaLog(root / "deltas.log")
+            for batch in batches:
+                log.append(batch)
+
+        def operation():
+            DeltaLog(root / "deltas.log").compact(after=2)
+
+        def recover(completed):
+            log = DeltaLog(root / "deltas.log")
+            seqs = [entry.seq for entry in log.entries()]
+            if completed:
+                assert seqs == [3, 4]
+                assert log.last_seq() == 4
+            else:
+                # temp-and-rename: the old log must be fully intact
+                assert seqs == [1, 2, 3, 4]
+            assert DeltaLog(root / "deltas.log").append(Delta([insert(9, 9)])) == 5
+
+        harness = FaultyStore(root, setup, operation, recover, stride=STRIDE)
+        assert harness.torture() > 3
+
+
+# ----------------------------------------------------------------------
+# SnapshotStore.save — full, incremental (%graphdiff), compacting
+# ----------------------------------------------------------------------
+
+
+class SaveTorture:
+    """Shared harness: build a journaling session with a snapshot and a
+    journaled tail, torture one save variant, and require every recovery
+    to equal the live session."""
+
+    #: Batches journaled after the first save (the tail at crash time).
+    TAIL = [
+        Delta([delete(6, 7)]),
+        Delta([insert(6, 1, "d", "a"), delete(3, 1)]),
+    ]
+
+    def build(self, root):
+        """Returns (engine, store) with a saved snapshot + journaled tail."""
+        engine = four_view_engine(sample_graph())
+        store = SnapshotStore(root)
+        store.attach(engine)
+        store.save(engine)
+        for batch in self.TAIL:
+            engine.apply(batch)
+        return engine, store
+
+    def tortured_save(self, engine, store):
+        raise NotImplementedError
+
+    def run(self, tmp_path):
+        root = tmp_path / "store"
+        state = {}
+
+        def setup():
+            if root.exists():
+                for child in root.iterdir():
+                    child.unlink()
+            state["engine"], state["store"] = self.build(root)
+
+        def operation():
+            self.tortured_save(state["engine"], state["store"])
+
+        def recover(completed):
+            # a fresh process: nothing but the disk survives
+            revived = SnapshotStore(root).load(attach_journal=False)
+            assert_recovered_equals(revived, state["engine"])
+
+        harness = FaultyStore(root, setup, operation, recover, stride=SAVE_STRIDE)
+        assert harness.torture() > 10
+
+
+class TestTornFullSave(SaveTorture):
+    def tortured_save(self, engine, store):
+        store.save(engine)
+
+    def test_full_save(self, tmp_path):
+        self.run(tmp_path)
+
+
+class TestTornIncrementalSave(SaveTorture):
+    """The incremental writer path: carried view sections, carried graph
+    base, and a fresh ``%graphdiff`` chunk."""
+
+    def build(self, root):
+        engine, store = super().build(root)
+        # an intermediate incremental save seeds carried sections and a
+        # first %graphdiff chunk; the tortured save then appends another
+        store.save(engine, incremental=True)
+        engine.apply(Delta([insert(7, 2, "d", "b")]))
+        return engine, store
+
+    def tortured_save(self, engine, store):
+        store.save(engine, incremental=True)
+
+    def test_incremental_save(self, tmp_path):
+        self.run(tmp_path)
+
+
+class TestTornCompactingSave(SaveTorture):
+    """``save(compact=True)`` spans two atomic writes (snapshot rename,
+    then log rewrite); a kill between them must leave the new snapshot
+    with the old log — still consistent, because compaction only drops
+    what the already-durable snapshot covers."""
+
+    def tortured_save(self, engine, store):
+        store.save(engine, compact=True)
+
+    def test_compacting_save(self, tmp_path):
+        self.run(tmp_path)
+
+
+class TestTornAppendInSession:
+    """A crash inside the journal append of ``engine.apply``: the batch
+    was never acknowledged, so recovery must equal the session *without*
+    it (write-ahead ordering: the log may lead the session by at most the
+    torn, unacknowledged entry — which recovery discards)."""
+
+    def test_session_append_crash(self, tmp_path):
+        root = tmp_path / "store"
+        batch = Delta([delete(6, 7), insert(7, 1, "d", "a")])
+        state = {}
+
+        def setup():
+            if root.exists():
+                for child in root.iterdir():
+                    child.unlink()
+            engine = four_view_engine(sample_graph())
+            store = SnapshotStore(root)
+            store.attach(engine)
+            store.save(engine)
+            state["engine"], state["store"] = engine, store
+
+        def operation():
+            state["engine"].apply(batch)
+
+        def recover(completed):
+            revived = SnapshotStore(root).load(attach_journal=False)
+            with_batch = four_view_engine(sample_graph())
+            with_batch.apply(batch)
+            if completed or revived.graph == with_batch.graph:
+                # redo semantics: a kill that tore only the entry's final
+                # newline leaves it intact on disk, and recovery replays
+                # it even though the session never acknowledged it.
+                assert_recovered_equals(revived, with_batch)
+            else:
+                assert_recovered_equals(revived, four_view_engine(sample_graph()))
+
+        harness = FaultyStore(root, setup, operation, recover, stride=STRIDE)
+        assert harness.torture() > 3
+
+
+if __name__ == "__main__":  # pragma: no cover
+    pytest.main([__file__, "-q"])

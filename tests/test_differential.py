@@ -1,0 +1,153 @@
+"""Differential oracle torture test.
+
+Seeded random update streams interleave batch applies, rollbacks, full
+and incremental snapshots, relevance-aware log compactions, and
+mid-stream recoveries; after *every* mutation the engine's four view
+answers are compared against from-scratch recomputation (BLINKS-style
+KWS BFS, RPQ_NFA product BFS, Tarjan, VF2) on the materialized graph —
+the correctness methodology both Szárnyas (2018) and Dexter et al.
+(2019) prescribe for incremental view/log machinery.
+
+Tier-1 runs a reduced stream count; the nightly CI job sets
+``REPRO_DIFFERENTIAL_STREAMS=200`` (the acceptance bar) for the full
+sweep.  Every stream is an independent seed, so a failure reproduces
+with ``-k "stream-<seed>"``.
+"""
+
+import os
+import random
+
+import pytest
+
+from repro import Delta, DiGraph, Engine, delete, insert
+from repro.iso import ISOIndex, Pattern, vf2_matches
+from repro.kws import KWSIndex, KWSQuery, batch_kws
+from repro.persist import SnapshotStore
+from repro.rpq import RPQIndex, matches_only
+from repro.scc import SCCIndex, tarjan_scc
+
+STREAMS = int(os.environ.get("REPRO_DIFFERENTIAL_STREAMS", "12"))
+STEPS = 14
+LABELS = ["a", "b", "c", "d"]
+
+KWS_QUERY = KWSQuery(("a", "b"), bound=2)
+RPQ_QUERY = "a . (b + c)* . c"
+ISO_PATTERN = Pattern.from_edges({0: "a", 1: "b"}, [(0, 1)])
+
+
+def four_view_engine(graph: DiGraph) -> Engine:
+    engine = Engine(graph)
+    engine.register("kws", lambda g, m: KWSIndex(g, KWS_QUERY, meter=m))
+    engine.register("rpq", lambda g, m: RPQIndex(g, RPQ_QUERY, meter=m))
+    engine.register("scc", lambda g, m: SCCIndex(g, meter=m))
+    engine.register("iso", lambda g, m: ISOIndex(g, ISO_PATTERN, meter=m))
+    return engine
+
+
+def assert_oracle(engine: Engine) -> None:
+    """Every view answer equals from-scratch recomputation on G."""
+    graph = engine.graph
+    assert engine["kws"].roots() == set(batch_kws(graph, KWS_QUERY))
+    assert engine["rpq"].matches == matches_only(graph, RPQ_QUERY)
+    assert engine["scc"].components() == tarjan_scc(graph).partition()
+    assert engine["iso"].matches == vf2_matches(graph, ISO_PATTERN)
+    engine["scc"].check_consistency()
+    engine["iso"].check_consistency()
+
+
+def assert_sessions_equal(recovered: Engine, reference: Engine) -> None:
+    assert recovered.graph == reference.graph
+    assert recovered["kws"].roots() == reference["kws"].roots()
+    assert recovered["rpq"].matches == reference["rpq"].matches
+    assert recovered["scc"].components() == reference["scc"].components()
+    assert recovered["iso"].matches == reference["iso"].matches
+
+
+def random_graph(rng: random.Random) -> DiGraph:
+    size = rng.randint(5, 9)
+    graph = DiGraph(
+        labels={node: rng.choice(LABELS) for node in range(size)}
+    )
+    pairs = [(s, t) for s in range(size) for t in range(size) if s != t]
+    for edge in rng.sample(pairs, k=min(len(pairs), rng.randint(size, 3 * size))):
+        graph.add_edge(*edge)
+    return graph
+
+
+def random_batch(rng: random.Random, graph: DiGraph, next_node: list) -> Delta:
+    """An applicable batch: deletions, insertions, sometimes a new node."""
+    edges = list(graph.edges())
+    nodes = list(graph.nodes())
+    non_edges = [
+        (s, t)
+        for s in nodes
+        for t in nodes
+        if s != t and not graph.has_edge(s, t)
+    ]
+    updates = []
+    for edge in rng.sample(edges, k=min(len(edges), rng.randint(0, 3))):
+        updates.append(delete(*edge))
+    for edge in rng.sample(non_edges, k=min(len(non_edges), rng.randint(0, 3))):
+        updates.append(insert(*edge))
+    if rng.random() < 0.35 and nodes:
+        fresh = next_node[0]
+        next_node[0] += 1
+        updates.append(
+            insert(
+                rng.choice(nodes),
+                fresh,
+                target_label=rng.choice(LABELS),
+            )
+        )
+    rng.shuffle(updates)
+    return Delta(updates)
+
+
+@pytest.mark.parametrize(
+    "seed", range(STREAMS), ids=[f"stream-{seed}" for seed in range(STREAMS)]
+)
+def test_differential_stream(seed, tmp_path):
+    rng = random.Random(0xD1FF + seed)
+    graph = random_graph(rng)
+    engine = four_view_engine(graph)
+    store = SnapshotStore(tmp_path / "store")
+    store.attach(engine)
+    store.save(engine)
+    next_node = [1000]
+    checkpoints = [engine.checkpoint()]
+    mutations = 0
+
+    for _ in range(STEPS):
+        action = rng.random()
+        if action < 0.55:
+            batch = random_batch(rng, engine.graph, next_node)
+            if not batch:
+                continue
+            engine.apply(batch)
+            mutations += 1
+            if rng.random() < 0.3:
+                checkpoints.append(engine.checkpoint())
+        elif action < 0.68:
+            valid = [c for c in checkpoints if c <= engine.applied_count]
+            if not valid:
+                continue
+            engine.rollback(rng.choice(valid))
+            mutations += 1
+        elif action < 0.80:
+            store.save(engine, incremental=rng.random() < 0.7)
+        elif action < 0.90:
+            store.compact_log(engine)
+        else:
+            probe = store.load(attach_journal=False)
+            assert_sessions_equal(probe, engine)
+            assert_oracle(probe)
+        assert_oracle(engine)
+
+    assert mutations >= 0  # streams with no mutations are legal (and dull)
+    assert_oracle(engine)
+    recovered = store.load(attach_journal=False)
+    assert_sessions_equal(recovered, engine)
+    assert_oracle(recovered)
+    # a broadcast full-tail replay recovers the identical session
+    broadcast = store.load(attach_journal=False, routed=False)
+    assert_sessions_equal(broadcast, engine)

@@ -1,8 +1,10 @@
 """Persistence tests: delta-log durability semantics, per-view
 snapshot/restore equivalence, full SnapshotStore recovery (snapshot +
-replayed tail equals the uninterrupted session), engine view lifecycle
-(deregister / lazy build), and the save→load→replay property against
-from-scratch recomputation after randomized batches (mirroring
+replayed tail equals the uninterrupted session), per-view replay cursors
+and ``%graphdiff`` incremental graph sections (format v2, with v1
+read-compat), relevance-aware log compaction equivalence, engine view
+lifecycle (deregister / lazy build), and the save→load→replay property
+against from-scratch recomputation after randomized batches (mirroring
 ``test_engine.py``'s consistency harness)."""
 
 import pytest
@@ -18,6 +20,7 @@ from repro.persist import (
     SnapshotStore,
     load_session,
     save_session,
+    split_snapshot_sections,
 )
 from repro.rpq import RPQIndex, matches_only, rpq_nfa
 from repro.scc import SCCIndex, tarjan_scc
@@ -435,6 +438,341 @@ class TestSnapshotStore:
         save_session(engine, tmp_path / "store")
         engine.apply(PRE_BATCHES[0])  # journaled by save_session's attach
         assert_sessions_equal(load_session(tmp_path / "store"), engine)
+
+
+# ----------------------------------------------------------------------
+# Per-view replay cursors, %graphdiff, and compaction equivalences
+# ----------------------------------------------------------------------
+
+
+def canonical_save(engine: Engine, root) -> bytes:
+    """A canonical full snapshot of ``engine``: fresh store, no log, so
+    the bytes depend only on view state (canonical sorted records) and
+    graph content."""
+    probe = SnapshotStore(root)
+    probe.save(engine)
+    return probe.snapshot_path.read_bytes()
+
+
+class TestReplayCursors:
+    def test_fresh_sections_record_the_log_stamp(self, tmp_path):
+        engine = four_view_engine(sample_graph())
+        store = SnapshotStore(tmp_path / "store")
+        store.attach(engine)
+        engine.apply(PRE_BATCHES[0])
+        store.save(engine)
+        with open(store.snapshot_path, encoding="utf-8") as stream:
+            sections = split_snapshot_sections(stream)
+        assert sections.last_seq == 1
+        assert {s.cursor for s in sections.views.values()} == {1}
+
+    def test_carried_sections_keep_their_serialization_cursor(self, tmp_path):
+        engine = four_view_engine(sample_graph())
+        store = SnapshotStore(tmp_path / "store")
+        store.attach(engine)
+        store.save(engine)
+        engine.apply(Delta([delete(2, 3)]))  # b→c edge: no a→b match dies
+        store.save(engine, incremental=True)
+        with open(store.snapshot_path, encoding="utf-8") as stream:
+            sections = split_snapshot_sections(stream)
+        assert sections.last_seq == 1
+        assert sections.views["iso"].cursor == 0  # carried from the first save
+        assert sections.views["scc"].cursor == 1  # re-serialized fresh
+
+    def test_cursor_replay_equals_full_tail_broadcast_replay(self, tmp_path):
+        """Per-view cursor-driven routed replay and full-tail broadcast
+        replay must recover byte-identical sessions (canonical
+        snapshots)."""
+        engine = four_view_engine(sample_graph())
+        store = SnapshotStore(tmp_path / "store")
+        store.attach(engine)
+        engine.apply(PRE_BATCHES[0])
+        store.save(engine, incremental=True)
+        for batch in POST_BATCHES:
+            engine.apply(batch)  # the replayed tail
+        routed = store.load(attach_journal=False)
+        broadcast = store.load(attach_journal=False, routed=False)
+        assert_sessions_equal(routed, engine)
+        assert_sessions_equal(broadcast, engine)
+        assert canonical_save(routed, tmp_path / "probe-r") == canonical_save(
+            broadcast, tmp_path / "probe-b"
+        )
+
+    def test_divergent_cursor_file_loads_and_lagging_views_catch_up(
+        self, tmp_path
+    ):
+        """An incremental save after batches irrelevant to some views
+        leaves those views' cursors behind the graph stamp; load must
+        deliver the lagging window through the relevance filters (which
+        route it empty) and still recover the exact session."""
+        engine = four_view_engine(sample_graph())
+        store = SnapshotStore(tmp_path / "store")
+        store.attach(engine)
+        store.save(engine)
+        engine.apply(Delta([delete(2, 3)]))  # iso stays clean
+        store.save(engine, incremental=True)
+        with open(store.snapshot_path, encoding="utf-8") as stream:
+            sections = split_snapshot_sections(stream)
+        assert sections.views["iso"].cursor < sections.last_seq
+        recovered = store.load(attach_journal=False)
+        assert_sessions_equal(recovered, engine)
+        assert_views_match_recompute(recovered)
+
+    def test_inconsistent_cursor_raises(self, tmp_path):
+        """A file whose cursor claims a view is stale across entries its
+        filter *wants* is a snapshot/log contradiction — load must raise,
+        not corrupt the view."""
+        engine = four_view_engine(sample_graph())
+        store = SnapshotStore(tmp_path / "store")
+        store.attach(engine)
+        engine.apply(Delta([insert(5, 1)]))  # b→a: relevant to scc (all)
+        store.save(engine)
+        text = store.snapshot_path.read_text(encoding="utf-8")
+        assert "%section view scc scc 1\n" in text
+        store.snapshot_path.write_text(
+            text.replace("%section view scc scc 1\n", "%section view scc scc 0\n"),
+            encoding="utf-8",
+        )
+        with pytest.raises(PersistFormatError, match="disagree"):
+            store.load()
+
+    def test_negative_cursor_rejected(self, tmp_path):
+        store = SnapshotStore(tmp_path / "store")
+        store.snapshot_path.write_text(
+            "%repro-snapshot 2\n%meta last-seq 0\n%section graph\n"
+            "%section view w scc -1\n%config 1\n%end\n",
+            encoding="utf-8",
+        )
+        with pytest.raises(PersistFormatError, match="cursor"):
+            store.load()
+
+
+class TestGraphDiff:
+    def test_incremental_save_appends_a_graphdiff_chunk(self, tmp_path):
+        engine = four_view_engine(sample_graph())
+        store = SnapshotStore(tmp_path / "store")
+        store.attach(engine)
+        store.save(engine)
+        engine.apply(PRE_BATCHES[0])
+        store.save(engine, incremental=True)
+        text = store.snapshot_path.read_text(encoding="utf-8")
+        assert text.count("%graphdiff") == 1
+        recovered = store.load(attach_journal=False)
+        assert recovered.graph == engine.graph
+        assert_sessions_equal(recovered, engine)
+
+    def test_new_node_whose_edge_was_deleted_survives_the_diff(self, tmp_path):
+        """The net delta alone would lose a node introduced by an insert
+        that a later batch deleted; the chunk's ``n`` records must keep
+        it (deletion never removes endpoints)."""
+        engine = four_view_engine(sample_graph())
+        store = SnapshotStore(tmp_path / "store")
+        store.attach(engine)
+        store.save(engine)
+        engine.apply(Delta([insert(1, 99, "a", "c")]))
+        engine.apply(Delta([delete(1, 99)]))
+        store.save(engine, incremental=True)
+        assert "%graphdiff" in store.snapshot_path.read_text(encoding="utf-8")
+        recovered = store.load(attach_journal=False)
+        assert recovered.graph.has_node(99)
+        assert recovered.graph.label(99) == "c"
+        assert recovered.graph == engine.graph
+
+    def test_chunks_consolidate_at_the_limit(self, tmp_path):
+        engine = four_view_engine(sample_graph())
+        store = SnapshotStore(tmp_path / "store", graphdiff_limit=2)
+        store.attach(engine)
+        store.save(engine)
+        chunk_counts = []
+        for step in range(5):
+            engine.apply(Delta([insert(100 + step, 1, "c", "a")]))
+            store.save(engine, incremental=True)
+            text = store.snapshot_path.read_text(encoding="utf-8")
+            chunk_counts.append(text.count("%graphdiff"))
+        assert max(chunk_counts) == 2  # never exceeds the limit
+        assert 0 in chunk_counts[1:]  # a consolidation produced a fresh base
+        recovered = store.load(attach_journal=False)
+        assert recovered.graph == engine.graph
+        assert_views_match_recompute(recovered)
+
+    def test_rollback_window_diffs_correctly(self, tmp_path):
+        engine = four_view_engine(sample_graph())
+        store = SnapshotStore(tmp_path / "store")
+        store.attach(engine)
+        store.save(engine)
+        mark = engine.checkpoint()
+        engine.apply(PRE_BATCHES[0])
+        engine.apply(PRE_BATCHES[1])
+        engine.rollback(mark)
+        store.save(engine, incremental=True)
+        recovered = store.load(attach_journal=False)
+        assert recovered.graph == engine.graph
+        assert_sessions_equal(recovered, engine)
+
+    def test_journal_swap_forces_a_full_graph_write(self, tmp_path):
+        """Batches journaled elsewhere make the store's log tail an
+        incomplete diff source; the epoch tripwire must force a full
+        rewrite instead of a wrong diff."""
+        engine = four_view_engine(sample_graph())
+        store = SnapshotStore(tmp_path / "store")
+        store.attach(engine)
+        store.save(engine)
+        elsewhere = DeltaLog(tmp_path / "elsewhere.log")
+        engine.set_journal(elsewhere)
+        engine.apply(PRE_BATCHES[0])  # invisible to store.log
+        engine.set_journal(store.log)
+        store.save(engine, incremental=True)
+        assert "%graphdiff" not in store.snapshot_path.read_text(encoding="utf-8")
+        recovered = store.load(attach_journal=False)
+        assert recovered.graph == engine.graph
+
+    def test_out_of_band_relabel_forces_a_full_graph_write(self, tmp_path):
+        """Regression: a relabel through the public DiGraph API flows
+        through no journaled delta, so a log-derived %graphdiff would
+        silently drop it — the graph's out-of-band tripwire must force
+        a full base rewrite that captures the new label."""
+        engine = four_view_engine(sample_graph())
+        store = SnapshotStore(tmp_path / "store")
+        store.attach(engine)
+        store.save(engine)
+        engine.graph.set_label(3, "b")  # no batch can express this
+        engine.apply(PRE_BATCHES[0])
+        store.save(engine, incremental=True)
+        assert "%graphdiff" not in store.snapshot_path.read_text(encoding="utf-8")
+        recovered = store.load(attach_journal=False)
+        assert recovered.graph.label(3) == "b"
+        assert recovered.graph == engine.graph
+
+    def test_v1_snapshot_still_loads(self, tmp_path):
+        """v1 read-compat: strip the v2 constructs from a current file
+        (downgrade header, drop cursors) and the reader must accept it —
+        cursors default to the file's last-seq."""
+        engine = four_view_engine(sample_graph())
+        store = SnapshotStore(tmp_path / "store")
+        store.attach(engine)
+        engine.apply(PRE_BATCHES[0])
+        store.save(engine)
+        engine.apply(POST_BATCHES[0])  # journaled tail past the snapshot
+        text = store.snapshot_path.read_text(encoding="utf-8")
+        downgraded = text.replace("%repro-snapshot 2\n", "%repro-snapshot 1\n")
+        for name in engine.names():
+            kind = {"kws": "kws", "rpq": "rpq", "scc": "scc", "iso": "iso"}[name]
+            downgraded = downgraded.replace(
+                f"%section view {name} {kind} 1\n",
+                f"%section view {name} {kind}\n",
+            )
+        assert "%repro-snapshot 1" in downgraded
+        store.snapshot_path.write_text(downgraded, encoding="utf-8")
+        recovered = SnapshotStore(tmp_path / "store").load(attach_journal=False)
+        assert_sessions_equal(recovered, engine)
+        assert_views_match_recompute(recovered)
+
+    def test_graphdiff_in_v1_file_rejected(self, tmp_path):
+        store = SnapshotStore(tmp_path / "store")
+        store.snapshot_path.write_text(
+            "%repro-snapshot 1\n%section graph\nn 1 a\n%graphdiff 1\n%end\n",
+            encoding="utf-8",
+        )
+        with pytest.raises(PersistFormatError, match="version-2 construct"):
+            store.load()
+
+
+class TestCompactionEquivalence:
+    def test_save_compact_load_equals_save_load(self, tmp_path):
+        """save→compact→load ≡ save→load, byte-compared via canonical
+        re-saves of the recovered sessions."""
+        engine = four_view_engine(sample_graph())
+        plain_root = tmp_path / "plain"
+        compact_root = tmp_path / "compacted"
+        snapshots = {}
+        for root, compact in ((plain_root, False), (compact_root, True)):
+            twin = four_view_engine(sample_graph())
+            store = SnapshotStore(root)
+            store.attach(twin)
+            for batch in PRE_BATCHES:
+                twin.apply(batch)
+            store.save(twin, compact=compact)
+            for batch in POST_BATCHES:
+                twin.apply(batch)
+            recovered = store.load(attach_journal=False)
+            assert_sessions_equal(recovered, twin)
+            snapshots[compact] = canonical_save(
+                recovered, tmp_path / f"probe-{compact}"
+            )
+        assert snapshots[False] == snapshots[True]
+
+    def test_net_cancellation_preserves_recovery(self, tmp_path):
+        engine = four_view_engine(sample_graph())
+        store = SnapshotStore(tmp_path / "store")
+        store.attach(engine)
+        store.save(engine)
+        engine.apply(Delta([insert(1, 4)]))
+        engine.apply(Delta([delete(1, 4)]))   # cancels with the insert
+        engine.apply(Delta([insert(2, 99, "b", "c")]))
+        engine.apply(Delta([delete(2, 99)]))  # NOT cancellable: 99 is new
+        store.compact_log(engine)
+        sizes = [len(entry.delta) for entry in store.log.entries()]
+        assert sizes == [0, 0, 1, 1]  # frames kept, seqs preserved
+        recovered = store.load(attach_journal=False)
+        assert recovered.graph.has_node(99)
+        assert_sessions_equal(recovered, engine)
+        assert_views_match_recompute(recovered)
+
+    def test_compaction_respects_lagging_cursors(self, tmp_path):
+        """With a carried (lagging) section on disk, compaction must
+        keep any entry the lagging view's filter still wants — and may
+        drop the ones it provably does not."""
+        engine = four_view_engine(sample_graph())
+        store = SnapshotStore(tmp_path / "store")
+        store.attach(engine)
+        store.save(engine)
+        engine.apply(Delta([delete(2, 3)]))  # irrelevant to iso
+        store.save(engine, incremental=True)  # iso carried, cursor lags
+        kept = store.compact_log(engine)
+        assert kept == 0  # the lagging window was provably irrelevant
+        recovered = store.load(attach_journal=False)
+        assert_sessions_equal(recovered, engine)
+
+    def test_selective_retention_never_shrinks_the_watermark(self, tmp_path):
+        """Regression: lagging retention that keeps only a middle entry
+        must not lower the %truncated watermark below the dropped
+        covered seqs — a fresh process would re-allocate them, and the
+        reused seq would read as snapshot-covered on the next recovery
+        (the batch would never reach the graph)."""
+
+        class OnlyEntryTwo:
+            def wants_update(self, update, source_label, target_label):
+                return update.source == 1  # seq 2 inserts (1, 2)
+
+            def wants_node(self, node, label):
+                return False
+
+        log = DeltaLog(tmp_path / "deltas.log")
+        for k in range(4):
+            log.append(Delta([insert(k, k + 1)]))
+        log.compact(after=4, lagging=[(0, OnlyEntryTwo())], label_of=lambda n: "")
+        assert [entry.seq for entry in log.entries()] == [2]
+        fresh = DeltaLog(log.path)  # a fresh process
+        assert fresh.last_seq() == 4  # covered seqs stay spoken for
+        assert fresh.append(Delta([insert(9, 9)])) == 5  # never re-allocates 3/4
+
+    def test_policy_compaction_trigger(self, tmp_path):
+        from repro.persist import SnapshotPolicy
+
+        engine = four_view_engine(sample_graph())
+        store = SnapshotStore(tmp_path / "store")
+        store.save(engine)
+        policy = SnapshotPolicy(every_batches=2, compact_every_batches=3)
+        store.attach(engine, policy=policy)
+        engine.apply(Delta([delete(4, 5)]))
+        engine.apply(Delta([insert(5, 4)]))
+        assert policy.saves == 1 and policy.compactions == 0
+        engine.apply(Delta([delete(5, 4)]))
+        assert policy.compactions == 1
+        # entries covered by the policy's own incremental save are gone
+        assert [entry.seq for entry in store.log.entries()] == [3]
+        recovered = store.load(attach_journal=False)
+        assert_sessions_equal(recovered, engine)
 
 
 # ----------------------------------------------------------------------

@@ -36,9 +36,11 @@ from repro.engine import (
     ViewSnapshot,
 )
 from repro.graph.digraph import DiGraph
+from repro.graph.sharding import ShardedGraphStore, ShardMap
 from repro.graph.updates import delta_fraction, random_delta
 from repro.persist import (
     DeltaLog,
+    SegmentedDeltaLog,
     SnapshotPolicy,
     SnapshotStore,
     load_session,
@@ -59,6 +61,9 @@ __all__ = [
     "IncrementalSession",
     "IncrementalView",
     "InvalidDeltaError",
+    "SegmentedDeltaLog",
+    "ShardMap",
+    "ShardedGraphStore",
     "SnapshotPolicy",
     "SnapshotStore",
     "Update",

@@ -94,9 +94,11 @@ class SubscribeAll:
     def wants_update(
         self, update: Update, source_label: Label, target_label: Label
     ) -> bool:
+        """Every update is relevant."""
         return True
 
     def wants_node(self, node: Node, label: Label) -> bool:
+        """Every brand-new node is relevant."""
         return True
 
 
@@ -125,6 +127,7 @@ class KeywordRelevance:
     def wants_update(
         self, update: Update, source_label: Label, target_label: Label
     ) -> bool:
+        """See the class docstring for the per-kind seed conditions."""
         kdist = self._index.kdist
         query = self._index.query
         if update.is_delete:
@@ -143,6 +146,7 @@ class KeywordRelevance:
         return False
 
     def wants_node(self, node: Node, label: Label) -> bool:
+        """Keyword-labeled new nodes bootstrap a dist-0 entry."""
         return label in self._index.query.keywords
 
 
@@ -171,9 +175,13 @@ class AlphabetRelevance:
     def wants_update(
         self, update: Update, source_label: Label, target_label: Label
     ) -> bool:
+        """Product edges consume the target's label; outside the NFA
+        alphabet no marking can move."""
         return target_label in self._alphabet
 
     def wants_node(self, node: Node, label: Label) -> bool:
+        """A new node bootstraps an entry only when the NFA can step
+        out of its start state on the node's label."""
         return label in self._start_labels
 
 
@@ -200,9 +208,13 @@ class PatternRelevance:
     def wants_update(
         self, update: Update, source_label: Label, target_label: Label
     ) -> bool:
+        """Insertions: the endpoint label pair must occur among the
+        pattern's edge label pairs; deletions: the edge must hold
+        indexed matches."""
         if update.is_delete:
             return update.edge in self._index._by_edge
         return (source_label, target_label) in self._label_pairs
 
     def wants_node(self, node: Node, label: Label) -> bool:
+        """New nodes never matter alone: a match needs batch edges."""
         return False

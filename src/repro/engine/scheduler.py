@@ -18,12 +18,27 @@ hottest path in three ways:
   batch (the topology-only escape hatch).
 * **Parallel dispatch** — views own disjoint auxiliary state and only
   *read* the shared graph during ``absorb``, so independent views can
-  repair concurrently.  The executor strategy is pluggable: ``"serial"``
-  (default) or ``"threads"`` (a shared :class:`concurrent.futures.
-  ThreadPoolExecutor`); pick one per engine via ``Engine(executor=...)``
-  or process-wide via the ``REPRO_ENGINE_EXECUTOR`` environment
-  variable.  Every :class:`ViewReport` carries wall-clock ``wall_seconds``
-  alongside its :class:`~repro.core.cost.CostSnapshot` units.
+  repair concurrently.  The executor strategy is pluggable:
+  ``"serial"`` (default), ``"threads"`` (a shared
+  :class:`concurrent.futures.ThreadPoolExecutor`), or ``"processes"``;
+  pick one per engine via ``Engine(executor=...)`` or process-wide via
+  the ``REPRO_ENGINE_EXECUTOR`` environment variable.  Every
+  :class:`ViewReport` carries wall-clock ``wall_seconds`` alongside its
+  :class:`~repro.core.cost.CostSnapshot` units.
+
+  Under ``"processes"`` the *view absorbs themselves* still run on the
+  shared thread pool: a view repairs auxiliary state that lives in the
+  engine's address space, and Python cannot mutate parent-process
+  objects from a worker process without shipping the whole structure
+  both ways, which would cost more than the repair.  What the strategy
+  actually moves onto worker processes is the **picklable, shard-local
+  work** the engine's apply path delegates: the per-segment write-ahead
+  appends of a :class:`~repro.persist.deltalog.SegmentedDeltaLog`,
+  which resolves the same ``REPRO_ENGINE_EXECUTOR`` variable and ships
+  routed sub-deltas to a spawn-based pool.  (Per-segment *compaction*
+  runs in the caller — its pause is bounded by rotating one segment
+  per firing, not by offload.)  See ``docs/OPERATIONS.md`` for when
+  each strategy wins.
 * **Dirty accounting** — the dispatch result says which views absorbed a
   non-empty delivery; the engine folds that into its dirty set, which is
   what lets :meth:`repro.persist.SnapshotStore.save` with
@@ -71,8 +86,12 @@ __all__ = [
 #: Environment variable selecting the default executor strategy.
 EXECUTOR_ENV = "REPRO_ENGINE_EXECUTOR"
 
-#: Accepted executor strategy names.
-EXECUTOR_STRATEGIES = ("serial", "threads")
+#: Accepted executor strategy names.  ``processes`` dispatches view
+#: absorbs on the thread tier (shared-memory repair cannot cross a
+#: process boundary) and additionally routes the picklable shard-local
+#: persistence stage — segmented-log appends — onto a worker-process
+#: pool.
+EXECUTOR_STRATEGIES = ("serial", "threads", "processes")
 
 _ZERO_COST = CostSnapshot(
     node_visits=0, distinct_nodes=0, edges_traversed=0, writes=0, pq_ops=0
@@ -218,7 +237,7 @@ class FanOutScheduler:
         """Run every non-skipped plan under the executor strategy and
         assemble the per-view reports in registration order."""
         live = [plan for plan in plans if not plan.skipped]
-        if self.executor == "threads" and len(live) > 1:
+        if self.executor in ("threads", "processes") and len(live) > 1:
             results = dict(
                 zip(
                     (plan.name for plan in live),

@@ -167,8 +167,9 @@ class Engine:
     ) -> None:
         self.graph = graph if graph is not None else DiGraph()
         #: Fan-out scheduler (see :mod:`repro.engine.scheduler`).
-        #: ``executor`` is ``"serial"`` or ``"threads"``; ``None`` reads
-        #: the ``REPRO_ENGINE_EXECUTOR`` environment variable.
+        #: ``executor`` is ``"serial"``, ``"threads"``, or
+        #: ``"processes"``; ``None`` reads the
+        #: ``REPRO_ENGINE_EXECUTOR`` environment variable.
         self.scheduler = FanOutScheduler(executor)
         #: With ``routing=False`` every view receives the full batch
         #: (broadcast fan-out) — the pre-scheduler behavior, kept for

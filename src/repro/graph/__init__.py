@@ -17,6 +17,12 @@ from repro.graph.neighborhood import (
     nodes_within,
     undirected_distance,
 )
+from repro.graph.sharding import (
+    ShardedGraphStore,
+    ShardMap,
+    route_updates,
+    stable_shard_hash,
+)
 
 __all__ = [
     "DEFAULT_LABEL",
@@ -28,8 +34,12 @@ __all__ = [
     "MissingEdgeError",
     "MissingNodeError",
     "Node",
+    "ShardMap",
+    "ShardedGraphStore",
     "d_neighborhood",
     "neighborhood_of_updates",
     "nodes_within",
+    "route_updates",
+    "stable_shard_hash",
     "undirected_distance",
 ]

@@ -142,6 +142,7 @@ class DiGraph:
         del self._labels[node]
 
     def has_node(self, node: Node) -> bool:
+        """Is ``node`` in the graph?"""
         return node in self._succ
 
     def label(self, node: Node) -> Label:
@@ -218,6 +219,7 @@ class DiGraph:
         self._num_edges -= 1
 
     def has_edge(self, source: Node, target: Node) -> bool:
+        """Is ``(source, target)`` an edge of the graph?"""
         return source in self._succ and target in self._succ[source]
 
     def edges(self) -> Iterator[Edge]:
@@ -241,24 +243,28 @@ class DiGraph:
             raise MissingNodeError(node) from None
 
     def successor_set(self, node: Node) -> frozenset[Node]:
+        """Frozen successor set of ``node``."""
         try:
             return frozenset(self._succ[node])
         except KeyError:
             raise MissingNodeError(node) from None
 
     def predecessor_set(self, node: Node) -> frozenset[Node]:
+        """Frozen predecessor set of ``node``."""
         try:
             return frozenset(self._pred[node])
         except KeyError:
             raise MissingNodeError(node) from None
 
     def out_degree(self, node: Node) -> int:
+        """Number of out-edges of ``node``."""
         try:
             return len(self._succ[node])
         except KeyError:
             raise MissingNodeError(node) from None
 
     def in_degree(self, node: Node) -> int:
+        """Number of in-edges of ``node``."""
         try:
             return len(self._pred[node])
         except KeyError:
@@ -270,10 +276,12 @@ class DiGraph:
 
     @property
     def num_nodes(self) -> int:
+        """Number of nodes, ``|V|``."""
         return len(self._succ)
 
     @property
     def num_edges(self) -> int:
+        """Number of edges, ``|E|``."""
         return self._num_edges
 
     def size(self) -> int:

@@ -20,7 +20,7 @@ substrate:
 The on-disk format is a documented contract: ``docs/PERSISTENCE.md``.
 """
 
-from repro.persist.deltalog import DeltaLog, LogEntry
+from repro.persist.deltalog import DeltaLog, LogEntry, SegmentedDeltaLog
 from repro.persist.format import (
     FORMAT_VERSION,
     SUPPORTED_VERSIONS,
@@ -44,6 +44,7 @@ __all__ = [
     "LogEntry",
     "PersistFormatError",
     "SUPPORTED_VERSIONS",
+    "SegmentedDeltaLog",
     "SnapshotPolicy",
     "SnapshotStore",
     "load_session",

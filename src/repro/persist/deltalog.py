@@ -1,9 +1,10 @@
-"""Append-only write-ahead log of applied batch updates.
+"""Append-only write-ahead logs of applied batch updates — monolithic
+and segmented.
 
 Every batch an :class:`~repro.engine.session.Engine` successfully fans
 out is appended as one *log entry*::
 
-    %batch <seq>
+    %batch <seq> [<participants>]
     + <source> <target> <source_label> <target_label>
     - <source> <target>
     %commit
@@ -25,6 +26,18 @@ dropped (preceded by any snapshot-covered entries a lagging view's
 relevance filter still retains), so sequence allocation and recovery
 stay correct across processes.
 
+**Segmented layout** (:class:`SegmentedDeltaLog`): a directory of one
+append file per graph shard.  Each applied batch still gets one
+*global* seq, but its updates are routed to the segments owning their
+source nodes (:func:`repro.graph.sharding.route_updates`) and each
+touched segment records a *sub-entry* under that seq; the optional
+``<participants>`` operand of ``%batch`` counts the touched segments,
+and a seq is committed exactly when every participant's sub-entry is.
+Segments append and fsync independently — which is what the
+``threads``/``processes`` executors parallelize — and compact
+independently too (one rotating segment per background firing, run in
+the caller).  The full framing contract lives in ``docs/FORMATS.md``.
+
 Example::
 
     >>> import tempfile, pathlib
@@ -44,12 +57,14 @@ Example::
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
 
-from repro.core.delta import Delta
+from repro.core.delta import Delta, insert
 from repro.graph.io import update_from_fields, update_to_line
+from repro.graph.sharding import ShardMap, route_updates
 from repro.persist.format import (
     PersistFormatError,
     is_directive,
@@ -60,7 +75,18 @@ from repro.persist.format import (
 
 PathLike = Union[str, Path]
 
-__all__ = ["DeltaLog", "LogEntry", "fsync_directory"]
+__all__ = [
+    "DeltaLog",
+    "LogEntry",
+    "SegmentedDeltaLog",
+    "fsync_directory",
+]
+
+#: Environment variable selecting the default append/compaction
+#: executor for segmented logs (shared with the engine's fan-out — see
+#: :data:`repro.engine.scheduler.EXECUTOR_ENV`; duplicated here so the
+#: persistence layer does not import the engine).
+EXECUTOR_ENV = "REPRO_ENGINE_EXECUTOR"
 
 
 def _directive_seq(line: str) -> int | None:
@@ -93,10 +119,17 @@ def fsync_directory(directory: Path) -> None:
 
 @dataclass(frozen=True)
 class LogEntry:
-    """One committed batch: its sequence number and the batch itself."""
+    """One committed batch: its sequence number and the batch itself.
+
+    ``participants`` is the number of log segments the batch's updates
+    were routed to (always 1 in a monolithic :class:`DeltaLog`; a
+    :class:`SegmentedDeltaLog` merges per-segment sub-entries and a seq
+    only commits when all of its participants did).
+    """
 
     seq: int
     delta: Delta
+    participants: int = 1
 
 
 def _net_cancel_window(
@@ -160,7 +193,7 @@ def _net_cancel_window(
             if (entry_index, update_index) not in dropped
         ]
         # an emptied entry keeps its frame: the seq stays spoken for
-        result.append(LogEntry(entry.seq, Delta(survivors)))
+        result.append(LogEntry(entry.seq, Delta(survivors), entry.participants))
     return result
 
 
@@ -183,7 +216,12 @@ class DeltaLog:
     # Writing
     # ------------------------------------------------------------------
 
-    def append(self, delta: Delta) -> int:
+    def append(
+        self,
+        delta: Delta,
+        seq: Optional[int] = None,
+        participants: Optional[int] = None,
+    ) -> int:
         """Durably append one batch; returns its sequence number.
 
         The whole entry is rendered in memory *before* the file is
@@ -194,10 +232,30 @@ class DeltaLog:
         ``%batch`` line.  The entry is flushed and fsynced before
         returning, so once the caller sees the seq, recovery will
         replay the batch.
+
+        ``seq``/``participants`` are the segmented-log hooks: a
+        :class:`SegmentedDeltaLog` allocates one global seq, then
+        appends each routed sub-delta through this method with the seq
+        pinned and the participant count recorded in the ``%batch``
+        frame.  A pinned seq must not regress below seqs this file
+        already mentions (that would violate commit monotonicity).
         """
-        seq = self._allocate_seq()
+        if seq is None:
+            seq = self._allocate_seq()
+        else:
+            floor = self._allocate_seq()
+            if seq < floor:
+                raise ValueError(
+                    f"pinned seq {seq} regresses below this segment's next "
+                    f"allocatable seq {floor}"
+                )
+        frame = (
+            render_directive("batch", seq)
+            if participants is None or participants == 1
+            else render_directive("batch", seq, participants)
+        )
         entry = "".join(
-            [render_directive("batch", seq)]
+            [frame]
             + [update_to_line(update) for update in delta]
             + [render_directive("commit")]
         )
@@ -278,6 +336,7 @@ class DeltaLog:
             return result
         source = str(self.path)
         open_seq: int | None = None
+        open_participants = 1
         open_updates: list = []
         poisoned = False  # inside a torn fragment, awaiting the next %batch
         previous_seq = 0
@@ -294,12 +353,19 @@ class DeltaLog:
                         poisoned = True
                         continue
                     if keyword == "batch":
-                        if len(operands) != 1 or not isinstance(operands[0], int):
+                        if (
+                            len(operands) not in (1, 2)
+                            or not all(isinstance(op, int) for op in operands)
+                            or (len(operands) == 2 and operands[1] < 1)
+                        ):
                             open_seq = None  # "%batch" torn before its seq
                             poisoned = True
                             continue
                         # an open entry at this point was never committed
                         open_seq = operands[0]
+                        open_participants = (
+                            operands[1] if len(operands) == 2 else 1
+                        )
                         open_updates = []
                         poisoned = False
                         if open_seq <= previous_seq:
@@ -318,7 +384,13 @@ class DeltaLog:
                             )
                         previous_seq = open_seq
                         if open_seq > after:
-                            result.append(LogEntry(open_seq, Delta(open_updates)))
+                            result.append(
+                                LogEntry(
+                                    open_seq,
+                                    Delta(open_updates),
+                                    open_participants,
+                                )
+                            )
                         open_seq = None
                         open_updates = []
                     elif keyword == "truncated":
@@ -375,6 +447,52 @@ class DeltaLog:
                     pending = None
         return last
 
+    def commit_index(self) -> tuple[int, dict[int, tuple[int, bool]]]:
+        """Light scan: ``(truncation_floor, {seq: (participants,
+        has_updates)})`` for every committed entry in this file.
+
+        No :class:`Delta` is materialized — this is how a
+        :class:`SegmentedDeltaLog` computes the globally committed
+        :meth:`last_seq` (a seq counts only when every participant
+        segment committed it) and finds torn cross-segment debris to
+        void, without reading entry bodies.  ``has_updates`` is whether
+        the entry carries any record line (an emptied frame reads
+        ``False``).
+        """
+        floor = 0
+        commits: dict[int, tuple[int, bool]] = {}
+        pending: tuple[int, int] | None = None
+        has_updates = False
+        if not self.path.exists():
+            return floor, commits
+        with open(self.path, "r", encoding="utf-8") as stream:
+            for line in stream:
+                line = line.strip()
+                if line.startswith("%batch"):
+                    pending = None
+                    has_updates = False
+                    try:
+                        _, operands = parse_directive(line)
+                        if len(operands) in (1, 2) and all(
+                            isinstance(op, int) for op in operands
+                        ):
+                            pending = (
+                                operands[0],
+                                operands[1] if len(operands) == 2 else 1,
+                            )
+                    except ValueError:
+                        pending = None  # torn framing; entries() decides
+                elif line.startswith("%truncated"):
+                    watermark = _directive_seq(line)
+                    if watermark is not None:
+                        floor = max(floor, watermark)
+                elif line.startswith("%commit") and pending is not None:
+                    commits[pending[0]] = (pending[1], has_updates)
+                    pending = None
+                elif line and not line.startswith(("%", "#")):
+                    has_updates = True
+        return floor, commits
+
     # ------------------------------------------------------------------
     # Compaction
     # ------------------------------------------------------------------
@@ -386,9 +504,18 @@ class DeltaLog:
         lagging=(),
         label_of=None,
         graph_nodes=None,
+        void_seqs=frozenset(),
     ) -> int:
         """Drop committed entries with ``seq <= after`` (they are covered
         by a snapshot); returns the number of entries kept.
+
+        ``void_seqs``: entries whose seq is in this set are **emptied**
+        — their updates are dropped but their ``%batch``/``%commit``
+        frame is kept, so the seq stays spoken for.  This is how a
+        :class:`SegmentedDeltaLog` neutralizes the sub-entries of a
+        torn cross-segment append before the floor passes its seq (a
+        partial batch below the floor would otherwise read as
+        legitimate lagging retention and resurrect half a batch).
 
         The compacted file opens with a ``%truncated <floor>`` marker so
         a fresh process reading the log still knows those seqs were used
@@ -432,10 +559,18 @@ class DeltaLog:
         """
         lagging = list(lagging)
         retained: list[LogEntry] = []
-        if lagging:
-            read_from = min([after] + [cursor for cursor, _ in lagging])
+        if lagging or void_seqs:
+            read_from = min(
+                [after]
+                + [cursor for cursor, _ in lagging]
+                + [seq - 1 for seq in void_seqs]
+            )
             for entry in self.entries(after=read_from):
-                if entry.seq > after or self._wanted_by_lagging(
+                if entry.seq in void_seqs:
+                    retained.append(
+                        LogEntry(entry.seq, Delta([]), entry.participants)
+                    )
+                elif entry.seq > after or self._wanted_by_lagging(
                     entry, lagging, label_of
                 ):
                     retained.append(entry)
@@ -454,7 +589,12 @@ class DeltaLog:
         high = [entry for entry in retained if entry.seq > watermark]
 
         def write_entry(stream, entry: LogEntry) -> None:
-            stream.write(render_directive("batch", entry.seq))
+            if entry.participants == 1:
+                stream.write(render_directive("batch", entry.seq))
+            else:  # segmented sub-entry: the participant count must survive
+                stream.write(
+                    render_directive("batch", entry.seq, entry.participants)
+                )
             for update in entry.delta:
                 stream.write(update_to_line(update))
             stream.write(render_directive("commit"))
@@ -509,3 +649,581 @@ class DeltaLog:
                 ):
                     return True
         return False
+
+
+# ----------------------------------------------------------------------
+# Segmented layout: one append file per graph shard
+# ----------------------------------------------------------------------
+
+
+def _resolve_log_executor(executor: Optional[str]) -> str:
+    """Resolve the segmented-log executor strategy (param, then the
+    shared ``REPRO_ENGINE_EXECUTOR`` environment variable, then
+    ``serial``)."""
+    if executor is None:
+        executor = os.environ.get(EXECUTOR_ENV) or "serial"
+    if executor not in ("serial", "threads", "processes"):
+        raise ValueError(
+            f"unknown log executor {executor!r}; expected 'serial', "
+            "'threads', or 'processes'"
+        )
+    return executor
+
+
+#: Process-wide pools for parallel segment appends/compactions, created
+#: on first use and shared by every segmented log (mirrors the fan-out
+#: scheduler's shared absorb pool).
+_SEGMENT_THREAD_POOL: Optional[ThreadPoolExecutor] = None
+_SEGMENT_PROCESS_POOL: Optional[ProcessPoolExecutor] = None
+#: Set when the process pool provably cannot start in this interpreter
+#: (see :func:`_segment_process_pool`); appends then degrade to the
+#: thread tier instead of failing every batch.
+_PROCESS_POOL_UNAVAILABLE = False
+
+
+def _segment_thread_pool() -> ThreadPoolExecutor:
+    """The shared thread pool for parallel per-segment file writes."""
+    global _SEGMENT_THREAD_POOL
+    if _SEGMENT_THREAD_POOL is None:
+        _SEGMENT_THREAD_POOL = ThreadPoolExecutor(
+            max_workers=min(16, (os.cpu_count() or 2)),
+            thread_name_prefix="repro-segment",
+        )
+    return _SEGMENT_THREAD_POOL
+
+
+def _probe_worker() -> bool:
+    """No-op task proving a worker process can start and import us."""
+    return True
+
+
+def _drain_futures(futures) -> None:
+    """Wait for **every** future, then re-raise the first failure.
+
+    Raising on the first failed future would return control to the
+    caller while sibling tasks are still writing their segment files —
+    and the caller's next append to one of those segments would race a
+    stale in-flight write on the same file.  Draining first keeps the
+    one-writer-per-segment invariant even on error paths.
+    """
+    errors = []
+    for future in futures:
+        try:
+            future.result()
+        except Exception as exc:
+            errors.append(exc)
+    if errors:
+        raise errors[0]
+
+
+def _segment_process_pool() -> Optional[ProcessPoolExecutor]:
+    """The shared process pool for picklable per-segment work, or
+    ``None`` when worker processes cannot start here.
+
+    Created with the ``spawn`` start method: the parent may be running
+    fan-out threads, and forking a multi-threaded process can inherit
+    locks in a held state.  Workers import this module fresh, so every
+    task function must be module-level (picklable by qualified name) —
+    and the *parent's* ``__main__`` must be importable, which an
+    interactive session / stdin script is not.  The first use probes
+    the pool with a no-op task; if workers cannot start, the pool is
+    marked unavailable once and appends silently degrade to the thread
+    tier (correct, just not process-parallel) instead of poisoning
+    every batch with ``BrokenProcessPool``.
+    """
+    global _SEGMENT_PROCESS_POOL, _PROCESS_POOL_UNAVAILABLE
+    if _PROCESS_POOL_UNAVAILABLE:
+        return None
+    if _SEGMENT_PROCESS_POOL is None:
+        import multiprocessing
+
+        pool = ProcessPoolExecutor(
+            max_workers=min(8, (os.cpu_count() or 2)),
+            mp_context=multiprocessing.get_context("spawn"),
+        )
+        try:
+            pool.submit(_probe_worker).result()
+        except Exception:
+            _PROCESS_POOL_UNAVAILABLE = True
+            pool.shutdown(wait=False, cancel_futures=True)
+            return None
+        _SEGMENT_PROCESS_POOL = pool
+    return _SEGMENT_PROCESS_POOL
+
+
+#: Worker-process cache of per-segment :class:`DeltaLog` objects.  A
+#: fresh object per append would re-scan the whole segment file for the
+#: seq floor (O(file) on the hot apply path); the cached object
+#: amortizes that to the worker's first touch of each segment.  Stale
+#: caches are safe: the parent pins every seq from its global
+#: allocation, and a cached floor can only be too *low*, which never
+#: rejects a valid append.
+_WORKER_SEGMENT_LOGS: dict[str, DeltaLog] = {}
+
+
+def _process_segment_append(
+    path: str, updates: tuple, seq: int, participants: int
+) -> None:
+    """Worker-process task: append one routed sub-entry to one segment
+    (the seq is pinned by the parent's global allocation)."""
+    log = _WORKER_SEGMENT_LOGS.get(path)
+    if log is None:
+        log = _WORKER_SEGMENT_LOGS.setdefault(path, DeltaLog(path))
+    log.append(Delta(list(updates)), seq=seq, participants=participants)
+
+
+def _stabilize_insert_labels(delta: Delta) -> Delta:
+    """Rewrite insert labels so per-segment replay is order-independent.
+
+    Within one batch, a node introduced by several inserts takes the
+    label of the *first* update declaring it (``DiGraph.add_edge``
+    creates missing endpoints, and labels of pre-existing endpoints are
+    ignored).  A segmented log replays a batch as per-shard sub-deltas
+    concatenated in shard order — not necessarily the original
+    interleaving — so every insert is rewritten to carry each
+    endpoint's first-declared label, making the winning label identical
+    under any replay order.  Deletes never introduce nodes and pass
+    through unchanged.
+    """
+    declared: dict = {}
+    for update in delta:
+        if update.is_insert:
+            declared.setdefault(update.source, update.source_label)
+            declared.setdefault(update.target, update.target_label)
+    if not declared:
+        return delta
+    rebuilt = []
+    changed = False
+    for update in delta:
+        if update.is_insert:
+            source_label = declared[update.source]
+            target_label = declared[update.target]
+            if (source_label, target_label) != (
+                update.source_label,
+                update.target_label,
+            ):
+                update = insert(
+                    update.source, update.target, source_label, target_label
+                )
+                changed = True
+        rebuilt.append(update)
+    return Delta(rebuilt) if changed else delta
+
+
+class SegmentedDeltaLog:
+    """A write-ahead log segmented by graph shard: one append file per
+    shard, one *global* seq space.
+
+    The public surface mirrors :class:`DeltaLog` (``append`` /
+    ``entries`` / ``last_seq`` / ``compact``), so an
+    :class:`~repro.engine.session.Engine` journals into it and a
+    :class:`~repro.persist.snapshot.SnapshotStore` replays from it
+    unchanged.  Differences under the hood:
+
+    * :meth:`append` allocates one global seq, routes the batch's
+      updates to the segments owning their source nodes
+      (:func:`repro.graph.sharding.route_updates`), and appends one
+      *sub-entry* per touched segment, each framed ``%batch <seq>
+      <participants>``.  The batch is acknowledged only after **every**
+      touched segment fsynced — and on read a seq whose committed
+      sub-entry count falls short of its participant count is discarded
+      as torn (it was never acknowledged), which makes the cross-segment
+      commit atomic without any coordinator record.
+    * insert labels are stabilized first
+      (:func:`_stabilize_insert_labels`) so the merged replay —
+      sub-deltas concatenated in shard order per seq — is equivalent to
+      the original batch under any segment interleaving.
+    * segments append/fsync **in parallel** under the ``threads`` or
+      ``processes`` executor (``executor=`` parameter, defaulting to the
+      ``REPRO_ENGINE_EXECUTOR`` environment variable) — the per-shard
+      parallelism the sharded store's disjoint ownership buys.
+    * :meth:`compact` runs per segment; :meth:`compact_segment` rewrites
+      a single segment, which is what lets background compaction rotate
+      through shards instead of pausing the whole log (see
+      :meth:`repro.persist.snapshot.SnapshotStore.compact_log`).
+
+    Example::
+
+        >>> import tempfile, pathlib
+        >>> from repro.core.delta import Delta, insert
+        >>> from repro.graph.sharding import ShardMap
+        >>> root = pathlib.Path(tempfile.mkdtemp()) / "segments"
+        >>> log = SegmentedDeltaLog(root, ShardMap(2))
+        >>> log.append(Delta([insert(1, 2, "a", "b"), insert(2, 3, "b", "c")]))
+        1
+        >>> [(entry.seq, len(entry.delta)) for entry in log.entries()]
+        [(1, 2)]
+    """
+
+    SEGMENT_FORMAT = "segment-{:03d}.log"
+    SEGMENT_GLOB = "segment-*.log"
+
+    def __init__(
+        self,
+        root: PathLike,
+        shard_map: Optional[ShardMap] = None,
+        executor: Optional[str] = None,
+    ) -> None:
+        self.root = Path(root)
+        #: Node → shard assignment used to route appends.  ``None`` is
+        #: the read-only mode (segment files discovered from disk);
+        #: :meth:`bind_map` attaches a map before the first append.
+        self.shard_map = shard_map
+        #: Append/compaction dispatch strategy (``None`` → the
+        #: ``REPRO_ENGINE_EXECUTOR`` environment variable → serial).
+        self.executor = executor
+        discovered = self._discover()
+        count = shard_map.count if shard_map is not None else discovered
+        if shard_map is not None and discovered > shard_map.count:
+            raise ValueError(
+                f"segment directory {self.root} holds segment files up to "
+                f"index {discovered - 1} but the shard map has only "
+                f"{shard_map.count} shards — refusing to orphan existing "
+                "segments"
+            )
+        self._segments = [
+            DeltaLog(self.root / self.SEGMENT_FORMAT.format(index))
+            for index in range(count)
+        ]
+        self._next_seq: Optional[int] = None
+        #: Highest floor :meth:`_void_torn` already vetted (per log
+        #: object).  Torn debris at or below a vetted floor is already
+        #: voided, and new torn seqs are always allocated *above* the
+        #: current floor — so re-checking is only needed when the floor
+        #: advances, not on every same-floor compaction rotation.
+        self._torn_checked_floor = 0
+
+    def _discover(self) -> int:
+        """Segment count implied by the files on disk: one past the
+        highest segment index present (segments are created lazily on
+        first touch, so lower indexes may be absent)."""
+        if not self.root.exists():
+            return 0
+        highest = 0
+        for path in self.root.glob(self.SEGMENT_GLOB):
+            stem = path.stem  # "segment-NNN"
+            try:
+                index = int(stem.rsplit("-", 1)[1])
+            except (IndexError, ValueError):
+                continue
+            highest = max(highest, index + 1)
+        return highest
+
+    def bind_map(self, shard_map: ShardMap) -> None:
+        """Attach (or validate) the shard map of a log that was opened
+        in read-only discovery mode — recovery reads the layout from the
+        snapshot's ``%meta sharding`` stamp and binds it here before the
+        recovered engine resumes journaling."""
+        if self.shard_map is not None:
+            if self.shard_map != shard_map:
+                raise ValueError(
+                    f"shard map {shard_map!r} contradicts this log's "
+                    f"existing map {self.shard_map!r}"
+                )
+            return
+        if len(self._segments) > shard_map.count:
+            raise ValueError(
+                f"cannot bind a {shard_map.count}-shard map over "
+                f"{len(self._segments)} existing segments"
+            )
+        self.shard_map = shard_map
+        for index in range(len(self._segments), shard_map.count):
+            self._segments.append(
+                DeltaLog(self.root / self.SEGMENT_FORMAT.format(index))
+            )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def num_segments(self) -> int:
+        """Number of segment files in the layout."""
+        return len(self._segments)
+
+    def segment(self, index: int) -> DeltaLog:
+        """The per-segment :class:`DeltaLog` (its file may not exist yet)."""
+        return self._segments[index]
+
+    def segment_paths(self) -> list[Path]:
+        """Every segment's file path, in shard order."""
+        return [segment.path for segment in self._segments]
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+
+    def _allocate_seq(self) -> int:
+        if self._next_seq is None:
+            highest = 0
+            for segment in self._segments:
+                highest = max(highest, segment._scan_max_seq())
+            self._next_seq = highest + 1
+        return self._next_seq
+
+    def append(self, delta: Delta) -> int:
+        """Durably append one batch across its owning segments; returns
+        the batch's global sequence number.
+
+        Sub-entries are written in ascending shard order (serial) or in
+        parallel (``threads``/``processes``); the call returns only
+        after every touched segment flushed and fsynced its sub-entry.
+        A crash part-way leaves some segments with a sub-entry whose
+        sibling segments have none — :meth:`entries` discards such a seq
+        (its committed count falls short of its recorded participant
+        count), matching the fact that the append was never
+        acknowledged.  The seq itself stays spoken for: allocation scans
+        every segment for the highest *mentioned* seq across processes,
+        and within this process the seq is burned even when the append
+        **fails** part-way (e.g. one segment hits ``ENOSPC``) — reusing
+        it would either wedge the journal on the segment that already
+        committed a sub-entry under it, or commit the same seq with
+        disagreeing participant counts.
+        """
+        if self.shard_map is None:
+            raise ValueError(
+                "this segmented log has no shard map bound; construct it "
+                "with shard_map=... or call bind_map() first"
+            )
+        self.root.mkdir(parents=True, exist_ok=True)
+        seq = self._allocate_seq()
+        stable = _stabilize_insert_labels(delta)
+        routed = route_updates(stable, self.shard_map)
+        if not routed:  # an empty batch still burns its seq frame
+            routed = {0: []}
+        participants = len(routed)
+        tasks = sorted(routed.items())
+        strategy = _resolve_log_executor(self.executor)
+        pool = None
+        if strategy == "processes" and len(tasks) > 1:
+            pool = _segment_process_pool()  # None => degrade to threads
+        try:
+            if pool is not None:
+                # picklable routed sub-deltas; cached worker-side logs
+                futures = [
+                    pool.submit(
+                        _process_segment_append,
+                        str(self._segments[index].path),
+                        tuple(updates),
+                        seq,
+                        participants,
+                    )
+                    for index, updates in tasks
+                ]
+                _drain_futures(futures)
+                for index, _ in tasks:  # parent-side seq caches went stale
+                    self._segments[index]._next_seq = None
+            elif strategy == "serial" or len(tasks) == 1:
+                for index, updates in tasks:
+                    self._segments[index].append(
+                        Delta(updates), seq=seq, participants=participants
+                    )
+            else:  # threads — also the degraded mode when no pool starts
+                futures = [
+                    _segment_thread_pool().submit(
+                        self._segments[index].append,
+                        Delta(updates),
+                        seq=seq,
+                        participants=participants,
+                    )
+                    for index, updates in tasks
+                ]
+                _drain_futures(futures)
+        finally:
+            # burn the seq even on failure: a partial append may have
+            # committed sub-entries under it in some segments
+            self._next_seq = seq + 1
+        return seq
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def entries(self, after: int = 0) -> list[LogEntry]:
+        """All globally committed entries with ``seq > after``, merged
+        across segments in ascending seq order.
+
+        Within one seq the sub-deltas are concatenated in shard order —
+        sound because updates on one edge always share a segment (the
+        source owns the edge) and insert labels were stabilized at
+        append time.  A seq above every truncation floor whose committed
+        sub-entries fall short of its participant count is torn debris
+        from an unacknowledged append and is skipped; *below* a floor a
+        partial merge is legitimate (compaction dropped the segments'
+        parts that every lagging view provably no longer wants).  A seq
+        with *more* sub-entries than participants, or with disagreeing
+        participant counts, is structural corruption and raises
+        :class:`PersistFormatError`.
+        """
+        floor = 0
+        for segment in self._segments:
+            floor = max(floor, segment._scan_floor())
+        merged: dict[int, tuple[int, list[tuple[int, Delta]]]] = {}
+        for index, segment in enumerate(self._segments):
+            for entry in segment.entries(after=after):
+                participants, parts = merged.setdefault(
+                    entry.seq, (entry.participants, [])
+                )
+                if participants != entry.participants:
+                    raise PersistFormatError(
+                        str(segment.path),
+                        0,
+                        f"seq {entry.seq} declares {entry.participants} "
+                        f"participants here but {participants} elsewhere",
+                    )
+                parts.append((index, entry.delta))
+        result: list[LogEntry] = []
+        for seq in sorted(merged):
+            participants, parts = merged[seq]
+            if len(parts) > participants:
+                raise PersistFormatError(
+                    str(self.root),
+                    0,
+                    f"seq {seq} committed in {len(parts)} segments but "
+                    f"declares only {participants} participants",
+                )
+            if len(parts) < participants and seq > floor:
+                continue  # torn cross-segment append: never acknowledged
+            updates = [
+                update
+                for _, part in sorted(parts, key=lambda item: item[0])
+                for update in part
+            ]
+            result.append(LogEntry(seq, Delta(updates), participants))
+        return result
+
+    def last_seq(self) -> int:
+        """Seq of the newest *globally* committed entry (0 when empty).
+
+        A seq counts only when every declared participant segment
+        committed its sub-entry — a light :meth:`DeltaLog.commit_index`
+        scan per segment, no :class:`Delta` materialization.
+        """
+        floor, declared, counts, _, _ = self._global_commit_index()
+        last = floor
+        for seq, participants in declared.items():
+            if counts[seq] >= participants:
+                last = max(last, seq)
+        return last
+
+    def _global_commit_index(self):
+        """Aggregate every segment's :meth:`DeltaLog.commit_index` into
+        ``(floor, declared, counts, holders, nonempty)``: the max
+        truncation floor, each seq's declared participant count, how
+        many segments committed it, which segment indexes hold it, and
+        whether each ``(segment, seq)`` sub-entry carries updates.  One
+        light line scan per segment — the shared substrate of
+        :meth:`last_seq` and :meth:`_void_torn` (``entries()`` needs
+        full bodies and parses separately)."""
+        floor = 0
+        declared: dict[int, int] = {}
+        counts: dict[int, int] = {}
+        holders: dict[int, list[int]] = {}
+        nonempty: dict[tuple[int, int], bool] = {}
+        for index, segment in enumerate(self._segments):
+            segment_floor, commits = segment.commit_index()
+            floor = max(floor, segment_floor)
+            for seq, (participants, has_updates) in commits.items():
+                counts[seq] = counts.get(seq, 0) + 1
+                declared[seq] = participants
+                holders.setdefault(seq, []).append(index)
+                nonempty[(index, seq)] = has_updates
+        return floor, declared, counts, holders, nonempty
+
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+
+    def compact(
+        self,
+        after: int,
+        *,
+        lagging=(),
+        label_of=None,
+        graph_nodes=None,
+    ) -> int:
+        """Compact every segment against the same floor; returns total
+        entries kept.  Per-segment semantics are exactly
+        :meth:`DeltaLog.compact` — net-cancellation is segment-local,
+        which is sound because opposing updates on one edge always share
+        a segment."""
+        kept = 0
+        for index in range(len(self._segments)):
+            kept += self.compact_segment(
+                index,
+                after,
+                lagging=lagging,
+                label_of=label_of,
+                graph_nodes=graph_nodes,
+            )
+        return kept
+
+    def compact_segment(
+        self,
+        index: int,
+        after: int,
+        *,
+        lagging=(),
+        label_of=None,
+        graph_nodes=None,
+    ) -> int:
+        """Compact one segment only; returns entries kept there.
+
+        This is the bounded-pause unit background compaction rotates
+        through: each call rewrites a single shard's file, so the apply
+        path is never stalled behind a whole-log rewrite.  Skips (and
+        returns 0 for) segments whose file does not exist yet.
+
+        Before the floor moves, torn cross-segment debris at or below
+        it is neutralized in **every** segment (:meth:`_void_torn`) —
+        a no-op in the steady state; after a crash it may rewrite the
+        few segments holding the torn batch's sub-entries.
+        """
+        self._void_torn(after)
+        segment = self._segments[index]
+        if not segment.path.exists():
+            return 0
+        return segment.compact(
+            after, lagging=lagging, label_of=label_of, graph_nodes=graph_nodes
+        )
+
+    def _void_torn(self, after: int) -> None:
+        """Empty the sub-entries of globally-torn seqs ``<= after``.
+
+        A torn cross-segment append (committed in some participant
+        segments, missing in others) is correctly discarded by
+        :meth:`entries` while its seq sits **above** every truncation
+        floor.  Once a compaction advances the floor past it, the
+        partial would instead read as legitimate lagging-retention
+        residue and resurrect *half a batch* — so before any floor
+        advance, the surviving sub-entries are rewritten as empty
+        frames (seq stays spoken for, content gone).  Detection is a
+        light :meth:`DeltaLog.commit_index` scan per segment; rewrites
+        happen only for segments actually holding non-empty torn
+        sub-entries, i.e. only after a crash.
+
+        Memoized per floor: a fresh log object vets its floor once,
+        and again only when a later snapshot advances it (new torn
+        seqs are always above the floor current at their crash, so a
+        same-floor rotation cannot need a re-check).
+        """
+        if after <= self._torn_checked_floor:
+            return
+        floor, declared, counts, holders, nonempty = self._global_commit_index()
+        torn = {
+            seq
+            for seq, participants in declared.items()
+            if counts[seq] < participants and floor < seq <= after
+        }
+        for index, segment in enumerate(self._segments):
+            to_void = frozenset(
+                seq
+                for seq in torn
+                if index in holders.get(seq, ()) and nonempty[(index, seq)]
+            )
+            if to_void:
+                segment.compact(0, void_seqs=to_void)
+        # memoize only once every rewrite landed: a transient rewrite
+        # failure must leave the floor un-vetted so a retry re-voids
+        # instead of advancing past still-intact torn content
+        self._torn_checked_floor = after

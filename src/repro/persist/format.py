@@ -36,8 +36,10 @@ __all__ = [
     "is_directive",
     "parse_directive",
     "parse_record",
+    "parse_sharding_meta",
     "render_directive",
     "render_record",
+    "render_sharding_meta",
     "split_snapshot_sections",
     "split_view_sections",
 ]
@@ -45,14 +47,19 @@ __all__ = [
 #: Directive keyword opening every snapshot file (``%repro-snapshot <v>``).
 SNAPSHOT_MAGIC = "repro-snapshot"
 
-#: Current on-disk format version (see docs/PERSISTENCE.md for history).
-#: Version 2 added per-view replay cursors (a fourth ``%section view``
-#: operand) and incremental ``%graphdiff`` chunks in the graph section.
-FORMAT_VERSION = 2
+#: Current on-disk format version (see docs/FORMATS.md for the
+#: normative spec and docs/PERSISTENCE.md for history).  Version 2
+#: added per-view replay cursors (a fourth ``%section view`` operand)
+#: and incremental ``%graphdiff`` chunks in the graph section; version
+#: 3 added the ``%meta sharding`` layout stamp (shard-partitioned
+#: graphs) and the segmented delta-log directory with its
+#: ``%batch <seq> <participants>`` framing.
+FORMAT_VERSION = 3
 
 #: Versions this reader understands.  Version-1 files (no cursors, no
-#: ``%graphdiff``) load unchanged; the writer always emits version 2.
-SUPPORTED_VERSIONS = (1, 2)
+#: ``%graphdiff``) and version-2 files (no sharding stamp) load
+#: unchanged; the writer always emits version 3.
+SUPPORTED_VERSIONS = (1, 2, 3)
 
 
 class PersistFormatError(ValueError):
@@ -86,6 +93,7 @@ def render_directive(keyword: str, *operands) -> str:
 
 
 def is_directive(line: str) -> bool:
+    """Is this stripped line a ``%`` directive (vs. a record row)?"""
     return line.startswith("%")
 
 
@@ -146,6 +154,62 @@ def check_graphdiff_context(
             line_number,
             "%graphdiff is a version-2 construct in a version-1 file",
         )
+
+
+def render_sharding_meta(shard_map) -> str:
+    """Render the ``%meta sharding`` layout stamp for a
+    :class:`~repro.graph.sharding.ShardMap` (version-3 construct).
+
+    ``%meta sharding hash <count>`` for hash maps; ``%meta sharding
+    range <count> <boundary>...`` for range maps (``count`` is
+    redundant with the boundary list but kept so readers can validate).
+    """
+    return render_directive(
+        "meta", "sharding", shard_map.kind, shard_map.count, *shard_map.boundaries
+    )
+
+
+def parse_sharding_meta(operands, version: int, source: str, line_number: int):
+    """Parse ``%meta sharding`` operands back into a
+    :class:`~repro.graph.sharding.ShardMap`; validates the version gate
+    (a sharding stamp is a version-3 construct)."""
+    from repro.graph.sharding import SHARD_KINDS, ShardMap
+
+    if version < 3:
+        raise PersistFormatError(
+            source,
+            line_number,
+            "%meta sharding is a version-3 construct in a "
+            f"version-{version} file",
+        )
+    if (
+        len(operands) < 3
+        or operands[1] not in SHARD_KINDS
+        or not isinstance(operands[2], int)
+        or operands[2] < 1
+    ):
+        raise PersistFormatError(
+            source,
+            line_number,
+            f"malformed %meta sharding operands {operands!r}; expected "
+            "'sharding' <kind> <count> [<boundary>...]",
+        )
+    kind, count = operands[1], operands[2]
+    if kind == "hash":
+        if len(operands) != 3:
+            raise PersistFormatError(
+                source, line_number, "hash sharding takes no boundaries"
+            )
+        return ShardMap(count, kind="hash")
+    shard_map = ShardMap(kind="range", boundaries=operands[3:])
+    if shard_map.count != count:
+        raise PersistFormatError(
+            source,
+            line_number,
+            f"range sharding declares {count} shards but its boundary "
+            f"list implies {shard_map.count}",
+        )
+    return shard_map
 
 
 class ViewSection(NamedTuple):

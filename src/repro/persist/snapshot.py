@@ -55,9 +55,10 @@ from repro.graph.io import (
     update_to_line,
 )
 from repro.graph.io_tokens import format_token
+from repro.graph.sharding import ShardedGraphStore, ShardMap
 from repro.iso.incremental import ISOIndex
 from repro.kws.incremental import KWSIndex
-from repro.persist.deltalog import DeltaLog, fsync_directory
+from repro.persist.deltalog import DeltaLog, SegmentedDeltaLog, fsync_directory
 from repro.persist.format import (
     FORMAT_VERSION,
     SNAPSHOT_MAGIC,
@@ -68,9 +69,11 @@ from repro.persist.format import (
     is_directive,
     parse_directive,
     parse_record,
+    parse_sharding_meta,
     parse_view_section_operands,
     render_directive,
     render_record,
+    render_sharding_meta,
     split_snapshot_sections,
 )
 from repro.rpq.incremental import RPQIndex
@@ -121,12 +124,18 @@ class LoadReport:
     engine.  ``entries_replayed`` counts log entries applied to the
     graph (past the snapshot's ``last-seq``), ``entries_delivered``
     counts lagging-window entries routed to cursor-lagging views only.
+
+    ``completed`` is ``True`` only for a load that finished; a load
+    that raised leaves a partial report with ``completed=False`` (and
+    the phase timings measured up to the failure), never the previous
+    successful load's report.
     """
 
     restore_seconds: float = 0.0
     replay_seconds: float = 0.0
     entries_replayed: int = 0
     entries_delivered: int = 0
+    completed: bool = False
 
 
 @dataclass
@@ -233,16 +242,52 @@ class SnapshotPolicy:
 
 
 class SnapshotStore:
-    """Snapshot + delta-log persistence rooted at one directory."""
+    """Snapshot + delta-log persistence rooted at one directory.
+
+    The write-ahead log is **monolithic** (``deltas.log``) by default,
+    or **segmented** (one ``segments/segment-NNN.log`` per graph shard)
+    when the store is constructed with a
+    :class:`~repro.graph.sharding.ShardMap` — or when a ``segments``
+    directory already exists at the root, so re-opening a sharded
+    store's directory without repeating the map still reads (and, after
+    :meth:`load` reconstructs the layout from the snapshot's ``%meta
+    sharding`` stamp, writes) the segmented log.
+    """
 
     SNAPSHOT_NAME = "snapshot.repro"
     LOG_NAME = "deltas.log"
+    SEGMENTS_NAME = "segments"
 
-    def __init__(self, root: PathLike, graphdiff_limit: int = 8) -> None:
+    def __init__(
+        self,
+        root: PathLike,
+        graphdiff_limit: int = 8,
+        shard_map: Optional[ShardMap] = None,
+    ) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.snapshot_path = self.root / self.SNAPSHOT_NAME
-        self.log = DeltaLog(self.root / self.LOG_NAME)
+        #: The shard layout this store journals under (``None`` for a
+        #: monolithic log; adopted from the snapshot's ``%meta
+        #: sharding`` stamp by :meth:`load` when absent).
+        self.shard_map = shard_map
+        segments_dir = self.root / self.SEGMENTS_NAME
+        if shard_map is not None or segments_dir.exists():
+            legacy = self.root / self.LOG_NAME
+            if legacy.exists():
+                raise ValueError(
+                    f"{self.root} already holds a monolithic {self.LOG_NAME}; "
+                    "opening it segmented would silently orphan that log's "
+                    "committed entries.  Recover with a plain "
+                    "SnapshotStore(root) first, then migrate into a fresh "
+                    "sharded store (see docs/OPERATIONS.md)"
+                )
+            self.log = SegmentedDeltaLog(segments_dir, shard_map)
+        else:
+            self.log = DeltaLog(self.root / self.LOG_NAME)
+        #: Next segment index background compaction will rewrite (see
+        #: :meth:`compact_log` with ``rotate=True``).
+        self._compact_rotation = 0
         #: Maximum ``%graphdiff`` chunks a snapshot accumulates before an
         #: incremental save consolidates the graph section into a fresh
         #: full base (bounds both file growth and load-time replay).
@@ -277,6 +322,34 @@ class SnapshotStore:
     # Journaling
     # ------------------------------------------------------------------
 
+    def _check_segmented_layout(self, engine: Engine) -> None:
+        """A store journaling a segmented log only serves engines whose
+        graph is sharded with the **same** layout — the log routes
+        updates by the graph's ownership rule, and the snapshot's
+        ``%meta sharding`` stamp (derived from the graph) is what lets
+        recovery re-bind the segments.  A mismatch would journal fine
+        and then fail recovery, so it is refused up front."""
+        if not isinstance(self.log, SegmentedDeltaLog):
+            return
+        if self.log.shard_map is None:
+            return  # discovery mode; load() binds from the stamp
+        graph = engine.graph
+        if not isinstance(graph, ShardedGraphStore):
+            raise ValueError(
+                "this store journals a segmented (per-shard) log, but the "
+                "engine's graph is not a ShardedGraphStore — a snapshot of "
+                "it would carry no sharding stamp and recovery could never "
+                "re-bind the segments.  Use ShardedGraphStore with the "
+                "store's shard map, or a store without one"
+            )
+        if graph.shard_map != self.log.shard_map:
+            raise ValueError(
+                f"engine graph's shard map {graph.shard_map!r} differs "
+                f"from the store's segmented-log layout "
+                f"{self.log.shard_map!r}; recovery would refuse the "
+                "contradiction — refusing it now instead"
+            )
+
     def attach(self, engine: Engine, policy: Optional[SnapshotPolicy] = None) -> None:
         """Start journaling ``engine``'s applied batches into this
         store's delta log (sugar for ``engine.set_journal(store.log)``).
@@ -286,7 +359,18 @@ class SnapshotStore:
         fires the store writes an incremental snapshot (dirty view
         sections only — see :meth:`save`) before control returns from
         ``engine.apply``.
+
+        Attaching also propagates the engine's executor strategy to a
+        segmented log that has not chosen one explicitly, so
+        ``Engine(executor="processes")`` reaches the per-segment append
+        path without separately exporting ``REPRO_ENGINE_EXECUTOR``.
         """
+        self._check_segmented_layout(engine)
+        if (
+            isinstance(self.log, SegmentedDeltaLog)
+            and self.log.executor is None
+        ):
+            self.log.executor = engine.scheduler.executor
         engine.set_journal(self.log)
         if policy is not None:
 
@@ -296,7 +380,9 @@ class SnapshotStore:
                     self.save(session, incremental=True)
                     policy.note_save()
                 if policy.compaction_due():
-                    self.compact_log(session)
+                    # rotate: one shard's segment per firing, so the
+                    # apply path never stalls behind a whole-log rewrite
+                    self.compact_log(session, rotate=True)
                     policy.note_compaction()
 
             engine.set_autosnapshot(autosnapshot)
@@ -344,6 +430,7 @@ class SnapshotStore:
         which is always sound.  Either way the save marks every view
         clean.
         """
+        self._check_segmented_layout(engine)
         last_seq = self.log.last_seq()
         previous: Optional[SnapshotSections] = None
         carried_names: frozenset[str] = frozenset()
@@ -365,6 +452,9 @@ class SnapshotStore:
         with open(temp, "w", encoding="utf-8") as stream:
             stream.write(render_directive(SNAPSHOT_MAGIC, FORMAT_VERSION))
             stream.write(render_directive("meta", "last-seq", last_seq))
+            if isinstance(engine.graph, ShardedGraphStore):
+                # v3 layout stamp: recovery rebuilds identical ownership
+                stream.write(render_sharding_meta(engine.graph.shard_map))
             stream.write(render_directive("section", "graph"))
             if graph_plan is None:
                 for line in graph_record_lines(engine.graph):
@@ -500,7 +590,7 @@ class SnapshotStore:
     # Log compaction
     # ------------------------------------------------------------------
 
-    def compact_log(self, engine: Engine) -> int:
+    def compact_log(self, engine: Engine, rotate: bool = False) -> int:
         """Relevance-aware log compaction; returns entries kept.
 
         The compaction floor is the last snapshot's ``last-seq`` stamp:
@@ -520,6 +610,14 @@ class SnapshotStore:
         floor-state node set that makes net-cancellation node-safe is
         cached by save()/load() (a file scan is the fallback for a store
         object that somehow lost the cache).
+
+        With ``rotate=True`` over a segmented log, only **one** segment
+        is rewritten per call, in round-robin shard order — the
+        bounded-pause mode the auto-compaction policy uses so a firing
+        mid-stream stalls the apply path by at most one shard's file,
+        never a whole-log rewrite.  (Monolithic logs ignore ``rotate``;
+        an explicit :meth:`compact_log` call without it always compacts
+        everything.)
         """
         if self._last_saved_seq is None:
             return 0  # nothing is covered yet; don't even read the log
@@ -535,6 +633,20 @@ class SnapshotStore:
         floor_nodes = self._floor_nodes
         if floor_nodes is None:
             floor_nodes = self._snapshot_graph_nodes()
+        if (
+            rotate
+            and isinstance(self.log, SegmentedDeltaLog)
+            and self.log.num_segments > 0
+        ):
+            index = self._compact_rotation % self.log.num_segments
+            self._compact_rotation = index + 1
+            return self.log.compact_segment(
+                index,
+                floor,
+                lagging=lagging,
+                label_of=engine.graph.label,
+                graph_nodes=floor_nodes,
+            )
         return self.log.compact(
             after=floor,
             lagging=lagging,
@@ -606,9 +718,37 @@ class SnapshotStore:
         relevance routing) — the reference mode the equivalence tests
         and ``benchmarks/bench_recovery.py`` compare cursor-driven
         routed replay against.
+
+        A snapshot carrying a ``%meta sharding`` stamp (version 3)
+        restores into a :class:`~repro.graph.sharding.ShardedGraphStore`
+        with the identical layout, and the store adopts the stamp: a
+        segmented log opened without a map is bound to it before the
+        recovered engine resumes journaling.
+
+        :attr:`last_load_report` is reset at entry; a load that raises
+        records a :class:`LoadReport` with ``completed=False`` (elapsed
+        time under ``restore_seconds``), never the previous successful
+        load's report.
         """
+        self.last_load_report = None  # a failed load must not surface
+        started = time.perf_counter()  # the previous load's stale report
+        try:
+            return self._load(attach_journal, routed)
+        except BaseException:
+            if self.last_load_report is None:
+                self.last_load_report = LoadReport(
+                    restore_seconds=time.perf_counter() - started,
+                    completed=False,
+                )
+            raise
+
+    def _load(self, attach_journal: bool, routed: bool) -> Engine:
+        """The body of :meth:`load` (which owns the failure-report
+        bookkeeping around it)."""
         phase_started = time.perf_counter()
-        graph, view_states, last_seq = self._read_snapshot()
+        graph, view_states, last_seq, shard_map = self._read_snapshot()
+        if shard_map is not None:
+            self._adopt_shard_map(shard_map)
         engine = Engine(graph)
         cursors: dict[str, int] = {}
         for name, state, cursor in view_states:
@@ -673,6 +813,7 @@ class SnapshotStore:
             replay_seconds=time.perf_counter() - phase_started,
             entries_replayed=entries_replayed,
             entries_delivered=entries_delivered,
+            completed=True,
         )
         self._cursors = cursors
         self._last_saved_seq = last_seq
@@ -681,15 +822,37 @@ class SnapshotStore:
         self._note_capture(engine)
         return engine
 
+    def _adopt_shard_map(self, shard_map: ShardMap) -> None:
+        """Adopt the snapshot's sharding stamp: bind a map-less
+        segmented log to it (or validate an existing one) so the
+        recovered engine can resume journaling per shard.  A store
+        whose log is monolithic keeps journaling monolithically — a
+        sharded graph over a monolithic log is a legal (just
+        unsegmented) deployment."""
+        if isinstance(self.log, SegmentedDeltaLog):
+            self.log.bind_map(shard_map)
+            self.shard_map = self.log.shard_map
+        else:
+            self.shard_map = shard_map
+
     def _read_snapshot(
         self,
-    ) -> tuple[DiGraph, list[tuple[str, ViewSnapshot, Optional[int]]], int]:
+    ) -> tuple[
+        DiGraph,
+        list[tuple[str, ViewSnapshot, Optional[int]]],
+        int,
+        Optional[ShardMap],
+    ]:
+        """Parse the snapshot file into ``(graph, view_states,
+        last_seq, shard_map)`` — ``shard_map`` is ``None`` for
+        unsharded (v1/v2, or v3 without a stamp) files."""
         source = str(self.snapshot_path)
         if not self.snapshot_path.exists():
             raise FileNotFoundError(
                 f"no snapshot at {source}; call SnapshotStore.save first"
             )
         graph = DiGraph()
+        shard_map: Optional[ShardMap] = None
         view_states: list[tuple[str, ViewSnapshot, Optional[int]]] = []
         last_seq = 0
         version = FORMAT_VERSION
@@ -755,6 +918,19 @@ class SnapshotStore:
                     if keyword == "meta":
                         if len(operands) == 2 and operands[0] == "last-seq":
                             last_seq = int(operands[1])
+                        elif operands and operands[0] == "sharding":
+                            if section is not None or view_states:
+                                raise PersistFormatError(
+                                    source,
+                                    line_number,
+                                    "%meta sharding must precede every "
+                                    "section (the graph is built into the "
+                                    "declared layout from the first record)",
+                                )
+                            shard_map = parse_sharding_meta(
+                                operands, version, source, line_number
+                            )
+                            graph = ShardedGraphStore(shard_map=shard_map)
                         continue  # unknown meta keys are ignored, not fatal
                     if keyword == "section":
                         close_view_section()
@@ -822,7 +998,7 @@ class SnapshotStore:
                 "truncated snapshot (no %end); the file was not written by an "
                 "atomic save",
             )
-        return graph, view_states, last_seq
+        return graph, view_states, last_seq, shard_map
 
 
 def _apply_graphdiff_record(graph: DiGraph, fields: list) -> None:

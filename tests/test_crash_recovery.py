@@ -14,14 +14,23 @@ byte.
 """
 
 import os
+import shutil
 
 import pytest
 
 from crashsim import FaultyStore
-from repro import Delta, DiGraph, Engine, delete, insert
+from repro import (
+    Delta,
+    DiGraph,
+    Engine,
+    ShardedGraphStore,
+    ShardMap,
+    delete,
+    insert,
+)
 from repro.iso import ISOIndex, Pattern
 from repro.kws import KWSIndex, KWSQuery
-from repro.persist import DeltaLog, SnapshotStore
+from repro.persist import DeltaLog, SegmentedDeltaLog, SnapshotStore
 from repro.rpq import RPQIndex
 from repro.scc import SCCIndex
 
@@ -39,6 +48,19 @@ SAVE_STRIDE = 1 if EXHAUSTIVE else 23
 KWS_QUERY = KWSQuery(("a", "b"), bound=2)
 RPQ_QUERY = "a . (b + c)* . c"
 ISO_PATTERN = Pattern.from_edges({0: "a", 1: "b"}, [(0, 1)])
+SHARD_MAP = ShardMap(3)
+
+
+def clear_dir(root) -> None:
+    """Reset a torture root between kill points (segment directories
+    nest one level, so a flat unlink loop is not enough)."""
+    if root.exists():
+        for child in root.iterdir():
+            if child.is_dir():
+                shutil.rmtree(child)
+            else:
+                child.unlink()
+    root.mkdir(exist_ok=True)
 
 
 def sample_graph() -> DiGraph:
@@ -213,9 +235,7 @@ class SaveTorture:
         state = {}
 
         def setup():
-            if root.exists():
-                for child in root.iterdir():
-                    child.unlink()
+            clear_dir(root)
             state["engine"], state["store"] = self.build(root)
 
         def operation():
@@ -305,6 +325,196 @@ class TestTornAppendInSession:
                 assert_recovered_equals(revived, with_batch)
             else:
                 assert_recovered_equals(revived, four_view_engine(sample_graph()))
+
+        harness = FaultyStore(root, setup, operation, recover, stride=STRIDE)
+        assert harness.torture() > 3
+
+
+# ----------------------------------------------------------------------
+# SegmentedDeltaLog — cross-segment commit atomicity under crashes
+# ----------------------------------------------------------------------
+
+
+def sharded_sample_graph() -> ShardedGraphStore:
+    return ShardedGraphStore.from_digraph(sample_graph(), SHARD_MAP)
+
+
+def open_segmented(root) -> SegmentedDeltaLog:
+    """A serial-executor segmented log (kill points must be
+    deterministic, and the crash shims live in this process)."""
+    return SegmentedDeltaLog(root / "segments", SHARD_MAP, executor="serial")
+
+
+class TestTornSegmentedAppend:
+    def test_append_recovers_at_every_kill_point(self, tmp_path):
+        """A killed multi-segment append must recover to the old
+        committed entries — or, when every participant's sub-entry
+        landed intact, the old entries plus the new one (the same redo
+        caveat as the monolithic log) — never a partially merged batch."""
+        root = tmp_path / "log"
+        pre = [
+            Delta([insert(1, 2, "a", "b"), insert(6, 7, "d", "d")]),
+            Delta([insert(4, 5, "a", "b")]),
+        ]
+        # spans several shards, so the kill space covers inter-segment gaps
+        new_batch = Delta(
+            [insert(10, 11, "c", "d"), insert(11, 12, "d", "a"), delete(1, 2)]
+        )
+        participants = len(
+            {SHARD_MAP.shard_of(update.source) for update in new_batch}
+        )
+        assert participants >= 2  # the scenario must actually span segments
+
+        def setup():
+            clear_dir(root)
+            log = open_segmented(root)
+            for batch in pre:
+                log.append(batch)
+
+        def operation():
+            open_segmented(root).append(new_batch)
+
+        def recover(completed):
+            log = open_segmented(root)
+            entries = log.entries()
+            seqs = [entry.seq for entry in entries]
+            assert seqs in ([1, 2], [1, 2, 3])
+            if completed:
+                assert seqs == [1, 2, 3]
+            if seqs == [1, 2, 3]:
+                # all-or-nothing: the merged batch is complete, never a
+                # subset of its updates
+                assert {u.edge for u in entries[-1].delta} == {
+                    u.edge for u in new_batch
+                }
+            assert {u.edge for u in entries[0].delta} == {
+                u.edge for u in pre[0]
+            }
+            # appendable, without reusing any mentioned seq
+            next_seq = log.append(Delta([insert(9, 9)]))
+            assert next_seq > max(seqs) and next_seq >= 3
+            tail = open_segmented(root).entries()
+            assert tail[-1].delta.updates == [insert(9, 9)]
+
+        harness = FaultyStore(root, setup, operation, recover, stride=STRIDE)
+        assert harness.torture() > 4
+
+
+class TestTornSegmentedCompact:
+    def test_compact_recovers_at_every_kill_point(self, tmp_path):
+        """Compaction rewrites one segment at a time (temp-and-rename
+        each); a kill between segments leaves a mix of compacted and
+        uncompacted files — which must still read consistently above
+        the floor, keep every covered seq spoken for, and stay
+        appendable."""
+        root = tmp_path / "log"
+        batches = [
+            Delta([insert(k, k + 1, "a", "b"), insert(k + 10, k, "c", "d")])
+            for k in range(4)
+        ]
+
+        def setup():
+            clear_dir(root)
+            log = open_segmented(root)
+            for batch in batches:
+                log.append(batch)
+
+        def operation():
+            open_segmented(root).compact(
+                after=2, graph_nodes=set(range(40))
+            )
+
+        def recover(completed):
+            log = open_segmented(root)
+            tail = log.entries(after=2)
+            assert [entry.seq for entry in tail] == [3, 4]
+            for entry, batch in zip(tail, batches[2:]):
+                assert {u.edge for u in entry.delta} == {u.edge for u in batch}
+            assert log.last_seq() == 4
+            if completed:
+                # every segment carries the floor: nothing below it is
+                # merged back
+                assert [entry.seq for entry in log.entries()] == [3, 4]
+            assert open_segmented(root).append(Delta([insert(9, 9)])) == 5
+
+        harness = FaultyStore(root, setup, operation, recover, stride=STRIDE)
+        assert harness.torture() > 3
+
+
+class TestTornShardedSave(SaveTorture):
+    """The full save path of a sharded session: v3 header + ``%meta
+    sharding`` stamp + segmented journal, recovered by a fresh store
+    that discovers the layout from disk."""
+
+    def build(self, root):
+        engine = four_view_engine(sharded_sample_graph())
+        store = SnapshotStore(root, shard_map=SHARD_MAP)
+        store.log.executor = "serial"
+        store.attach(engine)
+        store.save(engine)
+        for batch in self.TAIL:
+            engine.apply(batch)
+        return engine, store
+
+    def tortured_save(self, engine, store):
+        store.save(engine)
+
+    def test_sharded_save(self, tmp_path):
+        self.run(tmp_path)
+
+
+class TestTornShardedIncrementalSave(TestTornShardedSave):
+    """Sharded + incremental: carried sections and %graphdiff chunks on
+    top of the segmented journal."""
+
+    def build(self, root):
+        engine, store = super().build(root)
+        store.save(engine, incremental=True)
+        engine.apply(Delta([insert(7, 2, "d", "b")]))
+        return engine, store
+
+    def tortured_save(self, engine, store):
+        store.save(engine, incremental=True)
+
+    def test_sharded_incremental_save(self, tmp_path):
+        self.run(tmp_path)
+
+
+class TestTornSegmentedAppendInSession:
+    """A crash inside the segmented journal append of ``engine.apply``:
+    the batch was never acknowledged, so recovery must equal the session
+    without it — or with it entirely, when every sub-entry landed intact
+    (redo semantics); never a partially applied batch."""
+
+    def test_session_append_crash(self, tmp_path):
+        root = tmp_path / "store"
+        batch = Delta(
+            [delete(6, 7), insert(7, 1, "d", "a"), insert(1, 6, "a", "d")]
+        )
+        state = {}
+
+        def setup():
+            clear_dir(root)
+            engine = four_view_engine(sharded_sample_graph())
+            store = SnapshotStore(root, shard_map=SHARD_MAP)
+            store.log.executor = "serial"
+            store.attach(engine)
+            store.save(engine)
+            state["engine"], state["store"] = engine, store
+
+        def operation():
+            state["engine"].apply(batch)
+
+        def recover(completed):
+            revived = SnapshotStore(root).load(attach_journal=False)
+            with_batch = four_view_engine(sharded_sample_graph())
+            with_batch.apply(batch)
+            if completed or revived.graph == with_batch.graph:
+                assert_recovered_equals(revived, with_batch)
+            else:
+                assert_recovered_equals(
+                    revived, four_view_engine(sharded_sample_graph())
+                )
 
         harness = FaultyStore(root, setup, operation, recover, stride=STRIDE)
         assert harness.torture() > 3

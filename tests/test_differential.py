@@ -12,6 +12,11 @@ Tier-1 runs a reduced stream count; the nightly CI job sets
 ``REPRO_DIFFERENTIAL_STREAMS=200`` (the acceptance bar) for the full
 sweep.  Every stream is an independent seed, so a failure reproduces
 with ``-k "stream-<seed>"``.
+
+Every stream runs under **both storage layouts**: a plain ``DiGraph``
+with a monolithic delta log, and a ``ShardedGraphStore`` with a
+segmented per-shard log (snapshot format v3) — so the sharded path is
+held to the same oracle as the monolithic one, recovery included.
 """
 
 import os
@@ -19,7 +24,15 @@ import random
 
 import pytest
 
-from repro import Delta, DiGraph, Engine, delete, insert
+from repro import (
+    Delta,
+    DiGraph,
+    Engine,
+    ShardedGraphStore,
+    ShardMap,
+    delete,
+    insert,
+)
 from repro.iso import ISOIndex, Pattern, vf2_matches
 from repro.kws import KWSIndex, KWSQuery, batch_kws
 from repro.persist import SnapshotStore
@@ -29,6 +42,11 @@ from repro.scc import SCCIndex, tarjan_scc
 STREAMS = int(os.environ.get("REPRO_DIFFERENTIAL_STREAMS", "12"))
 STEPS = 14
 LABELS = ["a", "b", "c", "d"]
+#: Both storage layouts run the identical stream logic: ``plain`` is
+#: one DiGraph + monolithic log, ``sharded`` is a 3-shard
+#: ShardedGraphStore + segmented per-shard log (format v3).
+LAYOUTS = ("plain", "sharded")
+SHARDS = 3
 
 KWS_QUERY = KWSQuery(("a", "b"), bound=2)
 RPQ_QUERY = "a . (b + c)* . c"
@@ -103,14 +121,20 @@ def random_batch(rng: random.Random, graph: DiGraph, next_node: list) -> Delta:
     return Delta(updates)
 
 
+@pytest.mark.parametrize("layout", LAYOUTS)
 @pytest.mark.parametrize(
     "seed", range(STREAMS), ids=[f"stream-{seed}" for seed in range(STREAMS)]
 )
-def test_differential_stream(seed, tmp_path):
+def test_differential_stream(seed, layout, tmp_path):
     rng = random.Random(0xD1FF + seed)
     graph = random_graph(rng)
+    if layout == "sharded":
+        shard_map = ShardMap(SHARDS)
+        graph = ShardedGraphStore.from_digraph(graph, shard_map)
+        store = SnapshotStore(tmp_path / "store", shard_map=shard_map)
+    else:
+        store = SnapshotStore(tmp_path / "store")
     engine = four_view_engine(graph)
-    store = SnapshotStore(tmp_path / "store")
     store.attach(engine)
     store.save(engine)
     next_node = [1000]

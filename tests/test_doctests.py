@@ -11,6 +11,7 @@ import repro.engine.relevance
 import repro.engine.scheduler
 import repro.engine.session
 import repro.engine.view
+import repro.graph.sharding
 import repro.persist.deltalog
 import repro.persist.format
 import repro.persist.snapshot
@@ -20,6 +21,7 @@ MODULES = [
     repro.engine.scheduler,
     repro.engine.session,
     repro.engine.view,
+    repro.graph.sharding,
     repro.persist.deltalog,
     repro.persist.format,
     repro.persist.snapshot,

@@ -3,6 +3,12 @@
 The examples contain their own correctness asserts (incremental answers
 vs. from-scratch recomputation), so a clean run is a real check, not just
 an import test.  Stdout is swallowed to keep test output readable.
+
+``quickstart`` (which drives a sharded four-view engine in its finale)
+is additionally run under every dispatch strategy — ``serial``,
+``threads``, and ``processes`` — via the ``REPRO_ENGINE_EXECUTOR``
+environment variable, so the executor matrix is exercised even when the
+surrounding test session pins a single strategy.
 """
 
 import contextlib
@@ -16,10 +22,10 @@ import pytest
 EXAMPLES = sorted(
     path for path in (Path(__file__).parent.parent / "examples").glob("*.py")
 )
+EXECUTORS = ("serial", "threads", "processes")
 
 
-@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
-def test_example_runs(script):
+def run_example(script) -> str:
     buffer = io.StringIO()
     argv_before = sys.argv
     sys.argv = [str(script)]
@@ -28,8 +34,21 @@ def test_example_runs(script):
             runpy.run_path(str(script), run_name="__main__")
     finally:
         sys.argv = argv_before
-    output = buffer.getvalue()
+    return buffer.getvalue()
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script):
+    output = run_example(script)
     assert output, f"{script.name} produced no output"
+
+
+@pytest.mark.parametrize("executor", EXECUTORS)
+def test_quickstart_runs_under_every_executor(executor, monkeypatch):
+    monkeypatch.setenv("REPRO_ENGINE_EXECUTOR", executor)
+    script = next(path for path in EXAMPLES if path.stem == "quickstart")
+    output = run_example(script)
+    assert f"({executor} dispatch)" in output
 
 
 def test_examples_exist():

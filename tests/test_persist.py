@@ -653,8 +653,12 @@ class TestGraphDiff:
         engine.apply(PRE_BATCHES[0])
         store.save(engine)
         engine.apply(POST_BATCHES[0])  # journaled tail past the snapshot
+        from repro.persist import FORMAT_VERSION
+
         text = store.snapshot_path.read_text(encoding="utf-8")
-        downgraded = text.replace("%repro-snapshot 2\n", "%repro-snapshot 1\n")
+        downgraded = text.replace(
+            f"%repro-snapshot {FORMAT_VERSION}\n", "%repro-snapshot 1\n"
+        )
         for name in engine.names():
             kind = {"kws": "kws", "rpq": "rpq", "scc": "scc", "iso": "iso"}[name]
             downgraded = downgraded.replace(
@@ -922,3 +926,44 @@ def test_save_load_replay_property(tmp_path_factory, case):
     recovered = store.load()
     assert_sessions_equal(recovered, engine)
     assert_views_match_recompute(recovered)
+
+
+class TestLoadReportFreshness:
+    """Regression: ``SnapshotStore.last_load_report`` used to survive a
+    *failed* ``load()`` untouched, silently reporting the previous
+    successful load's phase breakdown.  It must be reset at entry and
+    carry a ``completed`` flag."""
+
+    def test_failed_load_does_not_leave_stale_report(self, tmp_path):
+        engine = four_view_engine(sample_graph())
+        store = SnapshotStore(tmp_path / "store")
+        store.attach(engine)
+        store.save(engine)
+        engine.apply(PRE_BATCHES[0])
+        store.load(attach_journal=False)
+        good = store.last_load_report
+        assert good is not None and good.completed
+        assert good.entries_replayed == 1
+
+        # corrupt the snapshot; the next load must fail...
+        store.snapshot_path.write_text("%repro-snapshot 99\n", encoding="utf-8")
+        with pytest.raises(PersistFormatError):
+            store.load(attach_journal=False)
+        # ...and must NOT leave the previous successful report behind
+        stale = store.last_load_report
+        assert stale is not good
+        assert stale is not None and not stale.completed
+        assert stale.entries_replayed == 0 and stale.entries_delivered == 0
+
+    def test_missing_snapshot_also_resets_the_report(self, tmp_path):
+        engine = four_view_engine(sample_graph())
+        store = SnapshotStore(tmp_path / "store")
+        store.attach(engine)
+        store.save(engine)
+        store.load(attach_journal=False)
+        assert store.last_load_report.completed
+        store.snapshot_path.unlink()
+        with pytest.raises(FileNotFoundError):
+            store.load(attach_journal=False)
+        assert store.last_load_report is not None
+        assert not store.last_load_report.completed

@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Fail CI when public API lacks docstrings.
+
+Walks the packages whose docs are normative contracts —
+``repro.engine``, ``repro.persist``, ``repro.graph`` — imports every
+module, and requires a docstring on:
+
+* the module itself;
+* every public (non-underscore) class and function *defined in* that
+  module (re-exports are the defining module's responsibility);
+* every public method and property defined on those classes
+  (``__init__`` and other dunders are exempt — the class docstring
+  owns construction semantics).
+
+Exit status 0 when everything is documented; 1 otherwise, listing each
+offender as ``module.qualname``.  Run from the repository root:
+
+    PYTHONPATH=src python tools/check_docstrings.py
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+import sys
+from pathlib import Path
+
+#: Packages whose public surface the docs job gates.
+PACKAGES = ("repro.engine", "repro.persist", "repro.graph")
+
+
+def iter_modules(package_name: str):
+    """Yield the package module and every submodule under it."""
+    package = importlib.import_module(package_name)
+    yield package
+    search = getattr(package, "__path__", None)
+    if search is None:
+        return
+    for info in pkgutil.walk_packages(search, prefix=package_name + "."):
+        yield importlib.import_module(info.name)
+
+
+def has_doc(obj) -> bool:
+    doc = inspect.getdoc(obj)
+    return bool(doc and doc.strip())
+
+
+def check_class(module_name: str, cls) -> list[str]:
+    problems = []
+    if not has_doc(cls):
+        problems.append(f"{module_name}.{cls.__name__}")
+    for name, member in vars(cls).items():
+        if name.startswith("_"):
+            continue
+        if isinstance(member, property):
+            target = member.fget
+        elif isinstance(member, (staticmethod, classmethod)):
+            target = member.__func__
+        elif inspect.isfunction(member):
+            target = member
+        else:
+            continue  # class attributes / NamedTuple fields etc.
+        if target is not None and not has_doc(target):
+            problems.append(f"{module_name}.{cls.__name__}.{name}")
+    return problems
+
+
+def check_module(module) -> list[str]:
+    problems = []
+    name = module.__name__
+    if not has_doc(module):
+        problems.append(f"{name} (module)")
+    for attr, obj in vars(module).items():
+        if attr.startswith("_"):
+            continue
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            if getattr(obj, "__module__", None) != name:
+                continue  # re-export; the defining module is checked
+            if inspect.isclass(obj):
+                problems.extend(check_class(name, obj))
+            elif not has_doc(obj):
+                problems.append(f"{name}.{attr}")
+    return problems
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    sys.path.insert(0, str(root / "src"))
+    problems: list[str] = []
+    modules = 0
+    for package_name in PACKAGES:
+        for module in iter_modules(package_name):
+            modules += 1
+            problems.extend(check_module(module))
+    if problems:
+        print(f"{len(problems)} undocumented public API(s) across {modules} modules:")
+        for problem in sorted(set(problems)):
+            print(f"  {problem}")
+        return 1
+    print(f"all public API documented ({modules} modules checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

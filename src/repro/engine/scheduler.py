@@ -62,6 +62,7 @@ False
 from __future__ import annotations
 
 import os
+import threading
 import time
 from collections.abc import Mapping
 from concurrent.futures import ThreadPoolExecutor
@@ -158,7 +159,12 @@ def _resolve_executor(executor: Optional[str]) -> str:
 #: Process-wide absorb pool, created on first threaded dispatch and
 #: shared by every scheduler — engines come and go (one per recovered
 #: session, for instance) but worker threads should not accumulate.
+#: Lazy-init is double-checked under :data:`_POOL_LOCK`: first dispatch
+#: can itself arrive from many threads at once (e.g. concurrent
+#: sessions recovering in parallel), and an unguarded check-then-create
+#: would build two pools, leaking one's workers forever.
 _SHARED_POOL: Optional[ThreadPoolExecutor] = None
+_POOL_LOCK = threading.Lock()
 
 
 class FanOutScheduler:
@@ -281,9 +287,14 @@ class FanOutScheduler:
     @staticmethod
     def _thread_pool() -> ThreadPoolExecutor:
         global _SHARED_POOL
-        if _SHARED_POOL is None:
-            workers = min(32, (os.cpu_count() or 2))
-            _SHARED_POOL = ThreadPoolExecutor(
-                max_workers=workers, thread_name_prefix="repro-fanout"
-            )
-        return _SHARED_POOL
+        pool = _SHARED_POOL
+        if pool is None:
+            with _POOL_LOCK:
+                pool = _SHARED_POOL
+                if pool is None:
+                    workers = min(32, (os.cpu_count() or 2))
+                    pool = ThreadPoolExecutor(
+                        max_workers=workers, thread_name_prefix="repro-fanout"
+                    )
+                    _SHARED_POOL = pool
+        return pool

@@ -110,12 +110,9 @@ class KWSIndex:
 
     def _propagate_improvement(self, source: Node, target: Node, keyword: Label) -> None:
         """Fig. 1: BFS of strict improvements along predecessors."""
-        bound = self.query.bound
         target_dist = self._dist_or_inf(target, keyword)
-        source_dist = self._dist_or_inf(source, keyword)
-        if not target_dist < min(source_dist - 1, bound):  # line 1
+        if not self._relax(source, keyword, target_dist + 1, target):  # line 1
             return
-        self._set(source, keyword, KDistEntry(int(target_dist) + 1, target))
         queue: deque[Node] = deque([source])  # line 3
         while queue:  # lines 4-8
             node = queue.popleft()
@@ -123,9 +120,7 @@ class KWSIndex:
             node_dist = self.kdist.get(node, keyword).dist
             for predecessor in self.graph.predecessors(node):
                 self.meter.traverse_edge()
-                predecessor_dist = self._dist_or_inf(predecessor, keyword)
-                if node_dist < min(predecessor_dist - 1, bound):
-                    self._set(predecessor, keyword, KDistEntry(node_dist + 1, node))
+                if self._relax(predecessor, keyword, node_dist + 1, node):
                     queue.append(predecessor)
 
     # ------------------------------------------------------------------
@@ -203,7 +198,6 @@ class KWSIndex:
     ) -> None:
         """Phase C: Dijkstra-style settlement in ascending distance order
         (paper Fig. 3 lines 10-14; also the batch algorithm's phase (c))."""
-        bound = self.query.bound
         while queue:
             node, dist = queue.pop()
             entry = self.kdist.get(node, keyword)
@@ -212,9 +206,7 @@ class KWSIndex:
             self.meter.visit_node(node)
             for predecessor in self.graph.predecessors(node):
                 self.meter.traverse_edge()
-                predecessor_dist = self._dist_or_inf(predecessor, keyword)
-                if dist < min(predecessor_dist - 1, bound):
-                    self._set(predecessor, keyword, KDistEntry(dist + 1, node))
+                if self._relax(predecessor, keyword, dist + 1, node):
                     queue.push(predecessor, dist + 1)
 
     # ------------------------------------------------------------------
@@ -277,15 +269,12 @@ class KWSIndex:
 
             # Phase (b): insertions between non-affected endpoints seed the
             # queue instead of propagating eagerly (interleaving point).
-            bound = self.query.bound
             for update in delta.insertions:
                 source, target = update.source, update.target
                 if source in affected or target in affected:
                     continue
                 target_dist = self._dist_or_inf(target, keyword)
-                source_dist = self._dist_or_inf(source, keyword)
-                if target_dist < min(source_dist - 1, bound):
-                    self._set(source, keyword, KDistEntry(int(target_dist) + 1, target))
+                if self._relax(source, keyword, target_dist + 1, target):
                     queue.push(source, int(target_dist) + 1)
 
             # Phase (c): one settlement pass decides every exact value.
@@ -405,6 +394,35 @@ class KWSIndex:
             if self.kdist.is_root(node)
         } - added
         return KWSDelta(frozenset(added), frozenset(removed), frozenset(rerouted))
+
+    def _relax(self, node: Node, keyword: Label, dist: float, via: Node) -> bool:
+        """Offer ``node`` the candidate entry ``(dist, via)``.
+
+        A strict distance improvement is written and returns ``True``
+        (the caller must propagate/queue ``node``).  An equal-distance
+        candidate whose witness precedes the current ``next`` in
+        :func:`~repro.kws.kdist.node_order` rewrites only the witness
+        and returns ``False`` — the distance is unchanged, so nothing
+        propagates.  The tie rule makes the chosen witness independent
+        of the order in which candidates are offered: routed fan-out
+        (which may legitimately drop an insertion whose target only
+        becomes reachable later in the same batch) and broadcast then
+        settle on byte-identical kdist state instead of keeping
+        whichever equal-length path happened to be written first.
+        """
+        if dist > self.query.bound:
+            return False
+        current = self.kdist.get(node, keyword)
+        if current is None or dist < current.dist:
+            self._set(node, keyword, KDistEntry(int(dist), via))
+            return True
+        if (
+            dist == current.dist
+            and current.next is not None
+            and node_order(via) < node_order(current.next)
+        ):
+            self._set(node, keyword, KDistEntry(int(dist), via))
+        return False
 
     def _set(self, node: Node, keyword: Label, entry: KDistEntry) -> None:
         key = (node, keyword)

@@ -57,7 +57,8 @@ Example::
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional, Union
@@ -672,24 +673,34 @@ def _resolve_log_executor(executor: Optional[str]) -> str:
 
 #: Process-wide pools for parallel segment appends/compactions, created
 #: on first use and shared by every segmented log (mirrors the fan-out
-#: scheduler's shared absorb pool).
+#: scheduler's shared absorb pool).  Lazy-init is double-checked under
+#: :data:`_POOL_LOCK`: first appends can race in from many threads
+#: (every engine under ``threads`` dispatch journals through here), and
+#: an unguarded check-then-create would build duplicate pools, leaking
+#: workers and breaking the one-pool-per-process invariant.
 _SEGMENT_THREAD_POOL: Optional[ThreadPoolExecutor] = None
 _SEGMENT_PROCESS_POOL: Optional[ProcessPoolExecutor] = None
 #: Set when the process pool provably cannot start in this interpreter
 #: (see :func:`_segment_process_pool`); appends then degrade to the
 #: thread tier instead of failing every batch.
 _PROCESS_POOL_UNAVAILABLE = False
+_POOL_LOCK = threading.Lock()
 
 
 def _segment_thread_pool() -> ThreadPoolExecutor:
     """The shared thread pool for parallel per-segment file writes."""
     global _SEGMENT_THREAD_POOL
-    if _SEGMENT_THREAD_POOL is None:
-        _SEGMENT_THREAD_POOL = ThreadPoolExecutor(
-            max_workers=min(16, (os.cpu_count() or 2)),
-            thread_name_prefix="repro-segment",
-        )
-    return _SEGMENT_THREAD_POOL
+    pool = _SEGMENT_THREAD_POOL
+    if pool is None:
+        with _POOL_LOCK:
+            pool = _SEGMENT_THREAD_POOL
+            if pool is None:
+                pool = ThreadPoolExecutor(
+                    max_workers=min(16, (os.cpu_count() or 2)),
+                    thread_name_prefix="repro-segment",
+                )
+                _SEGMENT_THREAD_POOL = pool
+    return pool
 
 
 def _probe_worker() -> bool:
@@ -704,16 +715,15 @@ def _drain_futures(futures) -> None:
     caller while sibling tasks are still writing their segment files —
     and the caller's next append to one of those segments would race a
     stale in-flight write on the same file.  Draining first keeps the
-    one-writer-per-segment invariant even on error paths.
+    one-writer-per-segment invariant even on error paths.  The barrier
+    is :func:`concurrent.futures.wait` (no exception swallowed, none
+    re-raised early); only then does ``result()`` surface the first
+    failure in submission order.
     """
-    errors = []
+    futures = list(futures)
+    wait(futures)
     for future in futures:
-        try:
-            future.result()
-        except Exception as exc:
-            errors.append(exc)
-    if errors:
-        raise errors[0]
+        future.result()
 
 
 def _segment_process_pool() -> Optional[ProcessPoolExecutor]:
@@ -730,25 +740,35 @@ def _segment_process_pool() -> Optional[ProcessPoolExecutor]:
     marked unavailable once and appends silently degrade to the thread
     tier (correct, just not process-parallel) instead of poisoning
     every batch with ``BrokenProcessPool``.
+
+    Probe failures that mean "this interpreter cannot host workers"
+    are ``OSError`` (spawn/pipe failures) and ``RuntimeError``
+    (``BrokenProcessPool`` and the spawn re-import guard); anything
+    else propagates — an unexpected probe crash must not be silently
+    reclassified as "degrade to threads".  The whole
+    probe-and-publish runs under :data:`_POOL_LOCK` so exactly one
+    thread probes and every other thread observes either the
+    published pool or the unavailable verdict.
     """
     global _SEGMENT_PROCESS_POOL, _PROCESS_POOL_UNAVAILABLE
-    if _PROCESS_POOL_UNAVAILABLE:
-        return None
-    if _SEGMENT_PROCESS_POOL is None:
-        import multiprocessing
-
-        pool = ProcessPoolExecutor(
-            max_workers=min(8, (os.cpu_count() or 2)),
-            mp_context=multiprocessing.get_context("spawn"),
-        )
-        try:
-            pool.submit(_probe_worker).result()
-        except Exception:
-            _PROCESS_POOL_UNAVAILABLE = True
-            pool.shutdown(wait=False, cancel_futures=True)
+    with _POOL_LOCK:
+        if _PROCESS_POOL_UNAVAILABLE:
             return None
-        _SEGMENT_PROCESS_POOL = pool
-    return _SEGMENT_PROCESS_POOL
+        if _SEGMENT_PROCESS_POOL is None:
+            import multiprocessing
+
+            pool = ProcessPoolExecutor(
+                max_workers=min(8, (os.cpu_count() or 2)),
+                mp_context=multiprocessing.get_context("spawn"),
+            )
+            try:
+                pool.submit(_probe_worker).result()
+            except (OSError, RuntimeError):
+                _PROCESS_POOL_UNAVAILABLE = True
+                pool.shutdown(wait=False, cancel_futures=True)
+                return None
+            _SEGMENT_PROCESS_POOL = pool
+        return _SEGMENT_PROCESS_POOL
 
 
 #: Worker-process cache of per-segment :class:`DeltaLog` objects.  A

@@ -17,7 +17,7 @@ import random
 
 from repro.graph.digraph import DiGraph, Label
 from repro.graph.stats import label_histogram
-from repro.iso.patterns import Pattern
+from repro.iso.patterns import Pattern, PatternError
 from repro.kws.kdist import KWSQuery
 from repro.rpq.regex import Concat, Epsilon, Regex, Star, Sym, Union
 
@@ -184,8 +184,8 @@ def random_patterns(
             continue
         try:
             pattern = Pattern.from_graph(candidate)
-        except Exception:
-            continue
+        except PatternError:
+            continue  # rejected sample (e.g. disconnected after adjust)
         if pattern.diameter == diameter:
             patterns.append(pattern)
     if len(patterns) < count:

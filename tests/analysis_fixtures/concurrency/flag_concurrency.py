@@ -1,0 +1,18 @@
+"""Fixture: unsynchronized writes to module globals."""
+
+_POOL = None
+_FLAG = False
+
+
+def lazy_pool(factory):
+    """The classic check-then-create race."""
+    global _POOL
+    if _POOL is None:
+        _POOL = factory()
+    return _POOL
+
+
+def set_flag():
+    """A bare global flag write reachable from threads."""
+    global _FLAG
+    _FLAG = True

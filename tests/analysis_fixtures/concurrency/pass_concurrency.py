@@ -1,0 +1,27 @@
+"""Fixture: lock-guarded double-checked init plus a registered
+single-init global."""
+
+import threading
+
+_POOL = None
+_POOL_LOCK = threading.Lock()
+_REGISTRY = None  # repro-lint: single-init
+
+
+def lazy_pool(factory):
+    """Double-checked creation under the module lock."""
+    global _POOL
+    pool = _POOL
+    if pool is None:
+        with _POOL_LOCK:
+            pool = _POOL
+            if pool is None:
+                pool = factory()
+                _POOL = pool
+    return pool
+
+
+def install_registry(registry):
+    """Writes a global registered as single-init (set before threads)."""
+    global _REGISTRY
+    _REGISTRY = registry

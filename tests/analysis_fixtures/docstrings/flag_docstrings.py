@@ -1,0 +1,10 @@
+CONSTANT = 1
+
+
+def public_function():
+    return CONSTANT
+
+
+class PublicClass:
+    def method(self):
+        return None

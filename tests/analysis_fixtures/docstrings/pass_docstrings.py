@@ -1,0 +1,19 @@
+"""Fixture: fully documented public API."""
+
+
+def public_function():
+    """Do the thing."""
+
+
+def _private_helper():
+    return None
+
+
+class PublicClass:
+    """Documented."""
+
+    def method(self):
+        """Documented too."""
+
+    def _private(self):
+        return None

@@ -1,0 +1,24 @@
+"""Fixture: every write below violates the durability discipline."""
+
+import os
+from pathlib import Path
+
+
+def naked_write(path):
+    """Write-mode open with no os.fsync in the function."""
+    with open(path, "w", encoding="utf-8") as stream:
+        stream.write("data")
+
+
+def rename_without_dir_fsync(path, temp):
+    """Content is fsynced but the rename's directory entry is not."""
+    with open(temp, "w", encoding="utf-8") as stream:
+        stream.write("data")
+        stream.flush()
+        os.fsync(stream.fileno())
+    os.replace(temp, path)
+
+
+def convenience_write(path):
+    """Path.write_text truncates in place and never fsyncs."""
+    Path(path).write_text("data", encoding="utf-8")

@@ -1,0 +1,28 @@
+"""Fixture: the sanctioned temp-and-rename + fsync discipline."""
+
+import os
+
+
+def fsync_directory(directory):
+    """Flush a directory's entry table (no write-mode open here)."""
+    handle = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(handle)
+    finally:
+        os.close(handle)
+
+
+def durable_write(path, temp):
+    """Temp file, fsync content, atomic rename, fsync directory."""
+    with open(temp, "w", encoding="utf-8") as stream:
+        stream.write("data")
+        stream.flush()
+        os.fsync(stream.fileno())
+    os.replace(temp, path)
+    fsync_directory(path.parent)
+
+
+def read_only(path):
+    """Read-mode opens are not writes."""
+    with open(path, "r", encoding="utf-8") as stream:
+        return stream.read()

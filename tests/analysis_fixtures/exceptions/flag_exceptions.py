@@ -1,0 +1,17 @@
+"""Fixture: swallowed broad handlers."""
+
+
+def swallow(task):
+    """Broad catch, no re-raise."""
+    try:
+        task()
+    except Exception:
+        return None
+
+
+def bare(task):
+    """Bare except, the worst of all."""
+    try:
+        task()
+    except:
+        pass

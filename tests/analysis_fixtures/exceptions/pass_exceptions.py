@@ -1,0 +1,21 @@
+"""Fixture: narrow handlers and structured re-raise."""
+
+
+class TaskError(RuntimeError):
+    """Wrapper carrying the original failure as context."""
+
+
+def narrow(task):
+    """Named exception types are always fine."""
+    try:
+        task()
+    except (ValueError, OSError):
+        return None
+
+
+def wrap(task):
+    """Broad catch is sanctioned when the handler re-raises."""
+    try:
+        task()
+    except Exception as exc:
+        raise TaskError("task failed") from exc

@@ -1,0 +1,18 @@
+"""Fixture: drifts from the catalogue in both directions.
+
+Uses an undocumented ``%bogus-header`` (via a module constant resolved
+through ``render_directive``) and never touches the documented
+``%commit``.
+"""
+
+MAGIC = "bogus-header"
+
+
+def scan(lines):
+    """Only %batch is used from the catalogue."""
+    return [line for line in lines if line.startswith("%batch")]
+
+
+def render_header(render_directive):
+    """Emits a directive the catalogue does not list."""
+    return render_directive(MAGIC, 1)

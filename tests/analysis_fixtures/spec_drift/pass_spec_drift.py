@@ -1,0 +1,8 @@
+"""Fixture: directive uses and the catalogue agree exactly."""
+
+
+def scan(lines):
+    """Both catalogued directives appear; no extras."""
+    framed = [line for line in lines if line.startswith("%batch")]
+    closed = [line for line in lines if line.startswith("%commit")]
+    return framed, closed

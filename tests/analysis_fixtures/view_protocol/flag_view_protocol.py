@@ -1,0 +1,19 @@
+"""Fixture: a view candidate missing half the protocol."""
+
+
+class BrokenView:
+    """Defines absorb+snapshot (so it *is* a view candidate), forgets
+    five protocol methods, breaks absorb's arity, and restores via an
+    instance method."""
+
+    def absorb(self, delta):
+        """Wrong arity: the engine calls absorb(delta, new_nodes)."""
+        return delta
+
+    def snapshot(self):
+        """Fine."""
+        return ()
+
+    def restore(self, graph, state, meter=None):
+        """Not a classmethod: persistence has no instance to call on."""
+        return self

@@ -1,0 +1,46 @@
+"""Fixture: the complete IncrementalView method table."""
+
+
+class CompleteView:
+    """A minimal conforming view."""
+
+    def insert_edge(self, source, target, **labels):
+        """Unit insert."""
+        return None
+
+    def delete_edge(self, source, target):
+        """Unit delete."""
+        return None
+
+    def apply(self, delta):
+        """Batch path."""
+        return None
+
+    def absorb(self, delta, new_nodes):
+        """Fan-out path."""
+        return None
+
+    def snapshot(self):
+        """Serialize."""
+        return ()
+
+    @classmethod
+    def restore(cls, graph, state, meter=None):
+        """Rebuild."""
+        return cls()
+
+    def relevance(self):
+        """Routing filter."""
+        return None
+
+    def empty_output(self):
+        """Empty ΔO."""
+        return None
+
+
+class NotAView:
+    """Only snapshot — not a candidate, so nothing is required."""
+
+    def snapshot(self):
+        """Some unrelated snapshot."""
+        return ()

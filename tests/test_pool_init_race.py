@@ -1,0 +1,106 @@
+"""Regression: shared-pool lazy init is race-free.
+
+The process-wide absorb pool (``repro.engine.scheduler._SHARED_POOL``)
+and the segmented log's append pool
+(``repro.persist.deltalog._SEGMENT_THREAD_POOL``) are created on first
+threaded use.  Before the double-checked locks (repro-lint's
+``concurrency`` rule, first real catch), N threads racing the first
+dispatch could each observe ``None`` and build their own pool — all
+but one leaking worker threads forever and breaking the documented
+one-pool-per-process sharing.  These tests hammer exactly that first
+touch from many threads and require a single pool instance.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import repro.engine.scheduler as scheduler_module
+import repro.persist.deltalog as deltalog_module
+from repro import DiGraph, Engine, insert
+from repro.scc import SCCIndex
+
+THREADS = 32
+
+
+def _race(getter, count=THREADS):
+    """Call ``getter`` from ``count`` threads released by one barrier."""
+    barrier = threading.Barrier(count)
+    results = []
+    errors = []
+    guard = threading.Lock()
+
+    def worker():
+        try:
+            barrier.wait()
+            value = getter()
+            with guard:
+                results.append(value)
+        except Exception as exc:  # pragma: no cover - failure reporting
+            with guard:
+                errors.append(exc)
+
+    threads = [threading.Thread(target=worker) for _ in range(count)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors, errors
+    return results
+
+
+def test_fanout_shared_pool_initializes_once(monkeypatch):
+    monkeypatch.setattr(scheduler_module, "_SHARED_POOL", None)
+    results = _race(scheduler_module.FanOutScheduler._thread_pool)
+    assert len(results) == THREADS
+    assert len({id(pool) for pool in results}) == 1
+    created = scheduler_module._SHARED_POOL
+    assert created is results[0]
+    created.shutdown(wait=True)
+
+
+def test_segment_thread_pool_initializes_once(monkeypatch):
+    monkeypatch.setattr(deltalog_module, "_SEGMENT_THREAD_POOL", None)
+    results = _race(deltalog_module._segment_thread_pool)
+    assert len({id(pool) for pool in results}) == 1
+    created = deltalog_module._SEGMENT_THREAD_POOL
+    assert created is results[0]
+    created.shutdown(wait=True)
+
+
+def test_first_threaded_dispatch_from_many_engines(monkeypatch):
+    """End to end: many engines' *first* threaded fan-out races cleanly."""
+    monkeypatch.setattr(scheduler_module, "_SHARED_POOL", None)
+    count = 8
+    engines = []
+    for _ in range(count):
+        graph = DiGraph(labels={1: "a", 2: "b", 3: "c"}, edges=[(1, 2)])
+        engine = Engine(graph, executor="threads")
+        engine.register("left", lambda g, m: SCCIndex(g, meter=m))
+        engine.register("right", lambda g, m: SCCIndex(g, meter=m))
+        engines.append(engine)
+    barrier = threading.Barrier(count)
+    errors = []
+    guard = threading.Lock()
+
+    def worker(engine):
+        try:
+            barrier.wait()
+            engine.apply([insert(2, 3)])
+        except Exception as exc:  # pragma: no cover - failure reporting
+            with guard:
+                errors.append(exc)
+
+    threads = [
+        threading.Thread(target=worker, args=(engine,)) for engine in engines
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors, errors
+    for engine in engines:
+        assert engine["left"].components() == engine["right"].components()
+    created = scheduler_module._SHARED_POOL
+    assert created is not None  # two live views -> pooled dispatch ran
+    created.shutdown(wait=True)

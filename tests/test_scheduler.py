@@ -17,7 +17,7 @@ from repro.engine import (
     SubscribeAll,
 )
 from repro.iso import ISOIndex, Pattern
-from repro.kws import KWSIndex, KWSQuery
+from repro.kws import KDistEntry, KWSIndex, KWSQuery
 from repro.persist.format import render_record
 from repro.rpq import RPQIndex
 from repro.scc import SCCIndex
@@ -119,6 +119,26 @@ class TestRouting:
         twin = four_view_engine(sample_graph(), routing=False)
         twin.apply(Delta([insert(6, 8, target_label="a")]))
         assert_same_snapshots(engine, twin)
+
+    def test_routed_witness_ties_match_broadcast(self):
+        """Regression (found by the equivalence property): an insertion
+        whose target only gains its kdist entry later in the same batch
+        is legitimately dropped by the relevance filter — KWS still sees
+        the edge through the shared graph during settlement.  But when
+        two equal-length witnesses exist (4→5→0 and 4→1→0), routed and
+        broadcast used to keep whichever was *written first*, so their
+        kdist snapshots diverged on the next pointer.  Witness ties must
+        resolve canonically by node_order in both."""
+        graph = DiGraph(labels={0: "a", 1: "c", 4: "c", 5: "c"}, edges=[(4, 1)])
+        batch = Delta([insert(5, 0), insert(4, 5), insert(1, 0)])
+        routed = Engine(graph.copy())
+        broadcast = Engine(graph.copy(), routing=False)
+        for engine in (routed, broadcast):
+            engine.register("kws", lambda g, m: KWSIndex(g, KWS_QUERY, meter=m))
+            engine.apply(batch)
+        assert routed["kws"].snapshot() == broadcast["kws"].snapshot()
+        # both settle on the canonical witness: node_order(1) < node_order(5)
+        assert routed["kws"].kdist.get(4, "a") == KDistEntry(2, 1)
 
 
 class TestCostAccounting:

@@ -1,0 +1,9 @@
+"""Repository tooling: CI gates and the ``repro-lint`` analysis suite.
+
+Nothing in here ships with the ``repro`` package — these are the
+scripts CI (and developers) run *against* the source tree:
+
+* ``tools/analysis`` — the ``repro-lint`` static-analysis suite
+  (``python -m tools.analysis src``); see ``docs/ANALYSIS.md``;
+* ``tools/check_links.py`` — markdown link resolution gate.
+"""

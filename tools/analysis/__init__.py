@@ -1,0 +1,32 @@
+"""``repro-lint`` — the project-invariant static-analysis suite.
+
+The system's hardest-won guarantees are *discipline*, not just code:
+every persistence write must be temp-and-rename + fsync durable, every
+``%directive`` on disk must match the normative catalogue in
+``docs/FORMATS.md``, process-wide mutable state must be lock-guarded,
+every registered view must implement the full
+:class:`~repro.engine.view.IncrementalView` protocol, and hot-path
+exception handling must never swallow errors.  Review and runtime
+torture suites catch violations late; this package catches them at
+lint time, from the AST, with zero third-party dependencies.
+
+Entry point::
+
+    python -m tools.analysis src
+
+Architecture (all stdlib, ``ast``-based):
+
+* :mod:`tools.analysis.core` — the checker framework: file walker,
+  :class:`~tools.analysis.core.Finding` model (``path:line: [rule]
+  message``), per-line ``# repro-lint: ignore[rule]`` suppressions,
+  and the committed-baseline workflow;
+* :mod:`tools.analysis.checkers` — one module per rule; the registry
+  lives in :data:`tools.analysis.checkers.ALL_CHECKERS`.
+
+The rules, their rationale, and the suppression/baseline workflow are
+documented in ``docs/ANALYSIS.md``.
+"""
+
+from tools.analysis.core import Checker, Finding, Project, run_checkers
+
+__all__ = ["Checker", "Finding", "Project", "run_checkers"]

@@ -1,0 +1,134 @@
+"""CLI for the ``repro-lint`` suite: ``python -m tools.analysis``.
+
+Usage (from the repository root)::
+
+    python -m tools.analysis src                  # the CI gate
+    python -m tools.analysis src --rules durability,spec-drift
+    python -m tools.analysis src --update-baseline
+    python -m tools.analysis --list-rules
+
+Exit status: 0 when no non-baselined findings, 1 when findings remain,
+2 on usage errors.  See ``docs/ANALYSIS.md`` for the rule catalogue
+and the suppression/baseline workflow.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional
+
+from tools.analysis.checkers import ALL_CHECKERS, checkers_by_name
+from tools.analysis.core import (
+    Project,
+    load_baseline,
+    render_baseline,
+    run_checkers,
+)
+
+#: Default committed baseline, relative to ``--root``.
+DEFAULT_BASELINE = "tools/analysis/baseline.txt"
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.analysis",
+        description="repro-lint: project-invariant static analysis",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="repository root findings are reported relative to "
+        "(default: current directory)",
+    )
+    parser.add_argument(
+        "--rules",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help=f"baseline file relative to --root (default: "
+        f"{DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline: report every finding",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="accept current findings into the baseline file and exit 0",
+    )
+    return parser
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """Run the suite; returns the process exit status."""
+    args = _parser().parse_args(argv)
+    if args.list_rules:
+        for checker in ALL_CHECKERS:
+            print(f"{checker.name:<14} {checker.description}")
+        return 0
+    try:
+        checkers = checkers_by_name(
+            [rule.strip() for rule in args.rules.split(",")]
+            if args.rules
+            else None
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    root = Path(args.root).resolve()
+    try:
+        project = Project(root, [Path(path) for path in args.paths])
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    findings = run_checkers(project, checkers)
+
+    baseline_path = root / args.baseline
+    if args.update_baseline:
+        baseline_path.parent.mkdir(parents=True, exist_ok=True)
+        baseline_path.write_text(render_baseline(findings), encoding="utf-8")
+        print(
+            f"baseline updated: {len(findings)} finding(s) accepted into "
+            f"{baseline_path}"
+        )
+        return 0
+
+    accepted = (
+        frozenset() if args.no_baseline else load_baseline(baseline_path)
+    )
+    fresh = [
+        finding
+        for finding in findings
+        if finding.baseline_key() not in accepted
+    ]
+    for finding in fresh:
+        print(finding.render())
+    baselined = len(findings) - len(fresh)
+    summary = (
+        f"repro-lint: {len(fresh)} finding(s) "
+        f"({baselined} baselined) across {len(project.files)} file(s), "
+        f"{len(checkers)} rule(s)"
+    )
+    print(summary)
+    return 1 if fresh else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,72 @@
+"""Small AST helpers shared by the rule modules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+__all__ = [
+    "call_name",
+    "iter_with_ancestors",
+    "mentions_lock",
+    "str_const",
+]
+
+
+def iter_with_ancestors(
+    tree: ast.AST,
+) -> Iterator[tuple[ast.AST, tuple[ast.AST, ...]]]:
+    """Depth-first ``(node, ancestors)`` pairs; ancestors outermost-first."""
+    stack: list[tuple[ast.AST, tuple[ast.AST, ...]]] = [(tree, ())]
+    while stack:
+        node, ancestors = stack.pop()
+        yield node, ancestors
+        child_ancestors = ancestors + (node,)
+        for child in reversed(list(ast.iter_child_nodes(node))):
+            stack.append((child, child_ancestors))
+
+
+def call_name(node: ast.Call) -> str:
+    """The dotted name a call is made through (``os.replace``,
+    ``open``, ``stream.write`` …); empty for computed callees."""
+    parts: list[str] = []
+    target: ast.expr = node.func
+    while isinstance(target, ast.Attribute):
+        parts.append(target.attr)
+        target = target.value
+    if isinstance(target, ast.Name):
+        parts.append(target.id)
+        return ".".join(reversed(parts))
+    if parts:
+        # computed base (``x[0].replace``): keep the attribute chain so
+        # callers can still match on the method name.
+        return ".".join(reversed(parts))
+    return ""
+
+
+def str_const(node: ast.AST) -> Optional[str]:
+    """The value of a string-constant node, else ``None``."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def mentions_lock(node: ast.AST) -> bool:
+    """Does any identifier inside ``node`` look like a lock/mutex?
+
+    Matches names and attributes whose identifier contains ``lock`` or
+    ``mutex`` (case-insensitive) — ``_POOL_LOCK``, ``self._lock``,
+    ``registry.mutex`` — the naming convention the concurrency rule
+    standardizes on.
+    """
+    for sub in ast.walk(node):
+        identifier = None
+        if isinstance(sub, ast.Name):
+            identifier = sub.id
+        elif isinstance(sub, ast.Attribute):
+            identifier = sub.attr
+        if identifier is not None:
+            lowered = identifier.lower()
+            if "lock" in lowered or "mutex" in lowered:
+                return True
+    return False

@@ -1,0 +1,42 @@
+"""The rule registry: one module per rule, instantiated once here.
+
+Order is the report grouping order; rule ``name`` attributes are the
+ids used by ``--rules``, suppressions, and the baseline.
+"""
+
+from tools.analysis.checkers.concurrency import ConcurrencyChecker
+from tools.analysis.checkers.docstrings import DocstringChecker
+from tools.analysis.checkers.durability import DurabilityChecker
+from tools.analysis.checkers.exceptions import ExceptionHygieneChecker
+from tools.analysis.checkers.spec_drift import SpecDriftChecker
+from tools.analysis.checkers.view_protocol import ViewProtocolChecker
+
+__all__ = ["ALL_CHECKERS", "checkers_by_name"]
+
+#: Every active rule, in report order.
+ALL_CHECKERS = (
+    DurabilityChecker(),
+    SpecDriftChecker(),
+    ConcurrencyChecker(),
+    ViewProtocolChecker(),
+    ExceptionHygieneChecker(),
+    DocstringChecker(),
+)
+
+
+def checkers_by_name(names=None):
+    """The registered checkers, filtered to ``names`` when given.
+
+    Unknown names raise ``ValueError`` listing the valid rule ids —
+    a misspelled ``--rules`` must not silently check nothing.
+    """
+    if names is None:
+        return list(ALL_CHECKERS)
+    table = {checker.name: checker for checker in ALL_CHECKERS}
+    unknown = [name for name in names if name not in table]
+    if unknown:
+        raise ValueError(
+            f"unknown rule(s) {', '.join(sorted(unknown))}; "
+            f"expected any of: {', '.join(sorted(table))}"
+        )
+    return [table[name] for name in names]

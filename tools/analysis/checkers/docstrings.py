@@ -1,0 +1,103 @@
+"""Rule ``docstrings`` — public API in the contract packages is
+documented.
+
+Invariant protected: ``repro.engine``, ``repro.persist``, and
+``repro.graph`` docstrings are normative contracts (the doctest suite
+executes them; FORMATS.md/PERSISTENCE.md cite them).  An undocumented
+public name there is an undocumented promise.
+
+This is the AST port of the retired ``tools/check_docstrings.py``
+import-based gate, folded into the suite so one command runs every
+analysis.  Required docstrings:
+
+* the module itself;
+* every public (non-underscore) class and function defined at module
+  level — re-exports are naturally exempt (the AST only sees defs, and
+  the defining module is checked where it lives);
+* every public method (including properties, static and class methods)
+  defined on those public classes; dunders are exempt — the class
+  docstring owns construction semantics.
+
+Nested helpers and private names are exempt by construction.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.analysis.core import Checker, Finding, SourceFile
+
+__all__ = ["DocstringChecker"]
+
+#: Packages whose public surface the rule gates (repo-relative
+#: directory prefixes).
+SCOPES = (
+    "src/repro/engine/",
+    "src/repro/persist/",
+    "src/repro/graph/",
+)
+
+
+def _documented(node: ast.AST) -> bool:
+    doc = ast.get_docstring(node, clean=True)
+    return bool(doc and doc.strip())
+
+
+def _public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+class DocstringChecker(Checker):
+    """Module / public class / public function docstrings required."""
+
+    name = "docstrings"
+    description = (
+        "public API in engine/, persist/, graph/ must carry docstrings"
+    )
+
+    def applies_to(self, rel: str) -> bool:
+        return rel.startswith(SCOPES)
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        module = source.tree
+        if not _documented(module):
+            yield Finding(
+                source.rel, 1, self.name, "module is missing a docstring"
+            )
+        for node in module.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if _public(node.name) and not _documented(node):
+                    yield Finding(
+                        source.rel,
+                        node.lineno,
+                        self.name,
+                        f"public function {node.name!r} is missing a "
+                        "docstring",
+                    )
+            elif isinstance(node, ast.ClassDef) and _public(node.name):
+                yield from self._check_class(source, node)
+
+    def _check_class(
+        self, source: SourceFile, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        if not _documented(cls):
+            yield Finding(
+                source.rel,
+                cls.lineno,
+                self.name,
+                f"public class {cls.name!r} is missing a docstring",
+            )
+        for node in cls.body:
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not _public(node.name):
+                continue  # private helpers and dunders
+            if not _documented(node):
+                yield Finding(
+                    source.rel,
+                    node.lineno,
+                    self.name,
+                    f"public method {cls.name}.{node.name} is missing a "
+                    "docstring",
+                )

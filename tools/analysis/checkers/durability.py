@@ -1,0 +1,156 @@
+"""Rule ``durability`` — persistence writes must be crash-sound.
+
+Invariant protected: every byte ``repro.persist`` puts on disk follows
+the temp-and-rename + fsync discipline specified in
+``docs/FORMATS.md`` and exercised byte-exhaustively by
+``tests/test_crash_recovery.py``.  A single convenience write
+(``Path.write_text``, an un-fsynced ``open(..., "w")``, an
+``os.replace`` whose directory entry is never flushed) silently
+reintroduces the torn-file states the crash suites were built to kill.
+
+Concretely, inside ``src/repro/persist/`` the rule flags:
+
+* ``Path.write_text`` / ``Path.write_bytes`` calls — these truncate in
+  place and never fsync; there is no sanctioned use;
+* a write-mode builtin ``open`` (mode containing ``w``/``a``/``x``/
+  ``+``) in a function that never calls ``os.fsync`` — the content was
+  never made durable before the caller returns;
+* an ``os.replace`` in a function that never calls ``os.fsync`` or
+  never calls ``fsync_directory`` — the renamed content (or the rename
+  itself) may not survive a crash;
+* any of the three primitives at module level, outside a function —
+  durable writes always live in a named, testable helper.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from tools.analysis.astutil import call_name, iter_with_ancestors, str_const
+from tools.analysis.core import Checker, Finding, SourceFile
+
+__all__ = ["DurabilityChecker"]
+
+_WRITE_MODE_CHARS = set("wax+")
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _open_write_mode(node: ast.Call) -> bool:
+    """Is this builtin ``open`` call in a write/append/create mode?
+
+    The default mode is ``"r"``; a computed (non-literal) mode is
+    treated as a write conservatively — an unanalyzable mode in the
+    persistence layer deserves a look.
+    """
+    mode: Optional[ast.expr] = None
+    if len(node.args) >= 2:
+        mode = node.args[1]
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            mode = keyword.value
+    if mode is None:
+        return False
+    literal = str_const(mode)
+    if literal is None:
+        return True
+    return bool(_WRITE_MODE_CHARS & set(literal))
+
+
+class DurabilityChecker(Checker):
+    """Write-mode ``open``/``os.replace`` must flow through fsync."""
+
+    name = "durability"
+    description = (
+        "persist/ writes must use the temp-and-rename + fsync discipline"
+    )
+
+    def applies_to(self, rel: str) -> bool:
+        return rel.startswith("src/repro/persist/")
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        calls_by_function: dict[
+            Optional[ast.AST], dict[str, list[ast.Call]]
+        ] = {}
+        for node, ancestors in iter_with_ancestors(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            enclosing: Optional[ast.AST] = None
+            for ancestor in reversed(ancestors):
+                if isinstance(ancestor, _FUNCTION_NODES):
+                    enclosing = ancestor
+                    break
+            calls_by_function.setdefault(enclosing, {}).setdefault(
+                name, []
+            ).append(node)
+
+        for function, calls in calls_by_function.items():
+            fsyncs = "os.fsync" in calls
+            dir_fsyncs = any(
+                name == "fsync_directory" or name.endswith(".fsync_directory")
+                for name in calls
+            )
+            where = (
+                f"function {function.name!r}"
+                if isinstance(function, _FUNCTION_NODES)
+                else "module level"
+            )
+            for name, sites in calls.items():
+                if name.endswith(("write_text", "write_bytes")) and (
+                    name.split(".")[-1] in ("write_text", "write_bytes")
+                ):
+                    for site in sites:
+                        yield Finding(
+                            source.rel,
+                            site.lineno,
+                            self.name,
+                            f"{name.split('.')[-1]}() in {where} bypasses "
+                            "the durable write path (truncates in place, "
+                            "never fsyncs); write a temp file, fsync it, "
+                            "then os.replace",
+                        )
+                elif name == "open":
+                    for site in sites:
+                        if not _open_write_mode(site):
+                            continue
+                        if function is None:
+                            yield Finding(
+                                source.rel,
+                                site.lineno,
+                                self.name,
+                                "write-mode open() at module level; "
+                                "durable writes belong in a named helper "
+                                "that fsyncs before returning",
+                            )
+                        elif not fsyncs:
+                            yield Finding(
+                                source.rel,
+                                site.lineno,
+                                self.name,
+                                f"write-mode open() in {where} without an "
+                                "os.fsync in the same function — content "
+                                "is not durable when the caller returns",
+                            )
+                elif name == "os.replace":
+                    for site in sites:
+                        if function is None or not fsyncs or not dir_fsyncs:
+                            missing = []
+                            if function is None:
+                                missing.append("a named helper")
+                            if not fsyncs:
+                                missing.append("os.fsync of the content")
+                            if not dir_fsyncs:
+                                missing.append(
+                                    "fsync_directory of the parent"
+                                )
+                            yield Finding(
+                                source.rel,
+                                site.lineno,
+                                self.name,
+                                f"os.replace in {where} missing "
+                                f"{' and '.join(missing)} — the rename "
+                                "(or what it points at) may not survive "
+                                "a crash",
+                            )

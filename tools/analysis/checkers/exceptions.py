@@ -1,0 +1,92 @@
+"""Rule ``exceptions`` — no swallowed errors on engine/persist hot
+paths.
+
+Invariant protected: the persistence layer's reading rule is "errors
+must never pass silently" — a ``%commit`` closing an unparseable entry
+*raises*, because acknowledged data that fails to parse is structural
+corruption, not noise.  The engine's ``absorb`` contract is the same:
+by fan-out time the batch is durably journaled, so an exception is an
+invariant violation, and catching it broadly turns an inconsistent
+session into a silent one.  A ``except Exception: pass`` in these
+packages is how torn-state bugs become unreproducible field reports.
+
+The rule, over ``src/repro/engine/`` and ``src/repro/persist/``:
+
+* a bare ``except:`` is always flagged;
+* ``except Exception`` / ``except BaseException`` (alone or in a
+  tuple) is flagged unless the handler body contains a ``raise`` —
+  re-raising as-is or wrapping with ``raise Specific(...) from exc``
+  (structured reporting) are both sanctioned.
+
+Narrow handlers (``except OSError``, ``except (ValueError, KeyError)``)
+are the fix, not suppression: if the set of expected failures cannot
+be named, that is information the code is hiding from its callers.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.analysis.core import Checker, Finding, SourceFile
+
+__all__ = ["ExceptionHygieneChecker"]
+
+_BROAD = ("Exception", "BaseException")
+
+
+def _broad_name(node: ast.expr) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id in _BROAD
+    if isinstance(node, ast.Attribute):  # builtins.Exception etc.
+        return node.attr in _BROAD
+    return False
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    if _broad_name(handler.type):
+        return True
+    if isinstance(handler.type, ast.Tuple):
+        return any(_broad_name(element) for element in handler.type.elts)
+    return False
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    return any(isinstance(node, ast.Raise) for node in ast.walk(handler))
+
+
+class ExceptionHygieneChecker(Checker):
+    """Broad handlers must re-raise (or be narrowed)."""
+
+    name = "exceptions"
+    description = (
+        "no bare/broad except in engine/ or persist/ without re-raise"
+    )
+
+    def applies_to(self, rel: str) -> bool:
+        return rel.startswith(("src/repro/engine/", "src/repro/persist/"))
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _is_broad(node):
+                continue
+            if _reraises(node):
+                continue
+            caught = (
+                "bare except"
+                if node.type is None
+                else f"except {ast.unparse(node.type)}"
+            )
+            yield Finding(
+                source.rel,
+                node.lineno,
+                self.name,
+                f"{caught} without re-raise on a hot path — name the "
+                "expected exception types, or re-raise with context "
+                "(raise Specific(...) from exc); swallowed errors here "
+                "turn crash-soundness violations into silent corruption",
+            )

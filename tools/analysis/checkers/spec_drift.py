@@ -1,0 +1,144 @@
+"""Rule ``spec-drift`` — source directives and ``docs/FORMATS.md``
+must agree, in both directions.
+
+Invariant protected: ``docs/FORMATS.md`` §3 is the *normative*
+directive catalogue for every byte the persistence layer writes.  A
+directive emitted or parsed by ``src/repro/persist/`` that the
+catalogue does not list means the spec silently drifted behind the
+code; a catalogued directive no longer mentioned in the code means the
+spec describes bytes nothing writes or reads — either way readers and
+writers stop being testable against the document.
+
+Directive uses are collected from the persist sources three ways:
+
+* string literals starting with ``%`` — ``"%batch"`` prefixes used by
+  log scans, directive text inside error messages;
+* the first argument of ``render_directive(...)`` calls, the sanctioned
+  way directive lines are written (``render_directive("commit")``);
+* module-level string constants resolved through those call sites
+  (``render_directive(SNAPSHOT_MAGIC, ...)`` counts as a use of
+  ``"repro-snapshot"``).
+
+Keywords must match ``%[a-z][a-z0-9-]+`` — ``%``-formatting noise like
+``"%s"`` is ignored.  The docs side is every catalogue table row whose
+first cell is a backticked ``%directive``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from tools.analysis.astutil import call_name, str_const
+from tools.analysis.core import Checker, Finding, Project, SourceFile
+
+__all__ = ["SpecDriftChecker"]
+
+#: A directive keyword: at least two chars, lowercase, dash-joined.
+_KEYWORD_RE = re.compile(r"^%([a-z][a-z0-9-]+)")
+
+#: A catalogue table row: ``| `%keyword` | ...``.
+_DOC_ROW_RE = re.compile(r"^\|\s*`%([a-z][a-z0-9-]+)`")
+
+
+class SpecDriftChecker(Checker):
+    """Two-way ``%directive`` conformance between persist/ and FORMATS.md."""
+
+    name = "spec-drift"
+    description = (
+        "%directives in persist/ and the docs/FORMATS.md catalogue "
+        "must match both ways"
+    )
+
+    #: Repo-relative path of the normative catalogue.
+    formats_doc = "docs/FORMATS.md"
+
+    def __init__(self) -> None:
+        # keyword -> first (path, line) using it; reset per run in
+        # finalize so a long-lived checker instance can be reused.
+        self._uses: dict[str, tuple[str, int]] = {}
+        self._constants: dict[str, str] = {}
+        self._deferred: list[tuple[str, str, int]] = []
+
+    def applies_to(self, rel: str) -> bool:
+        return rel.startswith("src/repro/persist/")
+
+    def _record(self, keyword: str, rel: str, line: int) -> None:
+        self._uses.setdefault(keyword, (rel, line))
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        for node in source.tree.body:
+            # module-level NAME = "literal", for resolving
+            # render_directive(NAME, ...) across the persist package
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                value = str_const(node.value)
+                if isinstance(target, ast.Name) and value is not None:
+                    self._constants.setdefault(target.id, value)
+        for node in ast.walk(source.tree):
+            literal = str_const(node)
+            if literal is not None and literal.startswith("%"):
+                match = _KEYWORD_RE.match(literal)
+                if match:
+                    self._record(match.group(1), source.rel, node.lineno)
+            if isinstance(node, ast.Call) and node.args:
+                callee = call_name(node)
+                if callee == "render_directive" or callee.endswith(
+                    ".render_directive"
+                ):
+                    first = node.args[0]
+                    keyword = str_const(first)
+                    if keyword is not None:
+                        self._record(keyword, source.rel, node.lineno)
+                    elif isinstance(first, ast.Name):
+                        self._deferred.append(
+                            (first.id, source.rel, node.lineno)
+                        )
+        return iter(())
+
+    def finalize(self, project: Project) -> Iterator[Finding]:
+        uses, self._uses = self._uses, {}
+        constants, self._constants = self._constants, {}
+        deferred, self._deferred = self._deferred, []
+        if not uses and not deferred:
+            return  # nothing in scope (not a persist tree): no doc check
+        for constant_name, rel, line in deferred:
+            value = constants.get(constant_name)
+            if value is not None:
+                uses.setdefault(value, (rel, line))
+        doc_lines = project.read_doc(self.formats_doc)
+        if doc_lines is None:
+            first_rel, first_line = next(iter(sorted(uses.values())))
+            yield Finding(
+                first_rel,
+                first_line,
+                self.name,
+                f"persist/ writes %directives but {self.formats_doc} "
+                "(the normative catalogue) is missing",
+            )
+            return
+        documented: dict[str, int] = {}
+        for number, line in enumerate(doc_lines, start=1):
+            match = _DOC_ROW_RE.match(line.strip())
+            if match:
+                documented.setdefault(match.group(1), number)
+        for keyword in sorted(set(uses) - set(documented)):
+            rel, line = uses[keyword]
+            yield Finding(
+                rel,
+                line,
+                self.name,
+                f"directive %{keyword} is used here but missing from the "
+                f"{self.formats_doc} directive catalogue — document it "
+                "(and bump FORMAT_VERSION if it changes the format)",
+            )
+        for keyword in sorted(set(documented) - set(uses)):
+            yield Finding(
+                self.formats_doc,
+                documented[keyword],
+                self.name,
+                f"directive %{keyword} is catalogued here but no longer "
+                "appears in src/repro/persist/ — stale spec entry or "
+                "lost reader/writer support",
+            )

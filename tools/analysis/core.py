@@ -1,0 +1,260 @@
+"""The ``repro-lint`` checker framework.
+
+Everything rule modules share: parsed source files with their ASTs and
+suppression comments (:class:`SourceFile`), the project walker
+(:class:`Project`), the finding model (:class:`Finding`), the runner
+(:func:`run_checkers`), and the baseline file format
+(:func:`load_baseline` / :func:`render_baseline`).
+
+Design points:
+
+* **Findings are data** — ``(rule, path, line, message)`` with a
+  canonical ``path:line: [rule] message`` rendering, so the CLI, the
+  tests, and the baseline all consume the same objects.
+* **Suppressions are per line** — a ``# repro-lint: ignore[rule]``
+  comment on the flagged line silences exactly that rule there
+  (``ignore`` with no bracket silences every rule on the line).  The
+  comment is grep-able evidence that a human accepted the exception.
+* **The baseline is keyed without line numbers** — ``rule | path |
+  message`` — so unrelated edits that shift a legacy finding by a few
+  lines do not resurrect it, while any *new* finding (or a moved file)
+  fails the run.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Optional
+
+__all__ = [
+    "Checker",
+    "Finding",
+    "Project",
+    "SourceFile",
+    "load_baseline",
+    "render_baseline",
+    "run_checkers",
+]
+
+#: Comment silencing findings on its line: ``# repro-lint: ignore`` or
+#: ``# repro-lint: ignore[rule-a,rule-b]``.
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*ignore(?:\[\s*([a-z0-9_, -]+?)\s*\])?"
+)
+
+#: Comment registering a module-level global as deliberately
+#: single-init (written once before any thread can observe it); the
+#: concurrency rule exempts writes to names registered this way.
+_SINGLE_INIT_RE = re.compile(r"#\s*repro-lint:\s*single-init\b")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``path`` is repository-root-relative (posix separators), so
+    renderings are stable across machines and usable as baseline keys.
+    """
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        """The canonical one-line report: ``path:line: [rule] message``."""
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def baseline_key(self) -> str:
+        """The line-number-free identity used by the baseline file."""
+        return f"{self.rule} | {self.path} | {self.message}"
+
+
+class SourceFile:
+    """One parsed python file: text, lines, AST, and suppression map."""
+
+    def __init__(self, root: Path, path: Path, text: str) -> None:
+        self.path = path
+        self.rel = path.relative_to(root).as_posix()
+        self.text = text
+        self.lines = text.splitlines()
+        self.tree = ast.parse(text, filename=str(path))
+        self.suppressions = self._scan_suppressions(self.lines)
+        self.single_init = self._scan_single_init(self.lines)
+
+    @staticmethod
+    def _scan_suppressions(lines: list[str]) -> dict[int, frozenset[str]]:
+        """Map 1-based line number -> rules silenced there (``{"*"}``
+        for a bare ``ignore``)."""
+        table: dict[int, frozenset[str]] = {}
+        for number, line in enumerate(lines, start=1):
+            match = _SUPPRESS_RE.search(line)
+            if match is None:
+                continue
+            rules = match.group(1)
+            if rules is None:
+                table[number] = frozenset({"*"})
+            else:
+                table[number] = frozenset(
+                    rule.strip() for rule in rules.split(",") if rule.strip()
+                )
+        return table
+
+    @staticmethod
+    def _scan_single_init(lines: list[str]) -> frozenset[int]:
+        """1-based line numbers carrying a ``single-init`` registration."""
+        return frozenset(
+            number
+            for number, line in enumerate(lines, start=1)
+            if _SINGLE_INIT_RE.search(line)
+        )
+
+    def suppresses(self, line: int, rule: str) -> bool:
+        """Is ``rule`` silenced on ``line`` by an ignore comment?"""
+        rules = self.suppressions.get(line)
+        return rules is not None and ("*" in rules or rule in rules)
+
+
+class Project:
+    """The file set one analysis run sees, anchored at a repo root.
+
+    ``paths`` may name files or directories (absolute, or relative to
+    ``root``); directories are walked recursively for ``*.py``.  Files
+    that fail to parse surface as ``parse-error`` findings rather than
+    aborting the run — a syntax error must fail the gate loudly, not
+    crash it.
+    """
+
+    def __init__(self, root: Path, paths: Iterable[Path]) -> None:
+        self.root = root.resolve()
+        self.files: list[SourceFile] = []
+        self.parse_errors: list[Finding] = []
+        for path in self._collect(paths):
+            text = path.read_text(encoding="utf-8")
+            try:
+                self.files.append(SourceFile(self.root, path, text))
+            except SyntaxError as exc:
+                rel = path.relative_to(self.root).as_posix()
+                self.parse_errors.append(
+                    Finding(rel, exc.lineno or 1, "parse-error", str(exc.msg))
+                )
+
+    def _collect(self, paths: Iterable[Path]) -> list[Path]:
+        seen: set[Path] = set()
+        ordered: list[Path] = []
+        for raw in paths:
+            path = Path(raw)
+            if not path.is_absolute():
+                path = self.root / path
+            path = path.resolve()
+            if path.is_dir():
+                candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+            elif path.suffix == ".py":
+                candidates = [path]
+            else:
+                raise FileNotFoundError(
+                    f"{path} is neither a directory nor a .py file"
+                )
+            for candidate in candidates:
+                if candidate not in seen:
+                    seen.add(candidate)
+                    ordered.append(candidate)
+        return ordered
+
+    def read_doc(self, rel: str) -> Optional[list[str]]:
+        """Lines of a repo-relative text document, or ``None`` if absent
+        (rules that cross-check docs report the absence themselves)."""
+        path = self.root / rel
+        if not path.is_file():
+            return None
+        return path.read_text(encoding="utf-8").splitlines()
+
+
+class Checker:
+    """Base class for one rule.
+
+    Subclasses set ``name`` (the rule id used in reports, suppressions,
+    and ``--rules``), ``description`` (one line for ``--list-rules``),
+    and override :meth:`applies_to` plus one or both hooks:
+
+    * :meth:`check` — per-file findings (the common case);
+    * :meth:`finalize` — project-level findings, emitted after every
+      file was offered to :meth:`check` (for cross-file rules such as
+      the two-way spec-drift detector).
+    """
+
+    name = "abstract"
+    description = ""
+
+    def applies_to(self, rel: str) -> bool:
+        """Should ``check`` see the file at repo-relative path ``rel``?"""
+        return True
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        """Yield findings local to one file."""
+        return iter(())
+
+    def finalize(self, project: Project) -> Iterator[Finding]:
+        """Yield cross-file findings after the per-file pass."""
+        return iter(())
+
+
+def run_checkers(
+    project: Project, checkers: Iterable[Checker]
+) -> list[Finding]:
+    """Run every checker over the project; returns sorted findings.
+
+    Per-line ``# repro-lint: ignore`` suppressions are applied here
+    (against the flagged file's comment map), so rule modules never
+    re-implement them.  Parse failures surface as ``parse-error``
+    findings, which cannot be suppressed.
+    """
+    findings: list[Finding] = list(project.parse_errors)
+    by_rel = {source.rel: source for source in project.files}
+    for checker in checkers:
+        collected: list[Finding] = []
+        for source in project.files:
+            if checker.applies_to(source.rel):
+                collected.extend(checker.check(source))
+        collected.extend(checker.finalize(project))
+        for finding in collected:
+            source = by_rel.get(finding.path)
+            if source is not None and source.suppresses(
+                finding.line, finding.rule
+            ):
+                continue
+            findings.append(finding)
+    return sorted(findings)
+
+
+def load_baseline(path: Path) -> frozenset[str]:
+    """Read a committed baseline file into a set of finding keys.
+
+    Blank lines and ``#`` comments are skipped; every other line is one
+    :meth:`Finding.baseline_key` verbatim.
+    """
+    if not path.is_file():
+        return frozenset()
+    keys = set()
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if line and not line.startswith("#"):
+            keys.add(line)
+    return frozenset(keys)
+
+
+def render_baseline(findings: Iterable[Finding]) -> str:
+    """Serialize findings as a baseline file (sorted, deduplicated)."""
+    header = (
+        "# repro-lint baseline — accepted legacy findings, one"
+        " `rule | path | message` key per line.\n"
+        "# Regenerate with: python -m tools.analysis src"
+        " --update-baseline\n"
+        "# Keys carry no line numbers, so unrelated edits do not"
+        " resurrect entries.\n"
+    )
+    keys = sorted({finding.baseline_key() for finding in findings})
+    return header + "".join(key + "\n" for key in keys)

@@ -1,0 +1,220 @@
+#!/usr/bin/env python
+"""Serving-layer latency under mixed read/write load: cached vs uncached.
+
+The scenario is the serving claim of the ROADMAP front door: many
+readers issuing a **skewed standing-query mix** (85% ``kws.roots``, 15%
+``scc.components``) while one writer streams batches that are mostly
+**routed away from the hot query** — churn among ``c``/``d``-labeled
+nodes no keyword can reach, which the relevance filters skip for the
+KWS view while the SCC view (subscribe-all) absorbs every batch.
+
+Two phases run the identical seeded workload:
+
+* **cached** — ``Repository(cache=True)``: a kws answer computed once
+  at a version survives every routed-away batch, so the hot 85% of
+  reads are dictionary hits that never touch the engine lock; only the
+  cold scc reads (invalidated per batch) recompute under the read lock.
+* **uncached** — ``Repository(cache=False)``: every read recomputes
+  the query from the live view under the read lock, contending with
+  the writer — the "recompute per request" strawman the delta-
+  invalidated cache exists to beat (Liu's essence-of-incremental
+  argument, applied at the serving tier).
+
+Reported: read p50/p99 (ms), throughput, cache hit rate, and write p50
+— all under concurrent load.  **Asserted acceptance criterion: cached
+read p50 strictly beats uncached read p50, with a cached hit rate
+above 0.5 on the skewed mix.**
+
+Run:  PYTHONPATH=src python benchmarks/bench_serving.py
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+
+from repro import Delta, DiGraph, Engine, Repository, delete, insert
+from repro.kws import KWSIndex, KWSQuery
+from repro.scc import SCCIndex
+
+#: Graph scale: big enough that recomputing a query costs real work
+#: (the uncached phase's burden), small enough for a CI-friendly run.
+NODES = 1500
+EDGES = 4000
+#: Hot/cold node split: keyword-bearing a/b nodes are the read-hot
+#: region; c/d nodes host the write churn the router skips for kws.
+HOT_FRACTION = 0.3
+
+READERS = 4
+READS_PER_READER = 600
+#: The skewed standing-query mix (hot query first).
+HOT_READ_FRACTION = 0.85
+WRITE_BATCHES = 120
+WRITE_BATCH_SIZE = 6
+
+KWS_QUERY = KWSQuery(("a", "b"), bound=3)
+
+
+def build_graph(rng: random.Random) -> DiGraph:
+    hot = int(NODES * HOT_FRACTION)
+    labels = {
+        node: rng.choice(["a", "b"]) if node < hot else rng.choice(["c", "d"])
+        for node in range(NODES)
+    }
+    graph = DiGraph(labels=labels)
+    added = set()
+    while len(added) < EDGES:
+        source = rng.randrange(NODES)
+        target = rng.randrange(NODES)
+        if source != target and (source, target) not in added:
+            added.add((source, target))
+            graph.add_edge(source, target)
+    return graph
+
+
+def cold_batches(rng: random.Random, graph: DiGraph) -> list[Delta]:
+    """Seeded write stream confined to the cold (c/d) region, so the
+    relevance router skips the KWS view for every batch: inserts and
+    deletes cycle over reserved cold-region edge slots."""
+    hot = int(NODES * HOT_FRACTION)
+    cold_nodes = list(range(hot, NODES))
+    slots = []
+    while len(slots) < WRITE_BATCH_SIZE * 2:
+        source, target = rng.sample(cold_nodes, 2)
+        if not graph.has_edge(source, target) and (source, target) not in slots:
+            slots.append((source, target))
+    batches = []
+    present: set = set()
+    for _ in range(WRITE_BATCHES):
+        updates = []
+        for slot in rng.sample(slots, WRITE_BATCH_SIZE):
+            if slot in present:
+                updates.append(delete(*slot))
+                present.discard(slot)
+            else:
+                updates.append(insert(*slot))
+                present.add(slot)
+        batches.append(Delta(updates))
+    return batches
+
+
+def percentile(samples: list[float], fraction: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def run_phase(cache: bool, seed: int = 0xBE7C) -> dict:
+    rng = random.Random(seed)
+    graph = build_graph(rng)
+    engine = Engine(graph)
+    engine.register("kws", lambda g, m: KWSIndex(g, KWS_QUERY, meter=m))
+    engine.register("scc", lambda g, m: SCCIndex(g, meter=m))
+    repo = Repository(engine, max_sessions=READERS + 2, cache=cache)
+    batches = cold_batches(rng, graph)
+
+    read_latencies: list[list[float]] = [[] for _ in range(READERS)]
+    write_latencies: list[float] = []
+    errors: list[BaseException] = []
+    start_gate = threading.Barrier(READERS + 1)
+
+    def writer() -> None:
+        try:
+            start_gate.wait()
+            for batch in batches:
+                started = time.perf_counter()
+                repo.apply(batch)
+                write_latencies.append(time.perf_counter() - started)
+                time.sleep(0.001)
+        except BaseException as error:  # pragma: no cover - failure path
+            errors.append(error)
+
+    def reader(index: int) -> None:
+        thread_rng = random.Random(seed + index + 1)
+        sink = read_latencies[index]
+        try:
+            start_gate.wait()
+            for _ in range(READS_PER_READER):
+                if thread_rng.random() < HOT_READ_FRACTION:
+                    view, query = "kws", "roots"
+                else:
+                    view, query = "scc", "components"
+                started = time.perf_counter()
+                repo.read_latest(view, query)
+                sink.append(time.perf_counter() - started)
+        except BaseException as error:  # pragma: no cover - failure path
+            errors.append(error)
+
+    threads = [threading.Thread(target=writer)]
+    threads += [
+        threading.Thread(target=reader, args=(index,))
+        for index in range(READERS)
+    ]
+    wall_started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - wall_started
+    if errors:
+        raise errors[0]
+    assert repo.poisoned is None
+
+    reads = [sample for sink in read_latencies for sample in sink]
+    stats = repo.cache_stats()
+    lookups = stats.hits + stats.misses
+    repo.close()
+    return {
+        "phase": "cached" if cache else "uncached",
+        "reads": len(reads),
+        "writes": len(write_latencies),
+        "read_p50": percentile(reads, 0.50),
+        "read_p99": percentile(reads, 0.99),
+        "write_p50": percentile(write_latencies, 0.50),
+        "write_p99": percentile(write_latencies, 0.99),
+        "hit_rate": stats.hits / lookups if lookups else 0.0,
+        "reads_per_second": len(reads) / wall,
+    }
+
+
+def print_table(rows: list[dict]) -> None:
+    header = (
+        f"{'phase':>9} | {'reads':>6} | {'writes':>6} | "
+        f"{'read p50 (ms)':>13} | {'read p99 (ms)':>13} | "
+        f"{'write p50 (ms)':>14} | {'hit rate':>8} | {'reads/s':>8}"
+    )
+    print()
+    print("== serving: mixed read/write load, skewed 85/15 read mix ==")
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(
+            f"{row['phase']:>9} | {row['reads']:>6} | {row['writes']:>6} | "
+            f"{row['read_p50'] * 1e3:13.3f} | {row['read_p99'] * 1e3:13.3f} | "
+            f"{row['write_p50'] * 1e3:14.3f} | {row['hit_rate']:8.2f} | "
+            f"{row['reads_per_second']:8.0f}"
+        )
+    print()
+
+
+def main() -> None:
+    uncached = run_phase(cache=False)
+    cached = run_phase(cache=True)
+    print_table([uncached, cached])
+
+    speedup = uncached["read_p50"] / max(cached["read_p50"], 1e-9)
+    print(f"cached p50 speedup over uncached recompute: {speedup:.1f}x")
+    assert cached["read_p50"] < uncached["read_p50"], (
+        f"cached reads must beat uncached recompute at p50: "
+        f"{cached['read_p50'] * 1e3:.3f}ms vs "
+        f"{uncached['read_p50'] * 1e3:.3f}ms"
+    )
+    assert cached["hit_rate"] > 0.5, (
+        f"skewed mix must mostly hit the cache: rate {cached['hit_rate']:.2f}"
+    )
+    print("acceptance criteria met: cached p50 wins, hit rate > 0.5")
+
+
+if __name__ == "__main__":
+    main()

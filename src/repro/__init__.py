@@ -46,6 +46,13 @@ from repro.persist import (
     load_session,
     save_session,
 )
+from repro.serving import (
+    ReadSession,
+    Repository,
+    ServingError,
+    ServingFrontend,
+    SessionLimitError,
+)
 
 __version__ = "1.2.0"
 
@@ -61,9 +68,14 @@ __all__ = [
     "IncrementalSession",
     "IncrementalView",
     "InvalidDeltaError",
+    "ReadSession",
+    "Repository",
     "SegmentedDeltaLog",
     "ShardMap",
     "ShardedGraphStore",
+    "ServingError",
+    "ServingFrontend",
+    "SessionLimitError",
     "SnapshotPolicy",
     "SnapshotStore",
     "Update",

@@ -122,6 +122,18 @@ class ViewReport:
     skipped: bool = False
     routed_updates: int = 0
 
+    @property
+    def changed(self) -> bool:
+        """Did this batch deliver anything to the view — i.e. may its
+        auxiliary state (and therefore its answer) differ from before
+        the batch?  Exactly the complement of ``skipped``: a routed
+        view absorbed a non-empty sub-delta or a relevant new node,
+        either of which can move the answer.  This is the signal the
+        engine's dirty accounting and the serving layer's
+        cache-invalidation (:mod:`repro.serving.repository`) both key
+        off."""
+        return not self.skipped
+
 
 @dataclass
 class RouteStats:

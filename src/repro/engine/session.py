@@ -199,6 +199,9 @@ class Engine:
         self._journal_epoch = 0
         #: Seq of the newest batch the attached journal acknowledged.
         self._last_journaled_seq: Optional[int] = None
+        #: Publication hooks (see :meth:`add_apply_listener`): called
+        #: with every :class:`EngineReport` the fan-out produces.
+        self._apply_listeners: list[Callable[[EngineReport], None]] = []
 
     # ------------------------------------------------------------------
     # View registration
@@ -472,19 +475,24 @@ class Engine:
         self._record_reports(views)
         if seq is not None:
             self._last_journaled_seq = seq
-        return EngineReport(delta=delta, new_nodes=new_nodes, views=views, seq=seq)
+        report = EngineReport(
+            delta=delta, new_nodes=new_nodes, views=views, seq=seq
+        )
+        for listener in tuple(self._apply_listeners):
+            listener(report)
+        return report
 
     def _record_reports(self, reports: dict[str, ViewReport]) -> None:
         """Fold one dispatch's reports into routing stats + dirty set
         (shared by the apply fan-out and the replay :meth:`deliver`)."""
         for report in reports.values():
             stats = self._route_stats[report.name]
-            if report.skipped:
-                stats.batches_skipped += 1
-            else:
+            if report.changed:
                 stats.batches_routed += 1
                 stats.updates_delivered += report.routed_updates
                 self._dirty.add(report.name)
+            else:
+                stats.batches_skipped += 1
 
     # ------------------------------------------------------------------
     # Checkpoint / rollback (Delta.inverted)
@@ -499,6 +507,32 @@ class Engine:
         """Mark the current state; pass the mark to :meth:`rollback`."""
         return len(self._history)
 
+    def pending_undo(self, checkpoint: int = 0) -> Delta:
+        """The normalized undo batch :meth:`rollback` *would* push
+        through the fan-out for ``checkpoint`` — without applying it.
+
+        Exposed so layers that must act *before* a rollback mutates
+        anything (the serving layer's MVCC freeze in
+        :class:`repro.serving.Repository` previews which views the undo
+        will touch) see exactly the batch the rollback will use;
+        :meth:`rollback` itself is built on this method, so the two can
+        never drift.
+
+        >>> from repro import DiGraph, Engine, insert
+        >>> engine = Engine(DiGraph(edges=[(1, 2)]))
+        >>> _ = engine.apply([insert(2, 1)])
+        >>> [str(update) for update in engine.pending_undo()]
+        ['delete(2, 1)']
+        """
+        if not 0 <= checkpoint <= len(self._history):
+            raise EngineError(
+                f"checkpoint {checkpoint} is out of range "
+                f"(0..{len(self._history)})"
+            )
+        return concat(
+            batch.inverted() for batch in reversed(self._history[checkpoint:])
+        ).normalized()
+
     def rollback(self, checkpoint: int = 0) -> EngineReport:
         """Undo every batch applied since ``checkpoint``.
 
@@ -509,14 +543,7 @@ class Engine:
         by rolled-back batches stay in the graph as isolated nodes (edge
         deletion never removes endpoints).
         """
-        if not 0 <= checkpoint <= len(self._history):
-            raise EngineError(
-                f"checkpoint {checkpoint} is out of range "
-                f"(0..{len(self._history)})"
-            )
-        undo = concat(
-            batch.inverted() for batch in reversed(self._history[checkpoint:])
-        ).normalized()
+        undo = self.pending_undo(checkpoint)
         self._materialize_pending()
         seq = None
         if self.journal is not None and undo:
@@ -677,6 +704,47 @@ class Engine:
         batch's report): the batch itself is applied and journaled, only
         the snapshot write failed."""
         self._autosnapshot = hook
+
+    # ------------------------------------------------------------------
+    # Publication hooks (serving / replication front ends)
+    # ------------------------------------------------------------------
+
+    def add_apply_listener(self, listener: Callable[[EngineReport], None]) -> None:
+        """Attach a publication hook: ``listener(report)`` runs at the
+        end of every fan-out — each :meth:`apply` and each
+        :meth:`rollback` (replay :meth:`deliver` does not publish; the
+        graph never changed).  It runs *after* every view has absorbed
+        the batch and the dirty/routing accounting is folded in, so the
+        report describes a fully-published state — which is what makes
+        it the right place for a serving layer to advance its read
+        generation (see :class:`repro.serving.Repository`, which also
+        uses the hook as a tripwire against out-of-band mutations).
+
+        Listeners must not raise (an exception propagates out of
+        ``apply`` *after* the batch is applied and journaled, exactly
+        the half-failed shape :class:`AutosnapshotError` exists to
+        avoid) and must not mutate the engine.
+
+        >>> from repro import DiGraph, Engine, insert
+        >>> engine = Engine(DiGraph(edges=[(1, 2)]))
+        >>> seen = []
+        >>> engine.add_apply_listener(lambda report: seen.append(len(report.delta)))
+        >>> _ = engine.apply([insert(2, 1)])
+        >>> seen
+        [1]
+        """
+        self._apply_listeners.append(listener)
+
+    def remove_apply_listener(
+        self, listener: Callable[[EngineReport], None]
+    ) -> None:
+        """Detach a previously added publication hook (no-op when the
+        listener is not attached — detaching twice must be safe for
+        ``Repository.close``)."""
+        try:
+            self._apply_listeners.remove(listener)
+        except ValueError:
+            pass
 
     # ------------------------------------------------------------------
     # Journaling (write-ahead delta log)

@@ -1,0 +1,38 @@
+"""The serving layer: many concurrent readers over one write stream.
+
+:class:`Repository` (:mod:`repro.serving.repository`) wraps an
+:class:`~repro.engine.session.Engine` in MVCC generation snapshots, a
+bounded session pool, and a query cache invalidated by each view's
+routed sub-delta; :class:`ServingFrontend`
+(:mod:`repro.serving.frontend`) puts it on a TCP socket with
+backpressure.  ``docs/SERVING.md`` specifies the contracts.
+"""
+
+from repro.serving.frontend import ServingFrontend, jsonable
+from repro.serving.repository import (
+    CacheStats,
+    ReadSession,
+    Repository,
+    RepositoryPoisonedError,
+    ServingError,
+    SessionClosedError,
+    SessionExpiredError,
+    SessionLimitError,
+    UnknownQueryError,
+    freeze_answer,
+)
+
+__all__ = [
+    "CacheStats",
+    "ReadSession",
+    "Repository",
+    "RepositoryPoisonedError",
+    "ServingError",
+    "ServingFrontend",
+    "SessionClosedError",
+    "SessionExpiredError",
+    "SessionLimitError",
+    "UnknownQueryError",
+    "freeze_answer",
+    "jsonable",
+]

@@ -1,0 +1,23 @@
+"""Flag fixture for the ``serving`` rule: a lock-owning class writing
+shared instance state outside any lock — both assignment shapes the
+rule must catch (plain store and augmented update)."""
+
+import threading
+
+
+class LeasePool:
+    """Owns ``self._pool_lock``, so its instance state is opted in."""
+
+    def __init__(self):
+        self._pool_lock = threading.Lock()
+        self._leases = 0
+        self._generation = 0
+
+    def acquire(self):
+        """Racy counter bump: two admitting threads lose an increment."""
+        self._leases += 1  # finding 1: unguarded augmented write
+        return self._leases
+
+    def publish(self, generation):
+        """Racy publication: readers can observe a half-applied bump."""
+        self._generation = generation  # finding 2: unguarded store

@@ -1,0 +1,41 @@
+"""Pass fixture for the ``serving`` rule: every sanctioned shape —
+writes under the owned lock, the ``*_locked`` caller-holds-the-lock
+convention, and a lock-free event-loop-confined class the rule must
+leave alone."""
+
+import threading
+
+
+class LeasePool:
+    """Owns ``self._pool_lock`` and writes state only under it."""
+
+    def __init__(self):
+        self._pool_lock = threading.Lock()
+        self._leases = 0
+        self._generation = 0
+
+    def acquire(self):
+        """Guarded bump: the lexical ``with`` satisfies the rule."""
+        with self._pool_lock:
+            self._leases += 1
+            return self._leases
+
+    def publish(self, generation):
+        """Delegation into a ``*_locked`` helper, under the lock."""
+        with self._pool_lock:
+            self._publish_locked(generation)
+
+    def _publish_locked(self, generation):
+        """Caller holds the lock — exempt by the suffix convention."""
+        self._generation = generation
+
+
+class Frontend:
+    """No lock attribute: single-threaded by design, never checked."""
+
+    def __init__(self):
+        self._inflight = 0
+
+    def admit(self):
+        """Event-loop-confined counter; no guard required."""
+        self._inflight += 1

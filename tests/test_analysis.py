@@ -38,6 +38,7 @@ RULES = {
     "durability": ("durability", "src/repro/persist/mod.py", 3),
     "spec-drift": ("spec_drift", "src/repro/persist/mod.py", 2),
     "concurrency": ("concurrency", "src/repro/engine/mod.py", 2),
+    "serving": ("serving", "src/repro/serving/mod.py", 2),
     "view-protocol": ("view_protocol", "src/repro/kws/mod.py", 7),
     "exceptions": ("exceptions", "src/repro/engine/mod.py", 2),
     "docstrings": ("docstrings", "src/repro/engine/mod.py", 4),
@@ -199,6 +200,21 @@ def test_self_run_repository_is_clean(capsys):
     assert "0 finding(s)" in output
 
 
-def test_all_six_rules_registered():
-    assert len(ALL_CHECKERS) >= 6
+def test_serving_rule_respects_the_locked_suffix_convention(tmp_path):
+    """A ``*_locked`` method writing state bare is sanctioned; renaming
+    it away from the convention resurrects the finding."""
+    root = build_project(tmp_path, "serving", "pass")
+    target = root / RULES["serving"][1]
+    text = target.read_text(encoding="utf-8")
+    assert run_rule(root, "serving") == []
+    target.write_text(
+        text.replace("_publish_locked", "_publish_inner"), encoding="utf-8"
+    )
+    findings = run_rule(root, "serving")
+    assert len(findings) == 1
+    assert "_publish_inner" in findings[0].message
+
+
+def test_all_rules_registered():
+    assert len(ALL_CHECKERS) >= 7
     assert {checker.name for checker in ALL_CHECKERS} == set(RULES)

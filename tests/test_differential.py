@@ -17,6 +17,13 @@ Every stream runs under **both storage layouts**: a plain ``DiGraph``
 with a monolithic delta log, and a ``ShardedGraphStore`` with a
 segmented per-shard log (snapshot format v3) — so the sharded path is
 held to the same oracle as the monolithic one, recovery included.
+
+Every stream also runs **through the serving layer**: all mutations go
+via a :class:`repro.serving.Repository`, and the stream interleaves
+pinned read sessions whose expected answers are recorded from-scratch
+at admission time and re-checked batches later — the MVCC snapshot at
+generation *g* must keep answering exactly what a from-scratch oracle
+said at *g*, no matter what the write stream did since.
 """
 
 import os
@@ -28,6 +35,7 @@ from repro import (
     Delta,
     DiGraph,
     Engine,
+    Repository,
     ShardedGraphStore,
     ShardMap,
     delete,
@@ -60,6 +68,25 @@ def four_view_engine(graph: DiGraph) -> Engine:
     engine.register("scc", lambda g, m: SCCIndex(g, meter=m))
     engine.register("iso", lambda g, m: ISOIndex(g, ISO_PATTERN, meter=m))
     return engine
+
+
+def serving_surface_answers(graph):
+    """From-scratch recomputation of every served (view, query) pair —
+    what a session pinned *now* must still answer later."""
+    return {
+        ("kws", "roots"): frozenset(batch_kws(graph, KWS_QUERY)),
+        ("rpq", "matches"): frozenset(matches_only(graph, RPQ_QUERY)),
+        ("scc", "components"): frozenset(tarjan_scc(graph).partition()),
+        ("iso", "matches"): frozenset(vf2_matches(graph, ISO_PATTERN)),
+    }
+
+
+def assert_session_matches(session, expected) -> None:
+    for (view, query), answer in expected.items():
+        assert session.read(view, query) == answer, (
+            f"pinned session at generation {session.generation} diverged "
+            f"on {view}.{query}"
+        )
 
 
 def assert_oracle(engine: Engine) -> None:
@@ -137,8 +164,13 @@ def test_differential_stream(seed, layout, tmp_path):
     engine = four_view_engine(graph)
     store.attach(engine)
     store.save(engine)
+    # All mutations go through the serving layer, so the stream also
+    # tortures MVCC: sessions pinned mid-stream must keep answering
+    # what the from-scratch oracle said at their admission generation.
+    repo = Repository(engine, max_sessions=8)
+    held: list = []  # (session, expected answers at its generation)
     next_node = [1000]
-    checkpoints = [engine.checkpoint()]
+    checkpoints = [repo.checkpoint()]
     mutations = 0
 
     for _ in range(STEPS):
@@ -147,15 +179,15 @@ def test_differential_stream(seed, layout, tmp_path):
             batch = random_batch(rng, engine.graph, next_node)
             if not batch:
                 continue
-            engine.apply(batch)
+            repo.apply(batch)
             mutations += 1
             if rng.random() < 0.3:
-                checkpoints.append(engine.checkpoint())
+                checkpoints.append(repo.checkpoint())
         elif action < 0.68:
             valid = [c for c in checkpoints if c <= engine.applied_count]
             if not valid:
                 continue
-            engine.rollback(rng.choice(valid))
+            repo.rollback(rng.choice(valid))
             mutations += 1
         elif action < 0.80:
             store.save(engine, incremental=rng.random() < 0.7)
@@ -166,9 +198,22 @@ def test_differential_stream(seed, layout, tmp_path):
             assert_sessions_equal(probe, engine)
             assert_oracle(probe)
         assert_oracle(engine)
+        # Serving oracle step: sometimes pin a session (recording the
+        # from-scratch surface now), always re-check a random held one.
+        if rng.random() < 0.3 and len(held) < 4:
+            held.append(
+                (repo.session(), serving_surface_answers(engine.graph))
+            )
+        if held:
+            assert_session_matches(*rng.choice(held))
 
     assert mutations >= 0  # streams with no mutations are legal (and dull)
     assert_oracle(engine)
+    for session, expected in held:
+        assert_session_matches(session, expected)
+        session.close()
+    assert repo.poisoned is None
+    repo.close()
     recovered = store.load(attach_journal=False)
     assert_sessions_equal(recovered, engine)
     assert_oracle(recovered)

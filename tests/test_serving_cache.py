@@ -1,0 +1,187 @@
+"""Cache-correctness property tests for the serving layer.
+
+Two properties over seeded random delta streams:
+
+* **Snapshot fidelity** — for every generation some session still pins,
+  every cached answer equals a from-scratch recomputation on a shadow
+  graph captured at that generation (``graph.copy()`` per publish —
+  affordable at test scale, which is exactly why the serving layer
+  itself does not do it).
+* **Invalidation is delta-driven, not wholesale** — a batch invalidates
+  only the views its routed sub-delta touches: entries for skipped
+  views survive (subsequent reads are cache *hits*, observable in
+  :meth:`Repository.cache_stats`), while routed views re-miss exactly
+  once at the new version.
+"""
+
+import random
+
+import pytest
+
+from repro import Delta, DiGraph, Engine, Repository, delete, insert
+from repro.iso import ISOIndex, Pattern, vf2_matches
+from repro.kws import KWSIndex, KWSQuery, batch_kws
+from repro.rpq import RPQIndex, matches_only
+from repro.scc import SCCIndex, tarjan_scc
+
+STREAMS = 6
+STEPS = 16
+LABELS = ["a", "b", "c", "d"]
+
+KWS_QUERY = KWSQuery(("a", "b"), bound=2)
+RPQ_QUERY = "a . (b + c)* . c"
+ISO_PATTERN = Pattern.from_edges({0: "a", 1: "b"}, [(0, 1)])
+
+SURFACE = (
+    ("kws", "roots"),
+    ("rpq", "matches"),
+    ("scc", "components"),
+    ("iso", "matches"),
+)
+
+
+def four_view_engine(graph):
+    engine = Engine(graph)
+    engine.register("kws", lambda g, m: KWSIndex(g, KWS_QUERY, meter=m))
+    engine.register("rpq", lambda g, m: RPQIndex(g, RPQ_QUERY, meter=m))
+    engine.register("scc", lambda g, m: SCCIndex(g, meter=m))
+    engine.register("iso", lambda g, m: ISOIndex(g, ISO_PATTERN, meter=m))
+    return engine
+
+
+def scratch_answers(graph):
+    return {
+        ("kws", "roots"): frozenset(batch_kws(graph, KWS_QUERY)),
+        ("rpq", "matches"): frozenset(matches_only(graph, RPQ_QUERY)),
+        ("scc", "components"): frozenset(tarjan_scc(graph).partition()),
+        ("iso", "matches"): frozenset(vf2_matches(graph, ISO_PATTERN)),
+    }
+
+
+def random_graph(rng):
+    size = rng.randint(5, 8)
+    graph = DiGraph(labels={node: rng.choice(LABELS) for node in range(size)})
+    pairs = [(s, t) for s in range(size) for t in range(size) if s != t]
+    for edge in rng.sample(pairs, k=min(len(pairs), 2 * size)):
+        graph.add_edge(*edge)
+    return graph
+
+
+def random_batch(rng, graph, next_node):
+    edges = list(graph.edges())
+    nodes = list(graph.nodes())
+    non_edges = [
+        (s, t)
+        for s in nodes
+        for t in nodes
+        if s != t and not graph.has_edge(s, t)
+    ]
+    updates = []
+    for edge in rng.sample(edges, k=min(len(edges), rng.randint(0, 2))):
+        updates.append(delete(*edge))
+    for edge in rng.sample(non_edges, k=min(len(non_edges), rng.randint(0, 3))):
+        updates.append(insert(*edge))
+    if rng.random() < 0.3 and nodes:
+        fresh = next_node[0]
+        next_node[0] += 1
+        updates.append(
+            insert(rng.choice(nodes), fresh, target_label=rng.choice(LABELS))
+        )
+    rng.shuffle(updates)
+    return Delta(updates)
+
+
+@pytest.mark.parametrize(
+    "seed", range(STREAMS), ids=[f"stream-{seed}" for seed in range(STREAMS)]
+)
+def test_cached_answers_equal_fresh_recompute_at_pinned_generation(seed):
+    rng = random.Random(0xCAC4E + seed)
+    graph = random_graph(rng)
+    repo = Repository(four_view_engine(graph), max_sessions=STEPS + 2)
+    # generation -> an independent copy of the graph at that generation.
+    snapshots = {0: graph.copy()}
+    pinned = []  # (session, generation), held open across later batches
+    next_node = [5000 + seed * 100]
+
+    for _ in range(STEPS):
+        if rng.random() < 0.4 or not pinned:
+            pinned.append((repo.session(), repo.generation))
+        batch = random_batch(rng, repo.engine.graph, next_node)
+        if not batch:
+            continue
+        repo.apply(batch)
+        shadow = snapshots[repo.generation - 1].copy()
+        batch.apply_to(shadow)
+        snapshots[repo.generation] = shadow
+        # Mid-stream: every held session answers at its own generation.
+        if rng.random() < 0.5:
+            session, generation = rng.choice(pinned)
+            expected = scratch_answers(snapshots[generation])
+            view, query = rng.choice(SURFACE)
+            assert session.read(view, query) == expected[(view, query)]
+
+    # Final sweep: read the whole surface through every pinned session
+    # twice — first read may compute/freeze, second must hit the cache —
+    # and both must equal from-scratch recomputation at that generation.
+    for session, generation in pinned:
+        expected = scratch_answers(snapshots[generation])
+        for view, query in SURFACE:
+            first = session.read(view, query)
+            before = repo.cache_stats()
+            second = session.read(view, query)
+            after = repo.cache_stats()
+            assert first == second == expected[(view, query)]
+            assert after.hits == before.hits + 1  # second read is a hit
+    latest = scratch_answers(snapshots[repo.generation])
+    for view, query in SURFACE:
+        assert repo.read_latest(view, query) == latest[(view, query)]
+    for session, _ in pinned:
+        session.close()
+    assert repo.poisoned is None
+
+
+def test_entries_untouched_by_routed_subdelta_survive_invalidation():
+    """A batch routed away from a view leaves that view's cache entries
+    live (hits keep landing, no recompute); the views the sub-delta
+    reaches re-miss exactly at the new version."""
+    graph = DiGraph(
+        labels={1: "a", 2: "b", 3: "c", 4: "c"}, edges=[(1, 2)]
+    )
+    repo = Repository(four_view_engine(graph))
+    baseline = {
+        (view, query): repo.read_latest(view, query) for view, query in SURFACE
+    }
+    warmed = repo.cache_stats()
+    assert warmed.misses == len(SURFACE)
+
+    # c→c among existing nodes: no keyword can reach through it and the
+    # ISO pattern needs a→b, so kws and iso are routed *away*; scc
+    # subscribes to everything and rpq's automaton consumes b/c edges.
+    report = repo.apply([insert(3, 4)])
+    assert not report.views["kws"].changed
+    assert not report.views["iso"].changed
+    assert report.views["scc"].changed
+
+    for view, query in (("kws", "roots"), ("iso", "matches")):
+        before = repo.cache_stats()
+        assert repo.read_latest(view, query) == baseline[(view, query)]
+        after = repo.cache_stats()
+        assert after.hits == before.hits + 1, (
+            f"{view} entry did not survive a batch routed away from it"
+        )
+        assert after.misses == before.misses
+    # The changed view re-misses once at its new version, then hits.
+    before = repo.cache_stats()
+    repo.read_latest("scc", "components")
+    assert repo.cache_stats().misses == before.misses + 1
+    repo.read_latest("scc", "components")
+    assert repo.cache_stats().misses == before.misses + 1
+
+
+def test_invalidation_counts_track_routed_views_only():
+    graph = DiGraph(labels={1: "a", 2: "b", 3: "c", 4: "c"}, edges=[(1, 2)])
+    repo = Repository(four_view_engine(graph))
+    report = repo.apply([insert(3, 4)])
+    routed = sum(1 for view in report.views.values() if view.changed)
+    assert 0 < routed < len(SURFACE)  # genuinely partial routing
+    assert repo.cache_stats().invalidations == routed

@@ -1,0 +1,243 @@
+"""Serving-layer torture test: N reader sessions under a live writer.
+
+The MVCC contract under real concurrency: a writer thread streams
+seeded batches through :meth:`Repository.apply` while 8+ reader threads
+open sessions, read every view several times with sleeps in between,
+and check each answer against a *per-generation oracle* computed on an
+independent shadow graph (from-scratch BLINKS/NFA/Tarjan/VF2, never the
+engine's own views).  Two properties fall out:
+
+* **No torn reads** — every read through one session must equal the
+  oracle at the session's single pinned generation, across all four
+  views and across time; a reader that ever saw a mix of generation k
+  and k+1 state fails the oracle comparison.
+* **Linearizability of admission** — a session opened after the writer
+  published generation k pins a generation ≥ k, so a read admitted
+  after batch k reflects batch k.
+
+The test honors ``REPRO_ENGINE_EXECUTOR``, so the CI matrix exercises
+the serving layer over serial, threaded, and process-backed fan-out.
+"""
+
+import random
+import threading
+import time
+
+import pytest
+
+from repro import DiGraph, Engine, Repository
+from repro.iso import ISOIndex, Pattern, vf2_matches
+from repro.kws import KWSIndex, KWSQuery, batch_kws
+from repro.rpq import RPQIndex, matches_only
+from repro.scc import SCCIndex, tarjan_scc
+
+READERS = 10
+BATCHES = 30
+LABELS = ["a", "b", "c", "d"]
+
+KWS_QUERY = KWSQuery(("a", "b"), bound=2)
+RPQ_QUERY = "a . (b + c)* . c"
+ISO_PATTERN = Pattern.from_edges({0: "a", 1: "b"}, [(0, 1)])
+
+#: The served surface the oracle covers: (view, query) pairs.
+SURFACE = (
+    ("kws", "roots"),
+    ("rpq", "matches"),
+    ("scc", "components"),
+    ("iso", "matches"),
+)
+
+
+def four_view_engine(graph):
+    engine = Engine(graph)
+    engine.register("kws", lambda g, m: KWSIndex(g, KWS_QUERY, meter=m))
+    engine.register("rpq", lambda g, m: RPQIndex(g, RPQ_QUERY, meter=m))
+    engine.register("scc", lambda g, m: SCCIndex(g, meter=m))
+    engine.register("iso", lambda g, m: ISOIndex(g, ISO_PATTERN, meter=m))
+    return engine
+
+
+def scratch_answers(graph):
+    """From-scratch recomputation of the whole served surface."""
+    return {
+        ("kws", "roots"): frozenset(batch_kws(graph, KWS_QUERY)),
+        ("rpq", "matches"): frozenset(matches_only(graph, RPQ_QUERY)),
+        ("scc", "components"): frozenset(tarjan_scc(graph).partition()),
+        ("iso", "matches"): frozenset(vf2_matches(graph, ISO_PATTERN)),
+    }
+
+
+def random_graph(rng):
+    size = rng.randint(6, 9)
+    graph = DiGraph(labels={node: rng.choice(LABELS) for node in range(size)})
+    pairs = [(s, t) for s in range(size) for t in range(size) if s != t]
+    for edge in rng.sample(pairs, k=min(len(pairs), 2 * size)):
+        graph.add_edge(*edge)
+    return graph
+
+
+def random_batch(rng, graph, next_node):
+    from repro import Delta, delete, insert
+
+    edges = list(graph.edges())
+    nodes = list(graph.nodes())
+    non_edges = [
+        (s, t)
+        for s in nodes
+        for t in nodes
+        if s != t and not graph.has_edge(s, t)
+    ]
+    updates = []
+    for edge in rng.sample(edges, k=min(len(edges), rng.randint(0, 2))):
+        updates.append(delete(*edge))
+    for edge in rng.sample(non_edges, k=min(len(non_edges), rng.randint(1, 3))):
+        updates.append(insert(*edge))
+    if rng.random() < 0.3:
+        fresh = next_node[0]
+        next_node[0] += 1
+        updates.append(
+            insert(rng.choice(nodes), fresh, target_label=rng.choice(LABELS))
+        )
+    rng.shuffle(updates)
+    return Delta(updates)
+
+
+def test_torture_readers_vs_writer():
+    rng = random.Random(0x5E21)
+    graph = random_graph(rng)
+    shadow = graph.copy()  # the oracle's graph: never touched by the engine
+    repo = Repository(four_view_engine(graph), max_sessions=READERS + 4)
+
+    # generation -> expected answers, computed on the shadow graph.  The
+    # oracle table is the only reader/writer shared state in the test
+    # itself; oracle_ready guards it and wakes readers waiting for the
+    # writer to record a freshly pinned generation.
+    oracle = {0: scratch_answers(shadow)}
+    oracle_lock = threading.Condition()
+    failures = []
+    generations_seen = set()
+    writer_done = threading.Event()
+
+    def writer():
+        next_node = [1000]
+        try:
+            for _ in range(BATCHES):
+                batch = random_batch(rng, shadow, next_node)
+                if not batch:
+                    continue
+                repo.apply(batch)
+                batch.apply_to(shadow)
+                with oracle_lock:
+                    oracle[repo.generation] = scratch_answers(shadow)
+                    oracle_lock.notify_all()
+                time.sleep(0.001)  # let readers interleave
+        except Exception as error:  # pragma: no cover - failure path
+            failures.append(("writer", error))
+        finally:
+            writer_done.set()
+            with oracle_lock:
+                oracle_lock.notify_all()
+
+    def reader(index):
+        thread_rng = random.Random(0xBEEF + index)
+        try:
+            while True:
+                done_before = writer_done.is_set()
+                observed = repo.generation
+                with repo.session() as session:
+                    # Linearizability of admission: the session cannot
+                    # pin anything older than a generation already
+                    # published before it was opened.
+                    assert session.generation >= observed
+                    pinned = session.generation
+                    with oracle_lock:
+                        while pinned not in oracle:
+                            oracle_lock.wait(1.0)
+                    with oracle_lock:
+                        expected = oracle[pinned]
+                    generations_seen.add(pinned)
+                    # Read the full surface twice with a pause between:
+                    # the writer advances meanwhile, the session must
+                    # not.  Any torn read — one view at generation k,
+                    # another at k+1 — breaks the oracle comparison.
+                    for _ in range(2):
+                        for view, query in SURFACE:
+                            answer = session.read(view, query)
+                            assert answer == expected[(view, query)], (
+                                f"view {view} at pinned generation "
+                                f"{pinned} diverged from the oracle"
+                            )
+                        time.sleep(thread_rng.uniform(0.0, 0.002))
+                if done_before:
+                    break
+        except Exception as error:  # pragma: no cover - failure path
+            failures.append((f"reader-{index}", error))
+
+    threads = [threading.Thread(target=writer)]
+    threads += [
+        threading.Thread(target=reader, args=(index,))
+        for index in range(READERS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+        assert not thread.is_alive(), "torture test deadlocked"
+
+    assert not failures, failures
+    assert repo.poisoned is None
+    # The writer actually advanced and readers actually pinned history:
+    # a vacuous run (all reads at generation 0) would not exercise MVCC.
+    assert repo.generation >= 10
+    assert len(generations_seen) >= 2
+    # Every session closed; retirement leaves only the newest
+    # generation's cache entries reachable.
+    assert repo.open_sessions == 0
+    final = repo.stats()
+    assert final["pinned_generations"] == []
+
+    # The final published state still matches the shadow oracle.
+    expected = scratch_answers(shadow)
+    for view, query in SURFACE:
+        assert repo.read_latest(view, query) == expected[(view, query)]
+
+
+def test_admission_after_publication_reflects_the_batch():
+    """The linearizability check in isolation, without thread timing:
+    after ``apply`` returns, a newly admitted session must observe the
+    batch — pinning an older generation would be a stale-admission bug
+    even though each individual read is internally consistent."""
+    from repro import insert
+
+    rng = random.Random(7)
+    repo = Repository(four_view_engine(random_graph(rng)))
+    shadow_nodes = sorted(repo.engine.graph.nodes())
+    source, target = shadow_nodes[0], 5000
+    before = repo.generation
+    repo.apply([insert(source, target, target_label="b")])
+    assert repo.generation == before + 1
+    with repo.session() as session:
+        assert session.generation >= before + 1
+        answer = session.read("scc", "components")
+        assert frozenset({target}) in answer
+
+
+@pytest.mark.parametrize("readers", [8, 12])
+def test_pool_admits_the_advertised_concurrency(readers):
+    """8+ sessions genuinely concurrent (the acceptance floor), all
+    reading while a writer applies between admissions."""
+    from repro import insert
+
+    rng = random.Random(11)
+    repo = Repository(four_view_engine(random_graph(rng)), max_sessions=readers)
+    sessions = [repo.session(timeout=0) for _ in range(readers)]
+    assert repo.open_sessions == readers
+    repo.apply([insert(0, 6000, target_label="d")])
+    baseline = sessions[0].read("scc", "components")
+    for session in sessions:
+        assert session.read("scc", "components") == baseline
+        assert frozenset({6000}) not in session.read("scc", "components")
+    assert frozenset({6000}) in repo.read_latest("scc", "components")
+    for session in sessions:
+        session.close()
+    assert repo.open_sessions == 0

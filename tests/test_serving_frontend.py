@@ -1,0 +1,237 @@
+"""Wire tests for the asyncio front door: protocol ops, session
+ownership per connection, and load-shedding with retry-after.
+
+Each test drives a real TCP socket on a loopback ephemeral port via
+``asyncio.run`` — no third-party async test plugin needed."""
+
+import asyncio
+import json
+import threading
+
+from repro import DiGraph, Engine, Repository
+from repro.kws import KWSIndex, KWSQuery
+from repro.scc import SCCIndex
+from repro.serving import ServingFrontend, jsonable
+
+
+def make_repo(**kwargs):
+    engine = Engine(
+        DiGraph(labels={1: "a", 2: "b", 3: "c"}, edges=[(1, 2), (2, 3)])
+    )
+    engine.register("scc", lambda g, m: SCCIndex(g, meter=m))
+    engine.register(
+        "kws", lambda g, m: KWSIndex(g, KWSQuery(("a", "b"), 2), meter=m)
+    )
+    return Repository(engine, **kwargs)
+
+
+class Client:
+    """One NDJSON connection: ``await client.rpc({...})`` round-trips."""
+
+    def __init__(self, port):
+        self.port = port
+        self.reader = None
+        self.writer = None
+
+    async def __aenter__(self):
+        self.reader, self.writer = await asyncio.open_connection(
+            "127.0.0.1", self.port
+        )
+        return self
+
+    async def __aexit__(self, *exc_info):
+        self.writer.close()
+        try:
+            await self.writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    async def send(self, request):
+        self.writer.write(json.dumps(request).encode() + b"\n")
+        await self.writer.drain()
+
+    async def recv(self):
+        return json.loads(await self.reader.readline())
+
+    async def rpc(self, request):
+        await self.send(request)
+        return await self.recv()
+
+
+def test_protocol_roundtrip():
+    repo = make_repo()
+
+    async def scenario():
+        async with ServingFrontend(repo, port=0) as frontend:
+            async with Client(frontend.port) as client:
+                opened = await client.rpc({"op": "open"})
+                assert opened["ok"] and opened["generation"] == 0
+                session = opened["session"]
+
+                read = await client.rpc(
+                    {"op": "read", "session": session, "id": 42,
+                     "view": "scc", "query": "components"}
+                )
+                assert read == {
+                    "ok": True, "generation": 0, "id": 42,
+                    "answer": [[1], [2], [3]],
+                }
+
+                applied = await client.rpc(
+                    {"op": "apply", "updates": [["insert", 3, 1]]}
+                )
+                assert applied["ok"] and applied["generation"] == 1
+                assert "scc" in applied["routed"]
+
+                # The pinned session still answers at generation 0...
+                again = await client.rpc(
+                    {"op": "read", "session": session,
+                     "view": "scc", "query": "components"}
+                )
+                assert again["answer"] == [[1], [2], [3]]
+                # ...while a session-less read sees the new generation.
+                latest = await client.rpc(
+                    {"op": "read", "view": "scc", "query": "components"}
+                )
+                assert latest["generation"] == 1
+                assert latest["answer"] == [[1, 2, 3]]
+
+                assert (await client.rpc({"op": "close",
+                                          "session": session}))["ok"]
+                stats = await client.rpc({"op": "stats"})
+                assert stats["stats"]["generation"] == 1
+                assert stats["stats"]["frontend"]["max_inflight"] == 128
+
+    asyncio.run(scenario())
+    assert repo.open_sessions == 0
+
+
+def test_errors_are_structured_not_fatal():
+    repo = make_repo()
+
+    async def scenario():
+        async with ServingFrontend(repo, port=0) as frontend:
+            async with Client(frontend.port) as client:
+                bad = await client.rpc({"op": "read", "view": "nope",
+                                        "query": "x"})
+                assert bad == {"ok": False, "error": "unknown_query",
+                               "message": bad["message"]}
+                assert (await client.rpc({"op": "bogus"}))["error"] == (
+                    "bad_request"
+                )
+                assert (await client.rpc({"not": "a request"}))["error"] == (
+                    "bad_request"
+                )
+                assert (await client.rpc(
+                    {"op": "apply", "updates": [["noop", 1]]}
+                ))["error"] == "bad_request"
+                assert (await client.rpc(
+                    {"op": "read", "session": 99,
+                     "view": "scc", "query": "components"}
+                ))["error"] == "session_closed"
+                # An invalid batch surfaces as serving_error, and the
+                # connection keeps working afterwards.
+                invalid = await client.rpc(
+                    {"op": "apply", "updates": [["delete", 9, 9]]}
+                )
+                assert invalid["error"] == "serving_error"
+                assert (await client.rpc({"op": "stats"}))["ok"]
+
+    asyncio.run(scenario())
+
+
+def test_disconnect_releases_the_connections_sessions():
+    repo = make_repo(max_sessions=2)
+
+    async def scenario():
+        async with ServingFrontend(repo, port=0) as frontend:
+            async with Client(frontend.port) as client:
+                assert (await client.rpc({"op": "open"}))["ok"]
+                assert (await client.rpc({"op": "open"}))["ok"]
+                assert repo.open_sessions == 2
+            # Client gone: its pool slots must come back without
+            # waiting for any lease.
+            for _ in range(50):
+                if repo.open_sessions == 0:
+                    break
+                await asyncio.sleep(0.01)
+            assert repo.open_sessions == 0
+            async with Client(frontend.port) as client:
+                assert (await client.rpc({"op": "open"}))["ok"]
+
+    asyncio.run(scenario())
+
+
+def test_stop_waits_for_connection_cleanup():
+    """``stop()``'s contract: it disconnects still-open clients and
+    returns only after their sessions are released — no polling."""
+    repo = make_repo()
+
+    async def scenario():
+        frontend = ServingFrontend(repo, port=0)
+        await frontend.start()
+        reader, writer = await asyncio.open_connection(
+            "127.0.0.1", frontend.port
+        )
+        writer.write(json.dumps({"op": "open"}).encode() + b"\n")
+        await writer.drain()
+        assert json.loads(await reader.readline())["ok"]
+        assert repo.open_sessions == 1
+        await frontend.stop()  # client never disconnected
+        assert repo.open_sessions == 0
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    asyncio.run(scenario())
+
+
+def test_overload_sheds_with_retry_after():
+    repo = make_repo()
+    release = threading.Event()
+    started = threading.Event()
+
+    def slow_query(view):
+        started.set()
+        release.wait(10)
+        return view.components()
+
+    repo.register_query("scc", "slow", slow_query)
+
+    async def scenario():
+        async with ServingFrontend(repo, port=0, max_inflight=1,
+                                   retry_after=0.25) as frontend:
+            async with Client(frontend.port) as stuck, \
+                    Client(frontend.port) as shed:
+                await stuck.send({"op": "read", "view": "scc",
+                                  "query": "slow"})
+                # The slow read is genuinely executing (not merely
+                # buffered) before the second request arrives.
+                await asyncio.get_running_loop().run_in_executor(
+                    None, started.wait, 10
+                )
+                refused = await shed.rpc({"op": "read", "view": "scc",
+                                          "query": "components"})
+                assert refused["ok"] is False
+                assert refused["error"] == "overloaded"
+                assert refused["retry_after"] == 0.25
+                assert frontend.shed_count == 1
+
+                release.set()
+                answer = await stuck.recv()
+                assert answer["ok"] and answer["answer"] == [[1], [2], [3]]
+                # Capacity is back: the shed client's retry succeeds.
+                retried = await shed.rpc({"op": "read", "view": "scc",
+                                          "query": "components"})
+                assert retried["ok"]
+
+    asyncio.run(scenario())
+
+
+def test_jsonable_is_deterministic_over_frozen_answers():
+    nested = frozenset({frozenset({3, 1}), frozenset({2})})
+    assert jsonable(nested) == [[1, 3], [2]]
+    assert jsonable((1, (2, 3))) == [1, [2, 3]]
+    assert jsonable({"k": frozenset({2, 1})}) == {"k": [1, 2]}

@@ -1,0 +1,216 @@
+"""Unit tests for :class:`repro.serving.Repository`: pool semantics,
+lease expiry, generation lifecycle, the poison tripwires, the
+``cache=False`` escape hatch, and recovery from a ``SnapshotStore``."""
+
+import pytest
+
+from repro import (
+    DiGraph,
+    Engine,
+    Repository,
+    ServingError,
+    SessionLimitError,
+    insert,
+)
+from repro.kws import KWSIndex, KWSQuery
+from repro.persist import SnapshotStore
+from repro.scc import SCCIndex
+from repro.serving import (
+    RepositoryPoisonedError,
+    SessionClosedError,
+    SessionExpiredError,
+    UnknownQueryError,
+    freeze_answer,
+)
+
+
+def make_repo(**kwargs):
+    engine = Engine(
+        DiGraph(labels={1: "a", 2: "b", 3: "c"}, edges=[(1, 2), (2, 3)])
+    )
+    engine.register("scc", lambda g, m: SCCIndex(g, meter=m))
+    engine.register(
+        "kws", lambda g, m: KWSIndex(g, KWSQuery(("a", "b"), 2), meter=m)
+    )
+    return Repository(engine, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Pool and lease semantics
+# ----------------------------------------------------------------------
+
+
+def test_pool_bound_and_timeout():
+    repo = make_repo(max_sessions=2)
+    first, second = repo.session(timeout=0), repo.session(timeout=0)
+    with pytest.raises(SessionLimitError):
+        repo.session(timeout=0)
+    first.close()
+    third = repo.session(timeout=0)  # the freed slot is reusable
+    second.close(), third.close()
+    with pytest.raises(ServingError):
+        Repository(make_repo().engine, max_sessions=0)
+
+
+def test_lease_expiry_and_reap():
+    now = [0.0]
+    repo = make_repo(max_sessions=1, session_lease=10.0, clock=lambda: now[0])
+    session = repo.session(timeout=0)
+    session.read("scc", "components")
+    now[0] = 10.0  # lease boundary is inclusive: expired
+    with pytest.raises(SessionExpiredError):
+        session.read("scc", "components")
+    # The expired session's slot was reaped, so admission succeeds.
+    replacement = repo.session(timeout=0)
+    assert replacement.session_id != session.session_id
+    replacement.close()
+
+
+def test_renew_extends_the_lease():
+    now = [0.0]
+    repo = make_repo(session_lease=10.0, clock=lambda: now[0])
+    session = repo.session(timeout=0)
+    now[0] = 9.0
+    session.renew()
+    now[0] = 15.0  # past the original lease, inside the renewed one
+    session.read("scc", "components")
+    session.close()
+
+
+def test_close_is_idempotent_and_reads_after_close_fail():
+    repo = make_repo()
+    session = repo.session(timeout=0)
+    session.close()
+    session.close()
+    assert session.closed
+    with pytest.raises(SessionClosedError):
+        session.read("scc", "components")
+
+
+# ----------------------------------------------------------------------
+# Generations and the write stream
+# ----------------------------------------------------------------------
+
+
+def test_generation_advances_per_batch_and_rollback_publishes():
+    repo = make_repo()
+    assert repo.generation == 0
+    checkpoint = repo.checkpoint()
+    repo.apply([insert(3, 1)])
+    assert repo.generation == 1
+    with repo.session() as pinned:
+        assert frozenset({1, 2, 3}) in pinned.read("scc", "components")
+        repo.rollback(checkpoint)
+        # MVCC time moves forward even though graph time moved back.
+        assert repo.generation == 2
+        assert frozenset({1, 2, 3}) in pinned.read("scc", "components")
+    assert frozenset({1, 2, 3}) not in repo.read_latest("scc", "components")
+
+
+def test_read_latest_needs_no_session():
+    repo = make_repo()
+    answer = repo.read_latest("kws", "roots")
+    assert answer == {1}  # only node 1 reaches both "a" and "b" within 2
+    assert repo.open_sessions == 0
+
+
+def test_unknown_names_raise():
+    repo = make_repo()
+    with pytest.raises(UnknownQueryError):
+        repo.read_latest("nope", "roots")
+    with pytest.raises(UnknownQueryError):
+        repo.read_latest("scc", "nope")
+    with pytest.raises(UnknownQueryError):
+        repo.register_query("nope", "q", lambda view: None)
+
+
+def test_register_custom_query():
+    repo = make_repo()
+    repo.register_query("scc", "count", lambda view: len(view.components()))
+    assert repo.read_latest("scc", "count") == 3
+    assert "count" in repo.queries()["scc"]
+
+
+# ----------------------------------------------------------------------
+# Poison tripwires
+# ----------------------------------------------------------------------
+
+
+def test_out_of_band_engine_mutation_poisons():
+    repo = make_repo()
+    with repo.session() as session:
+        repo.engine.apply([insert(3, 1)])  # behind the repository's back
+        assert repo.poisoned is not None
+        with pytest.raises(RepositoryPoisonedError):
+            session.read("scc", "components")
+    with pytest.raises(RepositoryPoisonedError):
+        repo.apply([insert(1, 3)])
+    with pytest.raises(RepositoryPoisonedError):
+        repo.session()
+
+
+def test_close_detaches_the_publication_hook():
+    repo = make_repo()
+    engine = repo.engine
+    repo.close()
+    engine.apply([insert(3, 1)])  # direct use after close is legitimate
+    with pytest.raises(ServingError):
+        repo.session()
+
+
+def test_snapshot_save_does_not_poison(tmp_path):
+    repo = make_repo()
+    store = SnapshotStore(tmp_path / "store")
+    store.attach(repo.engine)
+    store.save(repo.engine)  # capture, not mutation: no publication
+    repo.apply([insert(3, 1)])
+    assert repo.poisoned is None
+    store.save(repo.engine, incremental=True)
+    assert repo.poisoned is None
+
+
+# ----------------------------------------------------------------------
+# cache=False and freeze_answer
+# ----------------------------------------------------------------------
+
+
+def test_cache_disabled_serves_latest_only():
+    repo = make_repo(cache=False)
+    with repo.session() as session:
+        assert session.read("kws", "roots") == {1}
+        repo.apply([insert(3, 1)])
+        with pytest.raises(ServingError):
+            session.read("scc", "components")  # scc changed: unservable
+    assert repo.cache_stats().entries == 0
+    assert repo.read_latest("scc", "components") == {frozenset({1, 2, 3})}
+
+
+def test_freeze_answer_is_deeply_immutable_and_equal():
+    frozen = freeze_answer({frozenset({1}), frozenset({2})})
+    assert frozen == {frozenset({1}), frozenset({2})}
+    assert isinstance(frozen, frozenset)
+    assert freeze_answer([1, [2, 3]]) == (1, (2, 3))
+    assert freeze_answer({"k": {1, 2}}) == (("k", frozenset({1, 2})),)
+
+
+# ----------------------------------------------------------------------
+# Recovery
+# ----------------------------------------------------------------------
+
+
+def test_recover_serves_a_persisted_session(tmp_path):
+    repo = make_repo()
+    store = SnapshotStore(tmp_path / "store")
+    store.attach(repo.engine)
+    store.save(repo.engine)
+    repo.apply([insert(3, 1)])  # journaled after the snapshot: log tail
+    expected = repo.read_latest("scc", "components")
+    repo.close()
+
+    revived = Repository.recover(store, max_sessions=4)
+    assert revived.generation == 0  # a fresh serving epoch
+    with revived.session() as session:
+        assert session.read("scc", "components") == expected
+    revived.apply([insert(2, 1)])
+    assert revived.generation == 1
+    revived.close()

@@ -8,6 +8,7 @@ from tools.analysis.checkers.concurrency import ConcurrencyChecker
 from tools.analysis.checkers.docstrings import DocstringChecker
 from tools.analysis.checkers.durability import DurabilityChecker
 from tools.analysis.checkers.exceptions import ExceptionHygieneChecker
+from tools.analysis.checkers.serving import ServingChecker
 from tools.analysis.checkers.spec_drift import SpecDriftChecker
 from tools.analysis.checkers.view_protocol import ViewProtocolChecker
 
@@ -18,6 +19,7 @@ ALL_CHECKERS = (
     DurabilityChecker(),
     SpecDriftChecker(),
     ConcurrencyChecker(),
+    ServingChecker(),
     ViewProtocolChecker(),
     ExceptionHygieneChecker(),
     DocstringChecker(),

@@ -1,10 +1,11 @@
 """Rule ``docstrings`` — public API in the contract packages is
 documented.
 
-Invariant protected: ``repro.engine``, ``repro.persist``, and
-``repro.graph`` docstrings are normative contracts (the doctest suite
-executes them; FORMATS.md/PERSISTENCE.md cite them).  An undocumented
-public name there is an undocumented promise.
+Invariant protected: ``repro.engine``, ``repro.persist``,
+``repro.graph``, and ``repro.serving`` docstrings are normative
+contracts (the doctest suite executes them; FORMATS.md/PERSISTENCE.md/
+SERVING.md cite them).  An undocumented public name there is an
+undocumented promise.
 
 This is the AST port of the retired ``tools/check_docstrings.py``
 import-based gate, folded into the suite so one command runs every
@@ -36,6 +37,7 @@ SCOPES = (
     "src/repro/engine/",
     "src/repro/persist/",
     "src/repro/graph/",
+    "src/repro/serving/",
 )
 
 
@@ -53,7 +55,8 @@ class DocstringChecker(Checker):
 
     name = "docstrings"
     description = (
-        "public API in engine/, persist/, graph/ must carry docstrings"
+        "public API in engine/, persist/, graph/, serving/ must carry "
+        "docstrings"
     )
 
     def applies_to(self, rel: str) -> bool:

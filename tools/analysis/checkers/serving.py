@@ -1,0 +1,151 @@
+"""Rule ``serving`` — serving-layer shared state is written under a lock.
+
+Invariant protected: :mod:`repro.serving` is the one package whose
+objects are *designed* to be mutated from many threads at once — the
+``Repository``'s generation table, cache, session registry, and pool
+counters are all shared between reader threads and the write stream.
+The module-global ``concurrency`` rule cannot see this: the shared
+state lives on instances, not modules.
+
+The rule: a class that **owns a lock** — its ``__init__`` assigns a
+``self`` attribute whose name mentions ``lock``/``mutex`` — has opted
+its instance state into synchronization, so every ``self.<attr>``
+assignment in its *other* methods must be lexically inside a ``with``
+block whose context expression mentions a lock-ish identifier.  This
+also makes lock-naming load-bearing: guard objects in serving code must
+carry ``lock`` in the attribute name or the rule cannot see the guard
+(``self._lock = threading.Condition()`` is the idiom, not
+``self._cond``).
+
+Escape hatches, both grep-able:
+
+* methods named ``*_locked`` are exempt — the project-wide suffix
+  convention for "caller already holds the lock"; the call site sits
+  inside the ``with`` block instead;
+* a ``# repro-lint: ignore[serving]`` comment on the assignment line,
+  for state provably confined to one thread (e.g. an asyncio front end
+  whose attributes are only touched on the event loop — which is why
+  such classes should simply not own a lock attribute at all).
+
+Classes that own no lock are not checked: single-threaded helpers and
+event-loop-confined front ends stay lock-free by construction, and
+*that* design statement is exactly the absence the rule keys off.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.analysis.astutil import iter_with_ancestors, mentions_lock
+from tools.analysis.core import Checker, Finding, SourceFile
+
+__all__ = ["ServingChecker"]
+
+
+def _self_attr_targets(node: ast.AST) -> list[ast.Attribute]:
+    """``self.<attr>`` targets this statement assigns, if any."""
+    targets: list[ast.expr] = []
+    if isinstance(node, ast.Assign):
+        targets = list(node.targets)
+    elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+        targets = [node.target]
+    found: list[ast.Attribute] = []
+    for target in targets:
+        if isinstance(target, ast.Tuple):
+            candidates: list[ast.expr] = list(target.elts)
+        else:
+            candidates = [target]
+        for candidate in candidates:
+            if (
+                isinstance(candidate, ast.Attribute)
+                and isinstance(candidate.value, ast.Name)
+                and candidate.value.id == "self"
+            ):
+                found.append(candidate)
+    return found
+
+
+def _lock_attrs_in_init(cls: ast.ClassDef) -> list[str]:
+    """Lock-ish ``self`` attributes the class's ``__init__`` creates."""
+    init = next(
+        (
+            node
+            for node in cls.body
+            if isinstance(node, ast.FunctionDef) and node.name == "__init__"
+        ),
+        None,
+    )
+    if init is None:
+        return []
+    attrs: list[str] = []
+    for node in ast.walk(init):
+        for target in _self_attr_targets(node):
+            lowered = target.attr.lower()
+            if "lock" in lowered or "mutex" in lowered:
+                attrs.append(target.attr)
+    return attrs
+
+
+class ServingChecker(Checker):
+    """Lock-owning serving classes must guard instance-state writes."""
+
+    name = "serving"
+    description = (
+        "serving classes that own a lock must write self.* state under it"
+    )
+
+    def applies_to(self, rel: str) -> bool:
+        return rel.startswith("src/repro/serving/")
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        for node, _ in iter_with_ancestors(source.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(source, node)
+
+    def _check_class(
+        self, source: SourceFile, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        lock_attrs = _lock_attrs_in_init(cls)
+        if not lock_attrs:
+            return  # lock-free by design: nothing opted in
+        for method in cls.body:
+            if not isinstance(
+                method, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            if method.name == "__init__" or method.name.endswith("_locked"):
+                continue
+            yield from self._check_method(source, cls, method)
+
+    def _check_method(
+        self,
+        source: SourceFile,
+        cls: ast.ClassDef,
+        method: ast.AST,
+    ) -> Iterator[Finding]:
+        for node, ancestors in iter_with_ancestors(method):
+            for target in _self_attr_targets(node):
+                if self._under_lock(ancestors):
+                    continue
+                yield Finding(
+                    source.rel,
+                    node.lineno,
+                    self.name,
+                    f"unguarded write to self.{target.attr} in "
+                    f"{cls.name}.{getattr(method, 'name', '?')} — the class "
+                    "owns a lock, so instance state is shared across "
+                    "threads; wrap the write in `with <lock>:`, move it "
+                    "into a *_locked helper called under the lock, or "
+                    "suppress with '# repro-lint: ignore[serving]' if the "
+                    "attribute is provably single-threaded",
+                )
+
+    @staticmethod
+    def _under_lock(ancestors: tuple[ast.AST, ...]) -> bool:
+        for ancestor in ancestors:
+            if isinstance(ancestor, (ast.With, ast.AsyncWith)) and any(
+                mentions_lock(item.context_expr) for item in ancestor.items
+            ):
+                return True
+        return False

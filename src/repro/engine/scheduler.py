@@ -20,25 +20,39 @@ hottest path in three ways:
   *read* the shared graph during ``absorb``, so independent views can
   repair concurrently.  The executor strategy is pluggable:
   ``"serial"`` (default), ``"threads"`` (a shared
-  :class:`concurrent.futures.ThreadPoolExecutor`), or ``"processes"``;
-  pick one per engine via ``Engine(executor=...)`` or process-wide via
-  the ``REPRO_ENGINE_EXECUTOR`` environment variable.  Every
-  :class:`ViewReport` carries wall-clock ``wall_seconds`` alongside its
+  :class:`concurrent.futures.ThreadPoolExecutor`), ``"processes"``, or
+  ``"workers"``; pick one per engine via ``Engine(executor=...)`` or
+  process-wide via the ``REPRO_ENGINE_EXECUTOR`` environment variable
+  (an unknown value raises :class:`SchedulerError` naming the accepted
+  strategies).  Every :class:`ViewReport` carries wall-clock
+  ``wall_seconds`` alongside its
   :class:`~repro.core.cost.CostSnapshot` units.
 
-  Under ``"processes"`` the *view absorbs themselves* still run on the
-  shared thread pool: a view repairs auxiliary state that lives in the
-  engine's address space, and Python cannot mutate parent-process
-  objects from a worker process without shipping the whole structure
-  both ways, which would cost more than the repair.  What the strategy
-  actually moves onto worker processes is the **picklable, shard-local
-  work** the engine's apply path delegates: the per-segment write-ahead
-  appends of a :class:`~repro.persist.deltalog.SegmentedDeltaLog`,
-  which resolves the same ``REPRO_ENGINE_EXECUTOR`` variable and ships
-  routed sub-deltas to a spawn-based pool.  (Per-segment *compaction*
-  runs in the caller — its pause is bounded by rotating one segment
-  per firing, not by offload.)  See ``docs/OPERATIONS.md`` for when
-  each strategy wins.
+  **Absorbs never cross a process boundary** under any strategy: a
+  view repairs auxiliary state that lives in the engine's address
+  space, and shipping that structure both ways would cost more than
+  the repair.  The two process-backed strategies differ in what they
+  offload and how:
+
+  * ``"processes"`` is the **append-offload tier**: absorbs run on the
+    shared thread pool, and the picklable per-segment write-ahead
+    appends of a :class:`~repro.persist.deltalog.SegmentedDeltaLog`
+    (which resolves the same ``REPRO_ENGINE_EXECUTOR`` variable) ship
+    to a spawn-based pool — paying one pickling round-trip *per
+    batch*.  Prefer ``workers`` for throughput; this tier survives as
+    the stateless fallback shape.
+  * ``"workers"`` is the **resident shared-nothing tier**
+    (:mod:`repro.shardexec`): one long-lived process per shard owns
+    its log segment and sub-graph replica, appends pipeline across
+    batches under group-commit windows (format v4) with no per-batch
+    pickling of graphs or pools, and durability is acknowledged per
+    sealed window instead of per batch.  Where worker processes
+    cannot start, it degrades to in-process windowed appends — same
+    framing, same durability rules.
+
+  (Per-segment *compaction* runs in the caller — its pause is bounded
+  by rotating one segment per firing, not by offload.)  See
+  ``docs/OPERATIONS.md`` §2 for when each strategy wins.
 * **Dirty accounting** — the dispatch result says which views absorbed a
   non-empty delivery; the engine folds that into its dirty set, which is
   what lets :meth:`repro.persist.SnapshotStore.save` with
@@ -87,12 +101,17 @@ __all__ = [
 #: Environment variable selecting the default executor strategy.
 EXECUTOR_ENV = "REPRO_ENGINE_EXECUTOR"
 
-#: Accepted executor strategy names.  ``processes`` dispatches view
-#: absorbs on the thread tier (shared-memory repair cannot cross a
-#: process boundary) and additionally routes the picklable shard-local
-#: persistence stage — segmented-log appends — onto a worker-process
-#: pool.
-EXECUTOR_STRATEGIES = ("serial", "threads", "processes")
+#: Accepted executor strategy names.  View absorbs dispatch on the
+#: thread tier under every parallel strategy (shared-memory repair
+#: cannot cross a process boundary); the strategies differ in how the
+#: shard-local persistence stage runs.  ``processes`` is the
+#: append-offload tier: it ships each batch's segmented-log sub-appends
+#: to a stateless worker-process pool, pickling per batch.
+#: ``workers`` is the resident shared-nothing tier
+#: (:mod:`repro.shardexec`): long-lived per-shard processes own their
+#: segment and replica, and appends pipeline under group-commit
+#: windows — prefer it wherever worker processes can start.
+EXECUTOR_STRATEGIES = ("serial", "threads", "processes", "workers")
 
 _ZERO_COST = CostSnapshot(
     node_visits=0, distinct_nodes=0, edges_traversed=0, writes=0, pq_ops=0
@@ -255,7 +274,7 @@ class FanOutScheduler:
         """Run every non-skipped plan under the executor strategy and
         assemble the per-view reports in registration order."""
         live = [plan for plan in plans if not plan.skipped]
-        if self.executor in ("threads", "processes") and len(live) > 1:
+        if self.executor in ("threads", "processes", "workers") and len(live) > 1:
             results = dict(
                 zip(
                     (plan.name for plan in live),

@@ -38,6 +38,20 @@ Segments append and fsync independently — which is what the
 independently too (one rotating segment per background firing, run in
 the caller).  The full framing contract lives in ``docs/FORMATS.md``.
 
+**Group-commit windows** (format v4): with a ``window_size`` set (or
+under the ``workers`` executor), consecutive batches pipeline under a
+shared window — each sub-entry is tagged by a ``%window <id>`` line and
+written *without* an fsync, and the whole window becomes durable at
+once when :meth:`SegmentedDeltaLog.seal_window` writes ``%seal <id>
+<participants>`` to every touched segment and fsyncs there.  A window
+missing its seal anywhere (a crash mid-window) is **discarded whole**
+on recovery: none of its batches were acknowledged as durable, so
+dropping all of them recovers to a prefix of sealed windows — the
+cross-segment atomicity rule generalized from one batch to a window
+(ARCHITECTURE.md invariant 11).  The fsync amortization — one per
+window per segment instead of one per batch — is what the resident
+shard workers of :mod:`repro.shardexec` buy their throughput with.
+
 Example::
 
     >>> import tempfile, pathlib
@@ -126,11 +140,17 @@ class LogEntry:
     were routed to (always 1 in a monolithic :class:`DeltaLog`; a
     :class:`SegmentedDeltaLog` merges per-segment sub-entries and a seq
     only commits when all of its participants did).
+
+    ``window`` is the group-commit window id the entry was written
+    under (``None`` for per-batch-durable v1–v3 entries).  A windowed
+    entry is durable only through its window's seal; readers that see
+    a non-``None`` window here already verified the seal.
     """
 
     seq: int
     delta: Delta
     participants: int = 1
+    window: Optional[int] = None
 
 
 def _net_cancel_window(
@@ -212,6 +232,11 @@ class DeltaLog:
         self.path = Path(path)
         self._next_seq: int | None = None  # lazily derived from the file
         self._tail_known_clean = False  # our own appends end in "\n"
+        #: Window id of this object's open (appended-to but not yet
+        #: sealed) group-commit window, if any.  Tracked so compaction
+        #: can refuse to rewrite away content the caller still intends
+        #: to seal.
+        self._open_window: int | None = None
 
     # ------------------------------------------------------------------
     # Writing
@@ -222,6 +247,7 @@ class DeltaLog:
         delta: Delta,
         seq: Optional[int] = None,
         participants: Optional[int] = None,
+        window: Optional[int] = None,
     ) -> int:
         """Durably append one batch; returns its sequence number.
 
@@ -240,6 +266,13 @@ class DeltaLog:
         pinned and the participant count recorded in the ``%batch``
         frame.  A pinned seq must not regress below seqs this file
         already mentions (that would violate commit monotonicity).
+
+        ``window`` (format v4) tags the entry with a group-commit
+        window id: a ``%window <id>`` line precedes the ``%batch``
+        frame and the write is flushed but **not** fsynced — durability
+        is deferred to :meth:`seal_window`, and until the seal lands
+        the entry is torn debris that recovery discards whole with the
+        rest of its window.
         """
         if seq is None:
             seq = self._allocate_seq()
@@ -255,39 +288,83 @@ class DeltaLog:
             if participants is None or participants == 1
             else render_directive("batch", seq, participants)
         )
+        if window is not None:
+            frame = render_directive("window", window) + frame
         entry = "".join(
             [frame]
             + [update_to_line(update) for update in delta]
             + [render_directive("commit")]
         )
         created = not self.path.exists()
-        if self._missing_trailing_newline():
-            entry = "\n" + entry
+        entry = self._heal_prefix() + entry
         with open(self.path, "a", encoding="utf-8") as stream:
             stream.write(entry)
             stream.flush()
-            os.fsync(stream.fileno())
+            if window is None:
+                os.fsync(stream.fileno())
         if created:
             fsync_directory(self.path.parent)  # the file's name itself
+        if window is not None:
+            self._open_window = window
         self._next_seq = seq + 1
         return seq
 
-    def _missing_trailing_newline(self) -> bool:
-        """Probe the last byte — but only before this object's first
-        append; our own entries always end in a newline, so afterwards
-        the probe would be dead work on the per-batch hot path."""
+    def seal_window(self, window: int, participants: int) -> None:
+        """Seal group-commit window ``window``: write ``%seal <id>
+        <participants>`` and fsync, making every entry appended under
+        the window durable at once.
+
+        ``participants`` is the number of *segments* holding entries of
+        this window across the whole (possibly segmented) log — always
+        1 for a standalone monolithic log.  Recovery admits the window
+        only when that many segment files carry a matching seal, so a
+        crash between sibling seals still discards the window whole.
+        """
+        line = self._heal_prefix() + render_directive("seal", window, participants)
+        with open(self.path, "a", encoding="utf-8") as stream:
+            stream.write(line)
+            stream.flush()
+            os.fsync(stream.fileno())
+        if self._open_window == window:
+            self._open_window = None
+
+    def _heal_prefix(self) -> str:
+        """Healing prefix for this object's first append — afterwards our
+        own writes always leave a clean tail, so the probe would be dead
+        work on the per-batch hot path.
+
+        Two crash shapes need healing: a torn final line without a
+        newline (prefix a ``"\\n"`` so the fragment cannot glue onto our
+        frame), and a file ending in a complete-but-dangling ``%window
+        <id>`` tag whose batch never followed (prefix ``%abort <id>`` so
+        the orphaned tag cannot adopt *our* per-batch-durable entry into
+        its torn window — the reader would then discard an acknowledged
+        append).
+        """
         if self._tail_known_clean:
-            return False
+            return ""
         self._tail_known_clean = True
         try:
             with open(self.path, "rb") as stream:
                 stream.seek(0, os.SEEK_END)
-                if stream.tell() == 0:
-                    return False
-                stream.seek(-1, os.SEEK_END)
-                return stream.read(1) != b"\n"
+                size = stream.tell()
+                if size == 0:
+                    return ""
+                stream.seek(-min(size, 4096), os.SEEK_END)
+                tail = stream.read()
         except FileNotFoundError:
-            return False
+            return ""
+        if not tail.endswith(b"\n"):
+            return "\n"
+        last_line = tail[:-1].rsplit(b"\n", 1)[-1]
+        if last_line.startswith(b"%window"):
+            try:
+                _, operands = parse_directive(last_line.decode("utf-8").strip())
+            except (ValueError, UnicodeDecodeError):
+                return ""  # malformed tag never arms the reader
+            if len(operands) == 1 and isinstance(operands[0], int):
+                return render_directive("abort", operands[0])
+        return ""
 
     def _allocate_seq(self) -> int:
         if self._next_seq is None:
@@ -308,6 +385,23 @@ class DeltaLog:
                     seq = _directive_seq(line)
                     if seq is not None:  # torn mid-line; entries() reports it
                         highest = max(highest, seq)
+        return highest
+
+    def _scan_max_window(self) -> int:
+        """Highest group-commit window id *mentioned* in the file —
+        sealed or torn — so a restarted coordinator never reuses a
+        window id (a reused id could glue torn debris onto a later
+        sealed window)."""
+        highest = 0
+        if not self.path.exists():
+            return highest
+        with open(self.path, "r", encoding="utf-8") as stream:
+            for line in stream:
+                line = line.strip()
+                if line.startswith(("%window", "%seal")):
+                    window = _directive_seq(line)
+                    if window is not None:
+                        highest = max(highest, window)
         return highest
 
     # ------------------------------------------------------------------
@@ -331,13 +425,42 @@ class DeltaLog:
         Entries with ``seq <= after`` are skipped at the framing level —
         their records are not tokenized or materialized — so recovery
         read cost is sized by the tail, not the whole uncompacted log.
+
+        Group-commit windows (format v4): an entry tagged by a
+        ``%window <id>`` line is buffered and only surfaces once a
+        matching ``%seal`` line arrives; entries of a window that is
+        never sealed are torn debris — their batches were never
+        acknowledged as durable — and are silently dropped, exactly
+        like a torn per-batch tail.
+        """
+        result, _, _ = self._entries_scan(after)
+        return result
+
+    def _entries_scan(
+        self, after: int = 0
+    ) -> tuple[list[LogEntry], dict[int, int], list[LogEntry]]:
+        """Full framing scan behind :meth:`entries`.
+
+        Returns ``(committed, sealed, unsealed)``: the committed durable
+        entries in ascending seq order (windowed ones tagged with their
+        window id), the ``{window_id: seal_participants}`` map of every
+        ``%seal`` in the file, and the entries of *unsealed* windows —
+        batch-committed but never made durable.  The last list is what
+        :meth:`compact` turns into empty frames so torn-window seqs stay
+        spoken for across a rewrite; :class:`SegmentedDeltaLog` uses the
+        seal map to enforce the cross-segment window-atomicity rule.
         """
         result: list[LogEntry] = []
+        sealed: dict[int, int] = {}
+        buffers: dict[int, list[LogEntry]] = {}
+        aborted: list[LogEntry] = []
         if not self.path.exists():
-            return result
+            return result, sealed, []
         source = str(self.path)
         open_seq: int | None = None
         open_participants = 1
+        open_window: int | None = None
+        pending_window: int | None = None
         open_updates: list = []
         poisoned = False  # inside a torn fragment, awaiting the next %batch
         previous_seq = 0
@@ -351,6 +474,7 @@ class DeltaLog:
                         keyword, operands = parse_directive(line)
                     except ValueError:
                         open_seq = None  # torn mid-directive
+                        pending_window = None
                         poisoned = True
                         continue
                     if keyword == "batch":
@@ -360,6 +484,7 @@ class DeltaLog:
                             or (len(operands) == 2 and operands[1] < 1)
                         ):
                             open_seq = None  # "%batch" torn before its seq
+                            pending_window = None
                             poisoned = True
                             continue
                         # an open entry at this point was never committed
@@ -367,6 +492,8 @@ class DeltaLog:
                         open_participants = (
                             operands[1] if len(operands) == 2 else 1
                         )
+                        open_window = pending_window
+                        pending_window = None
                         open_updates = []
                         poisoned = False
                         if open_seq <= previous_seq:
@@ -385,15 +512,59 @@ class DeltaLog:
                             )
                         previous_seq = open_seq
                         if open_seq > after:
-                            result.append(
-                                LogEntry(
-                                    open_seq,
-                                    Delta(open_updates),
-                                    open_participants,
-                                )
+                            entry = LogEntry(
+                                open_seq,
+                                Delta(open_updates),
+                                open_participants,
+                                open_window,
                             )
+                            if open_window is None:
+                                result.append(entry)
+                            else:  # durable only through its window's seal
+                                buffers.setdefault(open_window, []).append(entry)
                         open_seq = None
                         open_updates = []
+                    elif keyword == "window":
+                        # tags the *next* %batch entry with a window id;
+                        # an open entry at this point was never committed
+                        open_seq = None
+                        if len(operands) != 1 or not isinstance(operands[0], int):
+                            pending_window = None  # torn "%window" prefix
+                            poisoned = True
+                            continue
+                        pending_window = operands[0]
+                        poisoned = False
+                    elif keyword == "seal":
+                        open_seq = None  # an open entry here is torn debris
+                        if (
+                            len(operands) != 2
+                            or not all(isinstance(op, int) for op in operands)
+                            or operands[1] < 1
+                        ):
+                            poisoned = True  # torn seal: window stays unsealed
+                            continue
+                        window_id, participants = operands
+                        if window_id in sealed:
+                            raise PersistFormatError(
+                                source,
+                                line_number,
+                                f"window {window_id} sealed twice",
+                            )
+                        sealed[window_id] = participants
+                        result.extend(buffers.pop(window_id, []))
+                        poisoned = False
+                    elif keyword == "abort":
+                        # heal marker: the preceding %window tag dangled
+                        # (crash between the tag and its batch) and must
+                        # not adopt the entries that follow
+                        open_seq = None
+                        if len(operands) != 1 or not isinstance(operands[0], int):
+                            poisoned = True
+                            continue
+                        if pending_window == operands[0]:
+                            pending_window = None
+                        aborted.extend(buffers.pop(operands[0], ()))  # torn whole
+                        poisoned = False
                     elif keyword == "truncated":
                         # compaction floor: entries <= this seq were
                         # committed and then compacted away.
@@ -420,10 +591,19 @@ class DeltaLog:
                 except ValueError:
                     open_seq = None  # torn mid-record
                     poisoned = True
-        return result
+        # buffered windowed entries can seal after later plain appends;
+        # surface the merged list in seq order regardless of file order
+        result.sort(key=lambda entry: entry.seq)
+        for entries in buffers.values():
+            aborted.extend(entries)
+        aborted.sort(key=lambda entry: entry.seq)
+        return result, sealed, aborted
 
     def last_seq(self) -> int:
-        """Seq of the newest committed entry (0 for an empty/new log).
+        """Seq of the newest *durable* committed entry (0 for an
+        empty/new log).  Entries inside an unsealed group-commit window
+        do not count: their batches were never acknowledged as durable,
+        and recovery will discard them whole.
 
         A light line scan — no :class:`Delta` materialization — so
         periodic :meth:`~repro.persist.snapshot.SnapshotStore.save`
@@ -431,46 +611,88 @@ class DeltaLog:
         """
         last = 0
         pending: int | None = None
+        pending_window: int | None = None
+        entry_window: int | None = None
+        window_last: dict[int, int] = {}
+        sealed: set[int] = set()
         if not self.path.exists():
             return last
         with open(self.path, "r", encoding="utf-8") as stream:
             for line in stream:
                 line = line.strip()
-                if line.startswith("%batch"):
+                if line.startswith("%window"):
+                    pending_window = _directive_seq(line)
+                elif line.startswith("%batch"):
                     # None on torn framing; entries() decides
                     pending = _directive_seq(line)
+                    entry_window = pending_window
+                    pending_window = None
                 elif line.startswith("%truncated"):
                     floor = _directive_seq(line)
                     if floor is not None:
                         last = max(last, floor)
+                elif line.startswith("%seal"):
+                    window = _directive_seq(line)
+                    if window is not None:
+                        sealed.add(window)
+                elif line.startswith("%abort"):
+                    window = _directive_seq(line)
+                    if window is not None:
+                        window_last.pop(window, None)  # torn whole
+                    pending_window = None
                 elif line.startswith("%commit") and pending is not None:
-                    last = pending
+                    if entry_window is None:
+                        last = max(last, pending)
+                    else:
+                        window_last[entry_window] = max(
+                            window_last.get(entry_window, 0), pending
+                        )
                     pending = None
+                    entry_window = None
+        for window, seq in window_last.items():
+            if window in sealed:
+                last = max(last, seq)
         return last
 
-    def commit_index(self) -> tuple[int, dict[int, tuple[int, bool]]]:
+    def commit_index(
+        self,
+    ) -> tuple[int, dict[int, tuple[int, bool, Optional[int]]], dict[int, int]]:
         """Light scan: ``(truncation_floor, {seq: (participants,
-        has_updates)})`` for every committed entry in this file.
+        has_updates, window)}, {window: seal_participants})`` for every
+        committed entry in this file.
 
         No :class:`Delta` is materialized — this is how a
         :class:`SegmentedDeltaLog` computes the globally committed
         :meth:`last_seq` (a seq counts only when every participant
-        segment committed it) and finds torn cross-segment debris to
-        void, without reading entry bodies.  ``has_updates`` is whether
-        the entry carries any record line (an emptied frame reads
-        ``False``).
+        segment committed it and its window, if any, sealed everywhere)
+        and finds torn cross-segment debris to void, without reading
+        entry bodies.  ``has_updates`` is whether the entry carries any
+        record line (an emptied frame reads ``False``); ``window`` is
+        the entry's group-commit window id (``None`` for per-batch
+        entries) — **entries of unsealed windows are included**, tagged
+        with their window, so callers can tell torn windowed debris
+        apart by consulting the seal map.  An aborted window's entries
+        are dropped (torn whole, exactly as :meth:`entries` treats
+        them).
         """
         floor = 0
-        commits: dict[int, tuple[int, bool]] = {}
+        commits: dict[int, tuple[int, bool, Optional[int]]] = {}
+        seals: dict[int, int] = {}
         pending: tuple[int, int] | None = None
+        pending_window: int | None = None
+        entry_window: int | None = None
         has_updates = False
         if not self.path.exists():
-            return floor, commits
+            return floor, commits, seals
         with open(self.path, "r", encoding="utf-8") as stream:
             for line in stream:
                 line = line.strip()
-                if line.startswith("%batch"):
+                if line.startswith("%window"):
+                    pending_window = _directive_seq(line)
+                elif line.startswith("%batch"):
                     pending = None
+                    entry_window = pending_window
+                    pending_window = None
                     has_updates = False
                     try:
                         _, operands = parse_directive(line)
@@ -487,12 +709,31 @@ class DeltaLog:
                     watermark = _directive_seq(line)
                     if watermark is not None:
                         floor = max(floor, watermark)
+                elif line.startswith("%seal"):
+                    try:
+                        _, operands = parse_directive(line)
+                        if len(operands) == 2 and all(
+                            isinstance(op, int) for op in operands
+                        ):
+                            seals[operands[0]] = operands[1]
+                    except ValueError:
+                        pass  # torn seal: the window stays unsealed
+                elif line.startswith("%abort"):
+                    window = _directive_seq(line)
+                    if window is not None:
+                        commits = {
+                            seq: value
+                            for seq, value in commits.items()
+                            if value[2] != window
+                        }
+                    pending_window = None
                 elif line.startswith("%commit") and pending is not None:
-                    commits[pending[0]] = (pending[1], has_updates)
+                    commits[pending[0]] = (pending[1], has_updates, entry_window)
                     pending = None
+                    entry_window = None
                 elif line and not line.startswith(("%", "#")):
                     has_updates = True
-        return floor, commits
+        return floor, commits, seals
 
     # ------------------------------------------------------------------
     # Compaction
@@ -558,15 +799,24 @@ class DeltaLog:
         allocation and cursors never regress.  Pass ``graph_nodes=None``
         (the default) to skip cancellation entirely.
         """
+        if self._open_window is not None:
+            raise ValueError(
+                f"group-commit window {self._open_window} is still open in "
+                "this log; seal it (seal_window / flush) before compacting "
+                "— a rewrite would silently drop its unsealed entries"
+            )
         lagging = list(lagging)
         retained: list[LogEntry] = []
+        read_from = after
         if lagging or void_seqs:
             read_from = min(
                 [after]
                 + [cursor for cursor, _ in lagging]
                 + [seq - 1 for seq in void_seqs]
             )
-            for entry in self.entries(after=read_from):
+        committed, _, unsealed = self._entries_scan(read_from)
+        if lagging or void_seqs:
+            for entry in committed:
                 if entry.seq in void_seqs:
                     retained.append(
                         LogEntry(entry.seq, Delta([]), entry.participants)
@@ -576,7 +826,14 @@ class DeltaLog:
                 ):
                     retained.append(entry)
         else:
-            retained = self.entries(after=after)
+            retained = committed
+        # entries of unsealed windows are torn debris from a crash: their
+        # content must not survive the rewrite (recovery discards a torn
+        # window whole), but their seqs must stay spoken for — keep the
+        # frame, drop the updates.
+        for entry in unsealed:
+            retained.append(LogEntry(entry.seq, Delta([]), entry.participants))
+        retained.sort(key=lambda entry: entry.seq)
         if graph_nodes is not None:
             retained = _net_cancel_window(retained, after, graph_nodes)
         # The allocation watermark must never shrink: every seq <= after
@@ -663,12 +920,28 @@ def _resolve_log_executor(executor: Optional[str]) -> str:
     ``serial``)."""
     if executor is None:
         executor = os.environ.get(EXECUTOR_ENV) or "serial"
-    if executor not in ("serial", "threads", "processes"):
+    if executor not in ("serial", "threads", "processes", "workers"):
         raise ValueError(
             f"unknown log executor {executor!r}; expected 'serial', "
-            "'threads', or 'processes'"
+            "'threads', 'processes', or 'workers'"
         )
     return executor
+
+
+#: Environment variable setting the default group-commit window size
+#: for logs journaling under the ``workers`` executor (see
+#: ``docs/OPERATIONS.md``).  Unset/invalid → 1: windowed framing with
+#: per-batch seals, i.e. the same durability cadence as v1–v3.
+WINDOW_ENV = "REPRO_WINDOW_SIZE"
+
+
+def _default_window_size() -> int:
+    """The ``workers``-executor window size from :data:`WINDOW_ENV`."""
+    try:
+        size = int(os.environ.get(WINDOW_ENV, "1"))
+    except ValueError:
+        return 1
+    return max(1, size)
 
 
 #: Process-wide pools for parallel segment appends/compactions, created
@@ -857,10 +1130,22 @@ class SegmentedDeltaLog:
       ``processes`` executor (``executor=`` parameter, defaulting to the
       ``REPRO_ENGINE_EXECUTOR`` environment variable) — the per-shard
       parallelism the sharded store's disjoint ownership buys.
+    * with a ``window_size`` (or under the ``workers`` executor, whose
+      :class:`~repro.shardexec.pool.ShardWorkerPool` installs one),
+      appends pipeline under **group-commit windows**: sub-entries are
+      tagged ``%window <id>`` and written without fsync, and
+      :meth:`seal_window` — called automatically every ``window_size``
+      appends, or explicitly via :meth:`flush` — writes ``%seal <id>
+      <participants>`` to every touched segment and fsyncs once there.
+      A window missing a seal anywhere is discarded whole on recovery
+      (ARCHITECTURE.md invariant 11), so acknowledgment moves from the
+      batch to the window: callers needing a durability barrier call
+      :meth:`flush`.
     * :meth:`compact` runs per segment; :meth:`compact_segment` rewrites
       a single segment, which is what lets background compaction rotate
       through shards instead of pausing the whole log (see
-      :meth:`repro.persist.snapshot.SnapshotStore.compact_log`).
+      :meth:`repro.persist.snapshot.SnapshotStore.compact_log`).  Both
+      seal the open window first — compaction is a durability point.
 
     Example::
 
@@ -883,6 +1168,7 @@ class SegmentedDeltaLog:
         root: PathLike,
         shard_map: Optional[ShardMap] = None,
         executor: Optional[str] = None,
+        window_size: Optional[int] = None,
     ) -> None:
         self.root = Path(root)
         #: Node → shard assignment used to route appends.  ``None`` is
@@ -892,6 +1178,13 @@ class SegmentedDeltaLog:
         #: Append/compaction dispatch strategy (``None`` → the
         #: ``REPRO_ENGINE_EXECUTOR`` environment variable → serial).
         self.executor = executor
+        #: Group-commit window size: ``None`` disables windows (every
+        #: append fsyncs per batch, v1–v3 behavior); ``N >= 1`` tags
+        #: appends with a window id and auto-seals every N batches.
+        #: ``N == 1`` keeps per-batch durability under windowed framing.
+        if window_size is not None and window_size < 1:
+            raise ValueError(f"window_size must be >= 1, got {window_size}")
+        self.window_size = window_size
         discovered = self._discover()
         count = shard_map.count if shard_map is not None else discovered
         if shard_map is not None and discovered > shard_map.count:
@@ -912,6 +1205,25 @@ class SegmentedDeltaLog:
         #: current floor — so re-checking is only needed when the floor
         #: advances, not on every same-floor compaction rotation.
         self._torn_checked_floor = 0
+        # -- group-commit window state (format v4) ---------------------
+        #: Id of the currently open window (None between windows).
+        self._current_window: Optional[int] = None
+        #: Highest window id mentioned anywhere (lazy scan on first
+        #: windowed append, so ids never collide across processes).
+        self._max_window: Optional[int] = None
+        #: Segment indexes the open window has touched so far — the
+        #: seal's participant count and fan-out target.
+        self._window_touched: set[int] = set()
+        #: Seqs appended under the open window, for seal listeners.
+        self._window_seqs: list[int] = []
+        #: Callables ``fn(window_id, seqs)`` invoked after a window is
+        #: durably sealed — the serving layer's durable-generation hook.
+        self._seal_listeners: list = []
+        #: Resident shard-worker pool (duck-typed; installed by
+        #: :meth:`repro.shardexec.pool.ShardWorkerPool.install`).  When
+        #: present, windowed appends ship to worker processes instead
+        #: of being written in-process.
+        self._worker_pool = None
 
     def _discover(self) -> int:
         """Segment count implied by the files on disk: one past the
@@ -1014,6 +1326,11 @@ class SegmentedDeltaLog:
         participants = len(routed)
         tasks = sorted(routed.items())
         strategy = _resolve_log_executor(self.executor)
+        window_size = self._effective_window_size(strategy)
+        if window_size is not None:
+            return self._append_windowed(
+                seq, stable, tasks, participants, window_size, strategy
+            )
         pool = None
         if strategy == "processes" and len(tasks) > 1:
             pool = _segment_process_pool()  # None => degrade to threads
@@ -1056,6 +1373,172 @@ class SegmentedDeltaLog:
         return seq
 
     # ------------------------------------------------------------------
+    # Group-commit windows (format v4)
+    # ------------------------------------------------------------------
+
+    def _effective_window_size(self, strategy: str) -> Optional[int]:
+        """Windowed framing in effect?  An explicit :attr:`window_size`
+        always wins; the ``workers`` strategy defaults to the
+        ``REPRO_WINDOW_SIZE`` environment knob (1 when unset, keeping
+        per-batch durability cadence)."""
+        if self.window_size is not None:
+            return self.window_size
+        if strategy == "workers":
+            return _default_window_size()
+        return None
+
+    def _ensure_window(self) -> int:
+        """Open a window if none is open; returns the current window id.
+        Ids strictly increase across the whole log's history (scanned
+        once per object), so torn debris from an earlier process can
+        never collide with a live window."""
+        if self._current_window is None:
+            if self._max_window is None:
+                highest = 0
+                for segment in self._segments:
+                    highest = max(highest, segment._scan_max_window())
+                self._max_window = highest
+            self._max_window += 1
+            self._current_window = self._max_window
+            self._window_touched = set()
+            self._window_seqs = []
+        return self._current_window
+
+    def _append_windowed(
+        self,
+        seq: int,
+        stable: Delta,
+        tasks: list,
+        participants: int,
+        window_size: int,
+        strategy: str,
+    ) -> int:
+        """Append one batch under the open group-commit window.
+
+        Sub-entries are written flush-only (no fsync — the seal pays
+        one fsync per touched segment for the whole window).  With a
+        worker pool installed the sub-deltas ship to the resident shard
+        workers and this call returns without waiting for the writes:
+        acknowledgment is deferred to the seal, which is exactly the
+        group-commit contract.  Auto-seals after ``window_size``
+        batches.
+        """
+        window = self._ensure_window()
+        try:
+            if self._worker_pool is not None:
+                self._worker_pool.append(
+                    window, seq, participants, tasks, stable
+                )
+            elif strategy in ("serial", "processes") or len(tasks) == 1:
+                # processes would pay pickling per batch for writes that
+                # no longer fsync — the win windows buy is the seal, so
+                # in-process writes are the faster tier here
+                for index, updates in tasks:
+                    self._segments[index].append(
+                        Delta(updates),
+                        seq=seq,
+                        participants=participants,
+                        window=window,
+                    )
+            else:
+                futures = [
+                    _segment_thread_pool().submit(
+                        self._segments[index].append,
+                        Delta(updates),
+                        seq=seq,
+                        participants=participants,
+                        window=window,
+                    )
+                    for index, updates in tasks
+                ]
+                _drain_futures(futures)
+        finally:
+            self._next_seq = seq + 1
+        self._window_touched.update(index for index, _ in tasks)
+        self._window_seqs.append(seq)
+        if len(self._window_seqs) >= window_size:
+            self.seal_window()
+        return seq
+
+    def seal_window(self) -> Optional[int]:
+        """Seal the open group-commit window, making every batch
+        appended under it durable at once; returns the sealed window id
+        (``None`` when no window is open — sealing is idempotent).
+
+        Writes ``%seal <id> <participants>`` to every segment the
+        window touched and fsyncs there (in parallel off the ``serial``
+        tier); the window is durable only once **all** participant
+        seals landed, so a crash part-way discards it whole.  Seal
+        listeners (:meth:`add_seal_listener`) fire after durability.
+        """
+        window = self._current_window
+        if window is None:
+            return None
+        touched = sorted(self._window_touched)
+        seqs = tuple(self._window_seqs)
+        # reset first: a failed seal must not let a retry glue new
+        # batches onto a half-sealed window
+        self._current_window = None
+        self._window_touched = set()
+        self._window_seqs = []
+        if not touched:
+            return None  # an empty window wrote nothing anywhere
+        seal_participants = len(touched)
+        try:
+            if self._worker_pool is not None:
+                self._worker_pool.seal(window, touched, seal_participants)
+                for index in touched:  # parent-side caches went stale
+                    self._segments[index]._next_seq = None
+            elif len(touched) == 1 or _resolve_log_executor(self.executor) == "serial":
+                for index in touched:
+                    self._segments[index].seal_window(window, seal_participants)
+            else:
+                futures = [
+                    _segment_thread_pool().submit(
+                        self._segments[index].seal_window,
+                        window,
+                        seal_participants,
+                    )
+                    for index in touched
+                ]
+                _drain_futures(futures)
+        except BaseException:
+            # a half-sealed window is globally torn debris that may sit
+            # above the vetted floor — force the next void sweep to
+            # re-check from scratch
+            self._torn_checked_floor = -1
+            raise
+        for listener in list(self._seal_listeners):
+            listener(window, seqs)
+        return window
+
+    def flush(self) -> Optional[int]:
+        """Durability barrier: seal the open window (no-op without
+        one); returns the sealed window id, if any.  Call before
+        reading the log from another process or taking a snapshot —
+        unsealed batches are deliberately not yet durable."""
+        return self.seal_window()
+
+    def add_seal_listener(self, listener) -> None:
+        """Register ``fn(window_id, seqs)`` to run after each window
+        seals (after durability, in the sealing thread).  The serving
+        layer uses this to advance its durable generation."""
+        self._seal_listeners.append(listener)
+
+    def remove_seal_listener(self, listener) -> None:
+        """Unregister a seal listener (no-op if absent)."""
+        try:
+            self._seal_listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def open_window_seqs(self) -> tuple[int, ...]:
+        """Seqs appended under the currently open (unsealed) window —
+        the content the next :meth:`flush` makes durable.  Empty when
+        no window is open, i.e. everything appended so far is durable."""
+        return tuple(self._window_seqs)
+
+    # ------------------------------------------------------------------
     # Reading
     # ------------------------------------------------------------------
 
@@ -1074,13 +1557,46 @@ class SegmentedDeltaLog:
         with *more* sub-entries than participants, or with disagreeing
         participant counts, is structural corruption and raises
         :class:`PersistFormatError`.
+
+        Group-commit windows (format v4, invariant 11): a windowed
+        sub-entry counts only when its window is **globally admitted**
+        — sealed by every one of the segments the window declared as
+        participants, with no segment holding unsealed entries of it.
+        Sub-entries of torn windows are discarded whole, even where a
+        single segment managed to seal before the crash; a fresh
+        writer's later windows (always under fresh, higher ids) seal
+        and admit independently of any torn debris below them.
         """
         floor = 0
         for segment in self._segments:
             floor = max(floor, segment._scan_floor())
+        seal_decl: dict[int, int] = {}
+        seal_count: dict[int, int] = {}
+        torn_windows: set[int] = set()
+        scans: list[list[LogEntry]] = []
+        for segment in self._segments:
+            committed, sealed, unsealed = segment._entries_scan(after)
+            scans.append(committed)
+            for window, participants in sealed.items():
+                known = seal_decl.setdefault(window, participants)
+                if known != participants:
+                    raise PersistFormatError(
+                        str(segment.path),
+                        0,
+                        f"window {window} declares {participants} "
+                        f"participants here but {known} elsewhere",
+                    )
+                seal_count[window] = seal_count.get(window, 0) + 1
+            for entry in unsealed:  # locally unsealed => globally torn
+                if entry.window is not None:
+                    torn_windows.add(entry.window)
+        admitted = self._admit_windows(seal_decl, seal_count, torn_windows)
         merged: dict[int, tuple[int, list[tuple[int, Delta]]]] = {}
-        for index, segment in enumerate(self._segments):
-            for entry in segment.entries(after=after):
+        for index, committed in enumerate(scans):
+            segment = self._segments[index]
+            for entry in committed:
+                if entry.window is not None and entry.window not in admitted:
+                    continue  # torn window: never acknowledged durable
                 participants, parts = merged.setdefault(
                     entry.seq, (entry.participants, [])
                 )
@@ -1112,43 +1628,102 @@ class SegmentedDeltaLog:
             result.append(LogEntry(seq, Delta(updates), participants))
         return result
 
+    @staticmethod
+    def _admit_windows(
+        seal_decl: dict[int, int],
+        seal_count: dict[int, int],
+        torn_windows: set[int],
+    ) -> frozenset:
+        """Which group-commit windows are globally durable (invariant
+        11)?  A window is **complete** when exactly its declared number
+        of segments sealed it and no segment holds unsealed entries of
+        it; anything else is torn and discarded whole.  Windows admit
+        *independently*: each seal carries the window's global
+        participant count, so a torn window (debris of a crashed
+        writer) never blocks a later window a fresh writer sealed
+        under a higher id — its discarded seqs simply stay burned, the
+        same gap semantics voided batches have.  More seals than
+        declared participants is structural corruption and raises."""
+        complete: set[int] = set()
+        for window, participants in seal_decl.items():
+            count = seal_count.get(window, 0)
+            if count > participants:
+                raise PersistFormatError(
+                    "<segmented log>",
+                    0,
+                    f"window {window} sealed in {count} segments but "
+                    f"declares only {participants} participants",
+                )
+            if count == participants and window not in torn_windows:
+                complete.add(window)
+        return frozenset(complete)
+
     def last_seq(self) -> int:
-        """Seq of the newest *globally* committed entry (0 when empty).
+        """Seq of the newest *globally durable* committed entry (0 when
+        empty).
 
         A seq counts only when every declared participant segment
-        committed its sub-entry — a light :meth:`DeltaLog.commit_index`
-        scan per segment, no :class:`Delta` materialization.
+        committed its sub-entry **and** its group-commit window, if
+        any, is globally admitted — a light
+        :meth:`DeltaLog.commit_index` scan per segment, no
+        :class:`Delta` materialization.
         """
-        floor, declared, counts, _, _ = self._global_commit_index()
+        floor, declared, counts, _, _, seq_windows, admitted = (
+            self._global_commit_index()
+        )
         last = floor
         for seq, participants in declared.items():
-            if counts[seq] >= participants:
-                last = max(last, seq)
+            if counts[seq] < participants:
+                continue
+            if not seq_windows.get(seq, frozenset()) <= admitted:
+                continue  # torn window: never acknowledged durable
+            last = max(last, seq)
         return last
 
     def _global_commit_index(self):
         """Aggregate every segment's :meth:`DeltaLog.commit_index` into
-        ``(floor, declared, counts, holders, nonempty)``: the max
-        truncation floor, each seq's declared participant count, how
-        many segments committed it, which segment indexes hold it, and
-        whether each ``(segment, seq)`` sub-entry carries updates.  One
-        light line scan per segment — the shared substrate of
-        :meth:`last_seq` and :meth:`_void_torn` (``entries()`` needs
-        full bodies and parses separately)."""
+        ``(floor, declared, counts, holders, nonempty, seq_windows,
+        admitted)``: the max truncation floor, each seq's declared
+        participant count, how many segments committed it, which
+        segment indexes hold it, whether each ``(segment, seq)``
+        sub-entry carries updates, the set of window ids each seq is
+        tagged with, and the globally admitted windows
+        (:meth:`_admit_windows`).  One light line scan per segment —
+        the shared substrate of :meth:`last_seq` and :meth:`_void_torn`
+        (``entries()`` needs full bodies and parses separately)."""
         floor = 0
         declared: dict[int, int] = {}
         counts: dict[int, int] = {}
         holders: dict[int, list[int]] = {}
         nonempty: dict[tuple[int, int], bool] = {}
+        seq_windows: dict[int, set[int]] = {}
+        seal_decl: dict[int, int] = {}
+        seal_count: dict[int, int] = {}
+        torn_windows: set[int] = set()
         for index, segment in enumerate(self._segments):
-            segment_floor, commits = segment.commit_index()
+            segment_floor, commits, seals = segment.commit_index()
             floor = max(floor, segment_floor)
-            for seq, (participants, has_updates) in commits.items():
+            for window, participants in seals.items():
+                known = seal_decl.setdefault(window, participants)
+                if known != participants:
+                    raise PersistFormatError(
+                        str(segment.path),
+                        0,
+                        f"window {window} declares {participants} "
+                        f"participants here but {known} elsewhere",
+                    )
+                seal_count[window] = seal_count.get(window, 0) + 1
+            for seq, (participants, has_updates, window) in commits.items():
                 counts[seq] = counts.get(seq, 0) + 1
                 declared[seq] = participants
                 holders.setdefault(seq, []).append(index)
                 nonempty[(index, seq)] = has_updates
-        return floor, declared, counts, holders, nonempty
+                if window is not None:
+                    seq_windows.setdefault(seq, set()).add(window)
+                    if window not in seals:  # locally unsealed
+                        torn_windows.add(window)
+        admitted = self._admit_windows(seal_decl, seal_count, torn_windows)
+        return floor, declared, counts, holders, nonempty, seq_windows, admitted
 
     # ------------------------------------------------------------------
     # Compaction
@@ -1198,7 +1773,13 @@ class SegmentedDeltaLog:
         it is neutralized in **every** segment (:meth:`_void_torn`) —
         a no-op in the steady state; after a crash it may rewrite the
         few segments holding the torn batch's sub-entries.
+
+        Compaction is a durability point: the open group-commit window,
+        if any, is sealed first (:meth:`flush`), so the rewrite never
+        races in-flight windowed appends and the stamped floor only
+        ever covers durable content.
         """
+        self.flush()
         self._void_torn(after)
         segment = self._segments[index]
         if not segment.path.exists():
@@ -1222,18 +1803,36 @@ class SegmentedDeltaLog:
         happen only for segments actually holding non-empty torn
         sub-entries, i.e. only after a crash.
 
+        Globally-torn **group-commit windows** are voided here too, and
+        *without* the ``<= after`` bound: segment-level compaction
+        dissolves window tags into plain frames, so a locally-sealed
+        sub-entry of a globally torn window left in place would, after
+        its segment's next rotation, read back as legitimate committed
+        content and resurrect part of a discarded window (invariant
+        11).  Safe to sweep above ``after`` because compaction sealed
+        the open window first — no in-flight windowed append can be
+        mistaken for torn.
+
         Memoized per floor: a fresh log object vets its floor once,
         and again only when a later snapshot advances it (new torn
         seqs are always above the floor current at their crash, so a
-        same-floor rotation cannot need a re-check).
+        same-floor rotation cannot need a re-check; a live seal
+        failure resets the memo).
         """
         if after <= self._torn_checked_floor:
             return
-        floor, declared, counts, holders, nonempty = self._global_commit_index()
+        floor, declared, counts, holders, nonempty, seq_windows, admitted = (
+            self._global_commit_index()
+        )
         torn = {
             seq
             for seq, participants in declared.items()
             if counts[seq] < participants and floor < seq <= after
+        }
+        torn |= {
+            seq
+            for seq, windows in seq_windows.items()
+            if not windows <= admitted
         }
         for index, segment in enumerate(self._segments):
             to_void = frozenset(

@@ -53,13 +53,17 @@ SNAPSHOT_MAGIC = "repro-snapshot"
 #: and incremental ``%graphdiff`` chunks in the graph section; version
 #: 3 added the ``%meta sharding`` layout stamp (shard-partitioned
 #: graphs) and the segmented delta-log directory with its
-#: ``%batch <seq> <participants>`` framing.
-FORMAT_VERSION = 3
+#: ``%batch <seq> <participants>`` framing; version 4 added
+#: group-commit windows in the delta log (``%window <id>`` entry tags
+#: sealed by ``%seal <id> <participants>``), which let per-segment
+#: appends pipeline across batches and defer the fsync to the seal.
+FORMAT_VERSION = 4
 
 #: Versions this reader understands.  Version-1 files (no cursors, no
-#: ``%graphdiff``) and version-2 files (no sharding stamp) load
-#: unchanged; the writer always emits version 3.
-SUPPORTED_VERSIONS = (1, 2, 3)
+#: ``%graphdiff``), version-2 files (no sharding stamp), and version-3
+#: files (no group-commit windows) load unchanged; the writer always
+#: emits version 4.
+SUPPORTED_VERSIONS = (1, 2, 3, 4)
 
 
 class PersistFormatError(ValueError):

@@ -350,6 +350,15 @@ class SnapshotStore:
                 "contradiction — refusing it now instead"
             )
 
+    def _flush_log(self) -> None:
+        """Seal the log's open group-commit window, if any (format v4).
+        Saves and loads are durability points: they must observe — and
+        stamp — only content the log acknowledges as durable.  Logs
+        without windowed framing have no ``flush`` and need none."""
+        flush = getattr(self.log, "flush", None)
+        if flush is not None:
+            flush()
+
     def attach(self, engine: Engine, policy: Optional[SnapshotPolicy] = None) -> None:
         """Start journaling ``engine``'s applied batches into this
         store's delta log (sugar for ``engine.set_journal(store.log)``).
@@ -364,6 +373,11 @@ class SnapshotStore:
         segmented log that has not chosen one explicitly, so
         ``Engine(executor="processes")`` reaches the per-segment append
         path without separately exporting ``REPRO_ENGINE_EXECUTOR``.
+        Under the ``workers`` strategy it additionally wires a resident
+        :class:`~repro.shardexec.pool.ShardWorkerPool` into the log's
+        windowed append path (degrading silently to in-process windowed
+        appends where worker processes cannot start — same format-v4
+        framing, same durability rules).
         """
         self._check_segmented_layout(engine)
         if (
@@ -371,6 +385,16 @@ class SnapshotStore:
             and self.log.executor is None
         ):
             self.log.executor = engine.scheduler.executor
+        if (
+            isinstance(self.log, SegmentedDeltaLog)
+            and self.log.executor == "workers"
+            and self.log._worker_pool is None
+        ):
+            # Function-level import: shardexec sits above persist in the
+            # layer order (it journals through DeltaLog).
+            from repro.shardexec.pool import ShardWorkerPool
+
+            ShardWorkerPool.install(engine, self.log)
         engine.set_journal(self.log)
         if policy is not None:
 
@@ -431,6 +455,13 @@ class SnapshotStore:
         clean.
         """
         self._check_segmented_layout(engine)
+        # A save is a durability point: the open group-commit window, if
+        # any, seals first — the stamped last-seq must cover every batch
+        # whose effects the graph section contains, and unsealed entries
+        # are invisible to last_seq() by design (a stamp excluding them
+        # while the graph includes them would resurrect-or-lose them on
+        # recovery).
+        self._flush_log()
         last_seq = self.log.last_seq()
         previous: Optional[SnapshotSections] = None
         carried_names: frozenset[str] = frozenset()
@@ -732,6 +763,11 @@ class SnapshotStore:
         """
         self.last_load_report = None  # a failed load must not surface
         started = time.perf_counter()  # the previous load's stale report
+        # Seal the open group-commit window, if any: a load reads only
+        # durable entries, so an unflushed live window would otherwise
+        # be invisible to the recovered engine while the live engine's
+        # graph already holds it.
+        self._flush_log()
         try:
             return self._load(attach_journal, routed)
         except BaseException:

@@ -388,6 +388,21 @@ class Repository:
         self._poisoned: Optional[str] = None
         self._closed = False
         self._applying = False
+        # Group-commit durability tracking (format v4): when the
+        # engine's journal batches appends into windows, a published
+        # generation is *visible* immediately but *durable* only once
+        # its window seals.  The journal must already be attached
+        # (SnapshotStore.attach) when the repository is built.
+        journal = getattr(engine, "journal", None)
+        self._window_log = (
+            journal if hasattr(journal, "add_seal_listener") else None
+        )
+        self._durable_seq = 0
+        self._durable_generation = 0
+        #: (seq, generation) publishes awaiting their window's seal.
+        self._published_pending: list[tuple[int, int]] = []
+        if self._window_log is not None:
+            self._window_log.add_seal_listener(self._on_window_seal)
         for name in engine.names():
             engine.view(name)  # materialize lazy views before threads
             self._changes[name] = [0]
@@ -523,6 +538,38 @@ class Repository:
         """The newest published generation (0 before any write)."""
         with self._meta_lock:
             return self._generation
+
+    @property
+    def durable_generation(self) -> int:
+        """The newest published generation whose journal entry is
+        durable.  Without a windowed journal this always equals
+        :attr:`generation`; under group-commit windows (format v4) it
+        trails by up to one window until the window auto-seals or
+        :meth:`flush` is called.  Reads are unaffected — MVCC
+        visibility is per-batch; this is the durability acknowledgment
+        a client needs before treating an applied batch as
+        crash-survivable."""
+        with self._meta_lock:
+            return self._durable_generation
+
+    def flush(self) -> int:
+        """Durability barrier: seal the journal's open group-commit
+        window (no-op without one) so every published generation is
+        durable; returns the durable generation, which now equals
+        :attr:`generation`.  Raises whatever the seal raises — in that
+        case the window is torn and nothing new became durable."""
+        with self._engine_lock.write():
+            with self._meta_lock:
+                self._check_serving_locked()
+            log = self._window_log
+            if log is not None:
+                log.flush()
+            with self._meta_lock:
+                # the seal listener already drained the pending list;
+                # anything left had no seal to wait for
+                self._published_pending.clear()
+                self._durable_generation = self._generation
+                return self._durable_generation
 
     def read_latest(self, view: str, query: str) -> Any:
         """One-shot read at the current generation, outside any session.
@@ -830,7 +877,48 @@ class Repository:
                     evicted=self._stats.evicted,
                     entries=len(self._cache),
                 )
+            self._note_durability_locked(report)
             self._evict_unreachable_locked()
+
+    def _note_durability_locked(self, report: EngineReport) -> None:
+        """Classify the just-published generation as durable now or
+        pending its window's seal (meta lock held).
+
+        Three cases: no windowed journal / no journal entry → the
+        append (if any) fsynced synchronously, durable now; the batch's
+        seq already covered by a seal → durable now (the window
+        auto-sealed *during* the apply, before this publish); the seq
+        sits in the still-open window → pending until
+        :meth:`_on_window_seal` or :meth:`flush`."""
+        seq = getattr(report, "seq", None)
+        log = self._window_log
+        if log is None or seq is None or seq <= self._durable_seq:
+            self._durable_generation = self._generation
+            return
+        if seq in log.open_window_seqs():
+            self._published_pending.append((seq, self._generation))
+        else:
+            # windows were not in effect for this append (window mode
+            # is per-strategy): it fsynced on its own
+            self._durable_seq = max(self._durable_seq, seq)
+            self._durable_generation = self._generation
+
+    def _on_window_seal(self, window: int, seqs: tuple[int, ...]) -> None:
+        """Journal seal listener: every seq the window covered is now
+        durable, so the generations published for them are too."""
+        with self._meta_lock:
+            if self._closed:
+                return
+            if seqs:
+                self._durable_seq = max(self._durable_seq, max(seqs))
+            while (
+                self._published_pending
+                and self._published_pending[0][0] <= self._durable_seq
+            ):
+                _, generation = self._published_pending.pop(0)
+                self._durable_generation = max(
+                    self._durable_generation, generation
+                )
 
     def _retained_generations_locked(self) -> list[int]:
         return sorted(set(self._pins) | {self._generation})
@@ -917,6 +1005,7 @@ class Repository:
         with self._meta_lock:
             return {
                 "generation": self._generation,
+                "durable_generation": self._durable_generation,
                 "open_sessions": len(self._sessions),
                 "max_sessions": self._max_sessions,
                 "pinned_generations": sorted(self._pins),
@@ -937,6 +1026,10 @@ class Repository:
         underlying engine is untouched and may keep being used
         directly."""
         self.engine.remove_apply_listener(self._on_engine_publication)
+        if self._window_log is not None and hasattr(
+            self._window_log, "remove_seal_listener"
+        ):
+            self._window_log.remove_seal_listener(self._on_window_seal)
         with self._meta_lock:
             if self._closed:
                 return

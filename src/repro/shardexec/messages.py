@@ -1,0 +1,196 @@
+"""Wire messages of the shard worker tier — the pipe allowlist.
+
+Everything that crosses a :class:`repro.shardexec.pool.ShardWorkerPool`
+pipe is an instance of one of the frozen dataclasses below, registered
+in :data:`MESSAGE_TYPES` via :func:`register_message`.  The restriction
+is enforced twice:
+
+* at runtime — :meth:`ShardWorkerPool` and the worker loop only ever
+  ``send`` registered messages, and the worker rejects anything else
+  with an :class:`ErrorReply`;
+* statically — the repro-lint ``ipc`` checker
+  (:mod:`tools.analysis.checkers.ipc`) flags any ``.send(...)`` in
+  :mod:`repro.shardexec` whose argument is not a registered-message
+  constructor call.
+
+Why an allowlist at all: ``multiprocessing`` pipes pickle whatever they
+are handed, so the easy bug is shipping an object that *happens* to
+pickle — a closure-captured engine, a view holding the coordinator's
+graph, a thread lock three attributes deep — and either crashing the
+worker at unpickle time or silently cloning megabytes of coordinator
+state per batch.  Keeping the wire vocabulary closed keeps the
+shared-nothing property honest: workers receive only routed sub-deltas
+and primitive descriptors, never live coordinator objects.
+
+Message payloads are primitives, tuples of primitives, or
+:class:`~repro.core.delta.Update` values (frozen dataclasses of
+node/label tokens — the same vocabulary the log's record lines carry).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "MESSAGE_TYPES",
+    "register_message",
+    "ViewInterest",
+    "LoadReplica",
+    "RegisterViews",
+    "WindowAppend",
+    "SealWindow",
+    "Digest",
+    "Shutdown",
+    "SealAck",
+    "DigestReply",
+    "ErrorReply",
+]
+
+#: Every type allowed across a worker pipe, in registration order.
+#: Fully populated by the decorators below at import time, before any
+#: pool (let alone a worker thread) can exist.
+MESSAGE_TYPES: tuple[type, ...] = ()  # repro-lint: single-init
+
+
+def register_message(cls: type) -> type:
+    """Class decorator admitting a frozen dataclass to the pipe
+    allowlist.  The ``ipc`` lint rule resolves this registry by name, so
+    a message type that skips the decorator is flagged at its send
+    site."""
+    global MESSAGE_TYPES
+    MESSAGE_TYPES = MESSAGE_TYPES + (cls,)
+    return cls
+
+
+@register_message
+@dataclass(frozen=True)
+class ViewInterest:
+    """A picklable stand-in for one registered view's relevance filter.
+
+    Live :class:`~repro.engine.relevance.DeltaFilter` objects duck-type
+    against index state and cannot cross the pipe; workers instead count
+    per-view routed updates against this descriptor:
+
+    * ``mode="all"`` — every update counts (broadcast views and
+      :class:`~repro.engine.relevance.SubscribeAll`);
+    * ``mode="target-labels"`` — an update counts when its target's
+      label is in :attr:`labels` (exact for
+      :class:`~repro.engine.relevance.AlphabetRelevance`);
+    * ``mode="conservative"`` — the filter consults live index state the
+      worker does not hold, so every update counts (an upper bound,
+      never an undercount).
+    """
+
+    name: str
+    mode: str = "all"
+    labels: Optional[tuple] = None
+
+
+@register_message
+@dataclass(frozen=True)
+class LoadReplica:
+    """Adopt a shard: segment path, shard index, and the shard's
+    resident sub-graph replica (owned nodes plus ghost copies, exactly
+    the hosting :class:`~repro.graph.sharding.ShardedGraphStore` shard)
+    as ``(node, label)`` pairs and ``(source, target)`` edges."""
+
+    shard_index: int
+    segment_path: str
+    labels: tuple = ()
+    edges: tuple = ()
+
+
+@register_message
+@dataclass(frozen=True)
+class RegisterViews:
+    """Replace the worker's view-interest table (fragment counting)."""
+
+    views: tuple = ()
+
+
+@register_message
+@dataclass(frozen=True)
+class WindowAppend:
+    """One routed sub-delta of one batch, under a group-commit window.
+
+    Pipelined: the worker appends the sub-entry to its segment (tagged
+    ``%window``, no fsync — the seal pays that), absorbs it into the
+    replica, and sends **no reply**; errors surface at the next
+    :class:`SealWindow`.  ``updates`` empty means replica-only upkeep
+    (``foreign_targets`` introduces nodes this shard owns that only
+    remote-source edges reference) and appends nothing to the log.
+
+    ``ghost_labels`` carries the authoritative labels of *pre-existing*
+    remote targets touched by this sub-delta, so ghost copies heal on
+    touch; brand-new targets take the update's stabilized declared
+    label.
+    """
+
+    window: int
+    seq: int
+    participants: int
+    updates: tuple = ()
+    ghost_labels: tuple = ()
+    foreign_targets: tuple = ()
+
+
+@register_message
+@dataclass(frozen=True)
+class SealWindow:
+    """Seal the window: fsync the segment and acknowledge everything
+    appended under it (replies :class:`SealAck` or
+    :class:`ErrorReply`)."""
+
+    window: int
+    participants: int
+
+
+@register_message
+@dataclass(frozen=True)
+class Digest:
+    """Request a replica digest (replies :class:`DigestReply`)."""
+
+
+@register_message
+@dataclass(frozen=True)
+class Shutdown:
+    """Exit the worker loop cleanly (no reply)."""
+
+
+@register_message
+@dataclass(frozen=True)
+class SealAck:
+    """Window sealed durably.  Carries the worker's gather fragment:
+    the newest seq it holds, per-view routed-update counts for the
+    window (``(name, count)`` pairs), and a cost snapshot of
+    ``(counter, value)`` pairs (batches/updates appended, absorb and
+    append wall seconds)."""
+
+    window: int
+    last_seq: int = 0
+    fragments: tuple = ()
+    cost: tuple = ()
+
+
+@register_message
+@dataclass(frozen=True)
+class DigestReply:
+    """Replica digest: logical size plus a content checksum."""
+
+    shard_index: int
+    nodes: int = 0
+    edges: int = 0
+    checksum: int = 0
+
+
+@register_message
+@dataclass(frozen=True)
+class ErrorReply:
+    """The worker failed processing an earlier message; ``message`` is
+    the formatted cause.  Sent in place of the expected reply, so a
+    pipelined append failure surfaces at the seal that would have
+    acknowledged it."""
+
+    message: str = ""
+    window: Optional[int] = None

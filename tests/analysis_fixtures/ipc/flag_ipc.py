@@ -1,0 +1,30 @@
+"""Flag fixture for rule ``ipc`` — improvised payloads on the pipe.
+
+Five sends ship objects that are not registered protocol messages:
+two literals, an unregistered call result, a variable bound to an
+unregistered call, and a lambda.
+"""
+
+MESSAGE_TYPES = ()
+
+
+def register_message(cls):
+    """Mini registry so the fixture is self-contained."""
+    global MESSAGE_TYPES  # repro-lint: single-init
+    MESSAGE_TYPES = MESSAGE_TYPES + (cls,)
+    return cls
+
+
+@register_message
+class SealAck:
+    """The one registered message this fixture knows."""
+
+
+def reply(conn, engine, views):
+    """Every send here improvises its payload."""
+    conn.send({"window": 1, "ok": True})
+    conn.send((1, 2, 3))
+    conn.send(engine.snapshot())
+    payload = views.copy()
+    conn.send(payload)
+    conn.send(lambda: None)

@@ -1,0 +1,51 @@
+"""Pass fixture for rule ``ipc`` — every payload is a registered
+message: a direct constructor, an annotated producer's result, a
+variable bound to a constructor, a parameter (no local binding, so
+dataflow is the runtime allowlist's job), and the coordinator-side
+``_send`` wrapper fed a constructor.
+"""
+
+MESSAGE_TYPES = ()
+
+
+def register_message(cls):
+    """Mini registry so the fixture is self-contained."""
+    global MESSAGE_TYPES  # repro-lint: single-init
+    MESSAGE_TYPES = MESSAGE_TYPES + (cls,)
+    return cls
+
+
+@register_message
+class SealAck:
+    """Seal acknowledgement."""
+
+
+@register_message
+class ErrorReply:
+    """Failure surfaced to the coordinator."""
+
+
+def seal(window) -> SealAck:
+    """An annotated producer counts as a registered source."""
+    return SealAck()
+
+
+class Pool:
+    """Coordinator side: the ``_send`` wrapper's message argument is
+    held to the same standard as a raw pipe send."""
+
+    def _send(self, index, message):
+        self.pipes[index].send(message)
+
+    def broadcast(self, window):
+        for index in range(len(self.pipes)):
+            self._send(index, SealAck())
+
+
+def pump(conn, window, message):
+    """Worker side: constructors, producers, traced locals, params."""
+    conn.send(ErrorReply())
+    conn.send(seal(window))
+    reply = ErrorReply()
+    conn.send(reply)
+    conn.send(message)

@@ -42,6 +42,7 @@ RULES = {
     "view-protocol": ("view_protocol", "src/repro/kws/mod.py", 7),
     "exceptions": ("exceptions", "src/repro/engine/mod.py", 2),
     "docstrings": ("docstrings", "src/repro/engine/mod.py", 4),
+    "ipc": ("ipc", "src/repro/shardexec/mod.py", 5),
 }
 
 
@@ -213,6 +214,19 @@ def test_serving_rule_respects_the_locked_suffix_convention(tmp_path):
     findings = run_rule(root, "serving")
     assert len(findings) == 1
     assert "_publish_inner" in findings[0].message
+
+
+def test_ipc_rule_keys_on_producer_annotations(tmp_path):
+    """A producer's return annotation is what sanctions its result;
+    dropping the annotation resurrects the finding."""
+    root = build_project(tmp_path, "ipc", "pass")
+    target = root / RULES["ipc"][1]
+    text = target.read_text(encoding="utf-8")
+    assert run_rule(root, "ipc") == []
+    target.write_text(text.replace(" -> SealAck", ""), encoding="utf-8")
+    findings = run_rule(root, "ipc")
+    assert len(findings) == 1
+    assert "seal" in findings[0].message
 
 
 def test_all_rules_registered():

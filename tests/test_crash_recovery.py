@@ -520,5 +520,166 @@ class TestTornSegmentedAppendInSession:
         assert harness.torture() > 3
 
 
+# ----------------------------------------------------------------------
+# Group-commit windows (format v4) — discard-whole under crashes
+# ----------------------------------------------------------------------
+
+
+def open_windowed(root, window_size=4) -> SegmentedDeltaLog:
+    """An in-process windowed segmented log (``executor="serial"``,
+    explicit window size): same ``%window``/``%seal`` framing the worker
+    tier writes, but every byte leaves *this* process, which is where
+    the crash shims live."""
+    return SegmentedDeltaLog(
+        root / "segments", SHARD_MAP, executor="serial", window_size=window_size
+    )
+
+
+class TestTornWindowedAppend:
+    def test_windowed_append_and_seal_recover_at_every_kill_point(
+        self, tmp_path
+    ):
+        """Kill points across two windowed appends *and* the seal that
+        makes them durable: recovery sees either the previously sealed
+        prefix or the whole new window — never one of its batches
+        without the other (invariant 11: torn windows are discarded
+        whole)."""
+        root = tmp_path / "log"
+        pre = [
+            Delta([insert(1, 2, "a", "b"), insert(6, 7, "d", "d")]),
+            Delta([insert(4, 5, "a", "b")]),
+        ]
+        window_batches = [
+            Delta([insert(10, 11, "c", "d"), insert(11, 12, "d", "a")]),
+            Delta([delete(1, 2), insert(12, 13, "a", "b")]),
+        ]
+
+        def setup():
+            clear_dir(root)
+            log = open_windowed(root)
+            for batch in pre:
+                log.append(batch)
+            log.flush()  # window 0 sealed: the durable prefix
+
+        def operation():
+            log = open_windowed(root)
+            for batch in window_batches:
+                log.append(batch)
+            log.flush()
+
+        def recover(completed):
+            log = open_windowed(root)
+            seqs = [entry.seq for entry in log.entries()]
+            # all-or-nothing at window granularity: seq 3 without seq 4
+            # (or vice versa) would be a torn window leaking through
+            assert seqs in ([1, 2], [1, 2, 3, 4])
+            if completed:
+                assert seqs == [1, 2, 3, 4]
+                assert log.last_seq() == 4
+            # appendable after recovery, never reusing a mentioned seq
+            next_seq = log.append(Delta([insert(9, 9)]))
+            log.flush()
+            assert next_seq > max(seqs)
+            tail = open_windowed(root).entries()
+            assert tail[-1].delta.updates == [insert(9, 9)]
+            assert tail[-1].seq == next_seq
+
+        harness = FaultyStore(root, setup, operation, recover, stride=STRIDE)
+        assert harness.torture() > 4
+
+    def test_seal_alone_recovers_at_every_kill_point(self, tmp_path):
+        """The seal in isolation (appends already on disk, unsealed):
+        a kill before the last participant's ``%seal`` fsync discards
+        the window whole; after it, the window replays whole."""
+        root = tmp_path / "log"
+        state = {}
+        window_batches = [
+            Delta([insert(10, 11, "c", "d"), insert(11, 12, "d", "a")]),
+            Delta([insert(12, 13, "a", "b")]),
+        ]
+
+        def setup():
+            clear_dir(root)
+            log = open_windowed(root)
+            log.append(Delta([insert(1, 2, "a", "b")]))
+            log.flush()  # sealed prefix: seq 1
+            for batch in window_batches:
+                log.append(batch)  # window open across both
+            state["log"] = log
+
+        def operation():
+            state["log"].seal_window()
+
+        def recover(completed):
+            log = open_windowed(root)
+            seqs = [entry.seq for entry in log.entries()]
+            assert seqs in ([1], [1, 2, 3])
+            if completed:
+                assert seqs == [1, 2, 3]
+                assert log.last_seq() == 3
+
+        harness = FaultyStore(root, setup, operation, recover, stride=STRIDE)
+        assert harness.torture() > 2
+
+
+class TestCoordinatorDeathMidWindow:
+    """The worker-tier crash story: the coordinator (and with it every
+    resident worker) dies while a window is open mid-absorb.  Workers
+    were appending pipelined sub-entries with no fsync — any prefix of
+    them may have reached the segments — but no ``%seal`` ever landed,
+    so a fresh process must recover exactly the sealed prefix."""
+
+    def test_terminated_pool_leaves_only_sealed_windows(self, tmp_path):
+        pytest.importorskip("multiprocessing")
+        from repro.shardexec import shutdown_pools
+
+        root = tmp_path / "store"
+        shard_map = ShardMap(3)
+        engine = four_view_engine(
+            ShardedGraphStore.from_digraph(sample_graph(), shard_map)
+        )
+        engine.scheduler.executor = "workers"
+        reference = four_view_engine(sample_graph())
+        store = SnapshotStore(root, shard_map=shard_map)
+        store.attach(engine)
+        store.log.window_size = 100  # no auto-seal: flush() decides
+        try:
+            store.save(engine)
+            durable = [
+                Delta([delete(6, 7)]),
+                Delta([insert(6, 1, "d", "a"), delete(3, 1)]),
+            ]
+            for batch in durable:
+                engine.apply(batch)
+                reference.apply(batch)
+            store.log.flush()  # the sealed (durable) prefix
+            pool = store.log._worker_pool
+            if pool is None:
+                pytest.skip("worker processes unavailable in this interpreter")
+            # these ride the open window; the kill races their absorb
+            for batch in [
+                Delta([insert(7, 2, "d", "b")]),
+                Delta([insert(2, 6, "b", "d"), delete(4, 5)]),
+            ]:
+                engine.apply(batch)
+            pool.terminate()  # coordinator death: workers killed mid-pipeline
+            revived = SnapshotStore(root).load(attach_journal=False)
+            assert_recovered_equals(revived, reference)
+            # the root stays serviceable: a fresh session re-spawns
+            # workers and the next sealed window lands on top
+            fresh_store = SnapshotStore(root, shard_map=shard_map)
+            fresh = fresh_store.load()
+            fresh.scheduler.executor = "workers"
+            fresh_store.log.window_size = 100
+            follow_up = Delta([insert(1, 5, "a", "b")])
+            fresh.apply(follow_up)
+            reference.apply(follow_up)
+            fresh_store.log.flush()
+            final = SnapshotStore(root).load(attach_journal=False)
+            assert_recovered_equals(final, reference)
+        finally:
+            shutdown_pools()
+
+
 if __name__ == "__main__":  # pragma: no cover
     pytest.main([__file__, "-q"])

@@ -46,15 +46,29 @@ from repro.kws import KWSIndex, KWSQuery, batch_kws
 from repro.persist import SnapshotStore
 from repro.rpq import RPQIndex, matches_only
 from repro.scc import SCCIndex, tarjan_scc
+from repro.shardexec import shutdown_pools
 
 STREAMS = int(os.environ.get("REPRO_DIFFERENTIAL_STREAMS", "12"))
 STEPS = 14
 LABELS = ["a", "b", "c", "d"]
-#: Both storage layouts run the identical stream logic: ``plain`` is
+#: Every storage layout runs the identical stream logic: ``plain`` is
 #: one DiGraph + monolithic log, ``sharded`` is a 3-shard
-#: ShardedGraphStore + segmented per-shard log (format v3).
-LAYOUTS = ("plain", "sharded")
+#: ShardedGraphStore + segmented per-shard log with per-batch fsync,
+#: and ``windowed`` is the same sharded store journaled under the
+#: ``workers`` strategy with multi-batch group-commit windows (format
+#: v4) — shard worker processes when the interpreter can spawn them,
+#: in-process windowed appends when it cannot.
+LAYOUTS = ("plain", "sharded", "windowed")
 SHARDS = 3
+WINDOW = 3
+
+@pytest.fixture(autouse=True)
+def _reap_worker_pools():
+    """Windowed-layout streams may spawn resident shard workers; none
+    outlive their stream (no-op for the other layouts)."""
+    yield
+    shutdown_pools()
+
 
 KWS_QUERY = KWSQuery(("a", "b"), bound=2)
 RPQ_QUERY = "a . (b + c)* . c"
@@ -155,14 +169,18 @@ def random_batch(rng: random.Random, graph: DiGraph, next_node: list) -> Delta:
 def test_differential_stream(seed, layout, tmp_path):
     rng = random.Random(0xD1FF + seed)
     graph = random_graph(rng)
-    if layout == "sharded":
+    if layout in ("sharded", "windowed"):
         shard_map = ShardMap(SHARDS)
         graph = ShardedGraphStore.from_digraph(graph, shard_map)
         store = SnapshotStore(tmp_path / "store", shard_map=shard_map)
     else:
         store = SnapshotStore(tmp_path / "store")
     engine = four_view_engine(graph)
+    if layout == "windowed":
+        engine.scheduler.executor = "workers"
     store.attach(engine)
+    if layout == "windowed":
+        store.log.window_size = WINDOW
     store.save(engine)
     # All mutations go through the serving layer, so the stream also
     # tortures MVCC: sessions pinned mid-stream must keep answering

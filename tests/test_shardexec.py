@@ -1,0 +1,464 @@
+"""Shard worker tier test suite (``repro.shardexec``).
+
+Covers the three layers of the tier plus its serving integration:
+
+* the wire vocabulary and the replica digest primitive;
+* :class:`ShardWorkerPool` — install/degrade/rebind, the scatter/gather
+  hot path (routed ≡ broadcast ≡ workers equivalence under group-commit
+  windows), ghost-boundary shipments, drain-synchronous verification,
+  and the error contract (latched pipelined failures surface at the
+  seal; the affected window stays torn and invisible to replay);
+* the serving layer's durability split: under windowed journaling a
+  published generation is visible immediately but
+  :attr:`~repro.serving.Repository.durable_generation` trails until the
+  window seals (auto-seal or :meth:`~repro.serving.Repository.flush`).
+
+Worker processes are real (``spawn``); every test reaps its pool via
+the module fixture so resident workers never outlive their scenario.
+"""
+
+import random
+
+import pytest
+
+from repro import (
+    Delta,
+    DiGraph,
+    Engine,
+    Repository,
+    SegmentedDeltaLog,
+    ShardedGraphStore,
+    ShardMap,
+    SnapshotStore,
+    delete,
+    insert,
+)
+from repro.iso import ISOIndex, Pattern
+from repro.kws import KWSIndex, KWSQuery
+from repro.rpq import RPQIndex
+from repro.scc import SCCIndex
+from repro.shardexec import (
+    GHOST_SYNC_ENV,
+    ShardWorkerPool,
+    ViewInterest,
+    WorkerPoolError,
+    replica_digest,
+    shutdown_pools,
+)
+from repro.shardexec.pool import _ghost_sync_policy, _view_interests
+
+KWS_QUERY = KWSQuery(("a", "b"), bound=2)
+RPQ_QUERY = "a . (b + c)* . c"
+ISO_PATTERN = Pattern.from_edges({0: "a", 1: "b"}, [(0, 1)])
+LABELS = ["a", "b", "c", "d"]
+
+
+@pytest.fixture(autouse=True)
+def _reap_pools():
+    """No resident worker outlives its test."""
+    yield
+    shutdown_pools()
+
+
+def four_view_engine(graph, executor=None) -> Engine:
+    engine = Engine(graph) if executor is None else Engine(graph, executor=executor)
+    engine.register("kws", lambda g, m: KWSIndex(g, KWS_QUERY, meter=m))
+    engine.register("rpq", lambda g, m: RPQIndex(g, RPQ_QUERY, meter=m))
+    engine.register("scc", lambda g, m: SCCIndex(g, meter=m))
+    engine.register("iso", lambda g, m: ISOIndex(g, ISO_PATTERN, meter=m))
+    return engine
+
+
+def random_setup(rng, shards=4):
+    labels = {n: rng.choice(LABELS) for n in range(10)}
+    edges = [
+        (s, t)
+        for s in range(10)
+        for t in range(10)
+        if s != t and rng.random() < 0.2
+    ]
+    sharded = ShardedGraphStore(shards=shards, labels=labels, edges=edges)
+    plain = DiGraph(labels=dict(labels), edges=list(edges))
+    return sharded, plain
+
+
+def random_batch(rng, graph, next_node):
+    nodes = list(graph.nodes())
+    edges = list(graph.edges())
+    non_edges = [
+        (s, t)
+        for s in nodes
+        for t in nodes
+        if s != t and not graph.has_edge(s, t)
+    ]
+    updates = [
+        delete(*edge)
+        for edge in rng.sample(edges, k=min(len(edges), rng.randint(0, 2)))
+    ]
+    updates += [
+        insert(*edge)
+        for edge in rng.sample(non_edges, k=min(len(non_edges), rng.randint(0, 3)))
+    ]
+    if rng.random() < 0.4 and nodes:
+        fresh = next_node[0]
+        next_node[0] += 1
+        updates.append(
+            insert(rng.choice(nodes), fresh, target_label=rng.choice(LABELS))
+        )
+    rng.shuffle(updates)
+    return Delta(updates)
+
+
+# ----------------------------------------------------------------------
+# Primitives: digest, view interests, ghost-sync policy
+# ----------------------------------------------------------------------
+
+
+class TestPrimitives:
+    def test_replica_digest_is_order_independent(self):
+        one = DiGraph(labels={1: "a", 2: "b", 3: "c"}, edges=[(1, 2), (2, 3)])
+        two = DiGraph(labels={3: "c", 1: "a", 2: "b"})
+        two.add_edge(2, 3)
+        two.add_edge(1, 2)
+        assert replica_digest(one) == replica_digest(two)
+
+    def test_replica_digest_detects_divergence(self):
+        base = DiGraph(labels={1: "a", 2: "b"}, edges=[(1, 2)])
+        relabeled = DiGraph(labels={1: "a", 2: "c"}, edges=[(1, 2)])
+        rewired = DiGraph(labels={1: "a", 2: "b"}, edges=[(2, 1)])
+        assert replica_digest(base) != replica_digest(relabeled)
+        assert replica_digest(base) != replica_digest(rewired)
+        # sizes agree on both divergences — the checksum is what catches them
+        assert replica_digest(base)[:2] == replica_digest(relabeled)[:2]
+
+    def test_view_interests_cover_every_filter_family(self):
+        engine = four_view_engine(DiGraph(labels={1: "a"}))
+        modes = {i.name: i.mode for i in _view_interests(engine)}
+        # scc subscribes to everything; rpq's NFA alphabet is exact;
+        # kws/iso consult live index state, so workers over-count
+        assert modes == {
+            "kws": "conservative",
+            "rpq": "target-labels",
+            "scc": "all",
+            "iso": "conservative",
+        }
+        rpq = next(i for i in _view_interests(engine) if i.name == "rpq")
+        assert set(rpq.labels) == {"a", "b", "c"}
+
+    def test_ghost_sync_policy_resolution(self, monkeypatch):
+        monkeypatch.delenv(GHOST_SYNC_ENV, raising=False)
+        assert _ghost_sync_policy(None) == "touch"
+        assert _ghost_sync_policy("declared") == "declared"
+        monkeypatch.setenv(GHOST_SYNC_ENV, "declared")
+        assert _ghost_sync_policy(None) == "declared"
+        assert _ghost_sync_policy("touch") == "touch"  # argument wins
+        with pytest.raises(WorkerPoolError, match="unknown ghost-sync"):
+            _ghost_sync_policy("everything")
+
+
+# ----------------------------------------------------------------------
+# Pool lifecycle
+# ----------------------------------------------------------------------
+
+
+class TestPoolLifecycle:
+    def test_install_declines_unsharded_and_mismatched_graphs(self, tmp_path):
+        log = SegmentedDeltaLog(tmp_path / "seg", ShardMap(2), window_size=2)
+        plain = four_view_engine(DiGraph(labels={1: "a"}))
+        assert ShardWorkerPool.install(plain, log) is None
+        mismatched = four_view_engine(
+            ShardedGraphStore(shards=3, labels={1: "a"})
+        )
+        assert ShardWorkerPool.install(mismatched, log) is None
+        assert log._worker_pool is None
+
+    def test_install_reuses_resident_workers_across_attaches(self, tmp_path):
+        sharded, _ = random_setup(random.Random(1))
+        engine = four_view_engine(sharded, executor="workers")
+        store = SnapshotStore(tmp_path / "store", shard_map=sharded.shard_map)
+        store.attach(engine)
+        pool = store.log._worker_pool
+        if pool is None:
+            pytest.skip("worker processes unavailable in this interpreter")
+        pids = [process.pid for process in pool._processes]
+        # a second store over the same root re-binds, not re-spawns
+        engine.apply(Delta([insert(1, 999, "a", "b")]))
+        store.log.flush()
+        store.save(engine)
+        revived = SnapshotStore(tmp_path / "store").load()
+        assert revived.graph == engine.graph
+        again = SnapshotStore(tmp_path / "store", shard_map=sharded.shard_map)
+        again.attach(engine)
+        pool2 = again.log._worker_pool
+        assert pool2 is pool
+        assert [process.pid for process in pool2._processes] == pids
+        pool2.verify(engine.graph)
+
+    def test_shutdown_pools_reaps_workers(self, tmp_path):
+        sharded, _ = random_setup(random.Random(2))
+        engine = four_view_engine(sharded, executor="workers")
+        store = SnapshotStore(tmp_path / "store", shard_map=sharded.shard_map)
+        store.attach(engine)
+        pool = store.log._worker_pool
+        if pool is None:
+            pytest.skip("worker processes unavailable in this interpreter")
+        processes = list(pool._processes)
+        shutdown_pools()
+        assert all(not process.is_alive() for process in processes)
+        assert not pool.alive()
+
+
+# ----------------------------------------------------------------------
+# The hot path: equivalence, ghosts, reports
+# ----------------------------------------------------------------------
+
+
+class TestWorkerEquivalence:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_windowed_stream_matches_reference_and_recovers(
+        self, seed, tmp_path, monkeypatch
+    ):
+        """Random batch streams through the full workers stack: the
+        sharded engine equals the unsharded reference after every
+        batch, worker replicas digest-match the coordinator, and the
+        windowed log replays to the same session routed and broadcast."""
+        monkeypatch.setenv("REPRO_WINDOW_SIZE", "3")
+        rng = random.Random(0x5EED + seed)
+        sharded_graph, plain_graph = random_setup(rng)
+        engine = four_view_engine(sharded_graph, executor="workers")
+        reference = four_view_engine(plain_graph)
+        store = SnapshotStore(
+            tmp_path / "store", shard_map=sharded_graph.shard_map
+        )
+        store.attach(engine)
+        store.save(engine)
+        pool = store.log._worker_pool
+        next_node = [100]
+        for _ in range(12):
+            batch = random_batch(rng, reference.graph, next_node)
+            if not batch:
+                continue
+            engine.apply(batch)
+            reference.apply(batch)
+            assert engine.graph == reference.graph
+            assert engine["kws"].roots() == reference["kws"].roots()
+            assert engine["rpq"].matches == reference["rpq"].matches
+            assert engine["scc"].components() == reference["scc"].components()
+            assert engine["iso"].matches == reference["iso"].matches
+        store.log.flush()
+        if pool is not None:
+            pool.verify(engine.graph)  # drain barrier + replica digest
+        routed = store.load(attach_journal=False)
+        broadcast = store.load(attach_journal=False, routed=False)
+        for recovered in (routed, broadcast):
+            assert recovered.graph == engine.graph
+            assert recovered["scc"].components() == engine["scc"].components()
+            assert recovered["iso"].matches == engine["iso"].matches
+
+    def test_cross_shard_ghosts_and_foreign_targets(self, tmp_path):
+        """Inserts whose endpoints live on different shards: the source
+        shard's replica hosts a ghost of the target, and a brand-new
+        node introduced only by a remote-source edge still materializes
+        on its owning shard's replica (verified by digest)."""
+        shard_map = ShardMap(4)
+        nodes = list(range(16))
+        sharded = ShardedGraphStore(
+            shard_map=shard_map, labels={n: "a" for n in nodes}
+        )
+        engine = four_view_engine(sharded, executor="workers")
+        store = SnapshotStore(tmp_path / "store", shard_map=shard_map)
+        store.attach(engine)
+        store.log.window_size = 4
+        if store.log._worker_pool is None:
+            pytest.skip("worker processes unavailable in this interpreter")
+        # cross-shard edges to existing nodes and to brand-new ones
+        batches = [
+            Delta([insert(0, 1, "a", "a"), insert(2, 3, "a", "a")]),
+            Delta([insert(1, 100, "a", "d"), insert(3, 101, "a", "b")]),
+            Delta([insert(100, 101, "d", "b"), delete(0, 1)]),
+        ]
+        for batch in batches:
+            engine.apply(batch)
+        store.log.flush()
+        store.log._worker_pool.verify(engine.graph)
+
+    def test_seal_report_merges_fragments_and_costs(self, tmp_path):
+        """The gather side: per-view ΔO fragment counts are summed
+        across workers (exact for the alphabet view, everything for
+        the subscribe-all view) and per-shard cost snapshots survive."""
+        shard_map = ShardMap(3)
+        sharded = ShardedGraphStore(
+            shard_map=shard_map, labels={n: "a" for n in range(9)}
+        )
+        engine = Engine(sharded, executor="workers")
+        engine.register("rpq", lambda g, m: RPQIndex(g, RPQ_QUERY, meter=m))
+        engine.register("scc", lambda g, m: SCCIndex(g, meter=m))
+        store = SnapshotStore(tmp_path / "store", shard_map=shard_map)
+        store.attach(engine)
+        store.log.window_size = 8
+        pool = store.log._worker_pool
+        if pool is None:
+            pytest.skip("worker processes unavailable in this interpreter")
+        # rpq's alphabet is {a, b, c}: the "d"-labelled target is
+        # invisible to it but counted by subscribe-all scc
+        engine.apply(Delta([insert(0, 50, "a", "d")]))
+        engine.apply(Delta([insert(1, 51, "a", "b"), insert(2, 52, "a", "c")]))
+        store.log.flush()
+        report = pool.last_window_report
+        assert report is not None
+        assert report.fragments["scc"] == 3
+        assert report.fragments["rpq"] == 2
+        assert report.last_seq == store.log.last_seq()
+        total_batches = sum(
+            cost.get("batches", 0) for cost in report.per_shard.values()
+        )
+        assert total_batches == 3  # three routed sub-entries in the window
+
+
+# ----------------------------------------------------------------------
+# Error contract
+# ----------------------------------------------------------------------
+
+
+class TestErrorContract:
+    def _pooled_log(self, tmp_path, shards=2, window_size=4):
+        shard_map = ShardMap(shards)
+        sharded = ShardedGraphStore(
+            shard_map=shard_map, labels={n: "a" for n in range(8)}
+        )
+        engine = Engine(sharded, executor="workers")
+        engine.register("scc", lambda g, m: SCCIndex(g, meter=m))
+        store = SnapshotStore(tmp_path / "store", shard_map=shard_map)
+        store.attach(engine)
+        store.log.window_size = window_size
+        return engine, store
+
+    def test_latched_append_failure_tears_the_window(self, tmp_path):
+        """A pipelined absorb failure (delete of an edge the replica
+        never saw) latches in the worker, surfaces as a failed seal,
+        and everything appended under the window stays invisible to
+        replay — the discard-whole contract."""
+        engine, store = self._pooled_log(tmp_path)
+        if store.log._worker_pool is None:
+            pytest.skip("worker processes unavailable in this interpreter")
+        engine.apply(Delta([insert(0, 1, "a", "a")]))
+        store.log.flush()
+        durable = store.log.last_seq()
+        # bypass engine validation: the log routes whatever it is given
+        store.log.append(Delta([delete(6, 7)]))  # edge never existed
+        store.log.append(Delta([insert(2, 3, "a", "a")]))
+        with pytest.raises(WorkerPoolError):
+            store.log.flush()
+        # both appends rode the torn window: neither is durable
+        assert store.log.last_seq() == durable
+        assert [entry.seq for entry in store.log.entries()] == [durable]
+        pool = store.log._worker_pool
+        assert pool is not None and not pool.alive()
+        with pytest.raises(WorkerPoolError, match="broken"):
+            pool.append(1, 1, 1, [], Delta([]))
+
+    def test_unregistered_message_is_rejected(self, tmp_path):
+        engine, store = self._pooled_log(tmp_path)
+        pool = store.log._worker_pool
+        if pool is None:
+            pytest.skip("worker processes unavailable in this interpreter")
+        pool._send(0, {"not": "a registered message"})
+        with pytest.raises(WorkerPoolError, match="unregistered message"):
+            pool.verify(engine.graph)
+
+    def test_broken_pool_reinstalls_fresh_workers(self, tmp_path):
+        engine, store = self._pooled_log(tmp_path)
+        pool = store.log._worker_pool
+        if pool is None:
+            pytest.skip("worker processes unavailable in this interpreter")
+        pool.terminate()
+        assert not pool.alive()
+        replacement = ShardWorkerPool.install(engine, store.log)
+        assert replacement is not None and replacement is not pool
+        assert store.log._worker_pool is replacement
+        engine.apply(Delta([insert(0, 1, "a", "a")]))
+        store.log.flush()
+        replacement.verify(engine.graph)
+
+    def test_replica_divergence_fails_verification(self, tmp_path):
+        engine, store = self._pooled_log(tmp_path)
+        pool = store.log._worker_pool
+        if pool is None:
+            pytest.skip("worker processes unavailable in this interpreter")
+        engine.apply(Delta([insert(0, 1, "a", "a")]))
+        store.log.flush()
+        pool.verify(engine.graph)
+        # an out-of-band mutation never crosses the delta stream, so
+        # the replicas cannot know about it — verify must say so
+        engine.graph.add_node(999, label="d")
+        with pytest.raises(WorkerPoolError, match="diverged"):
+            pool.verify(engine.graph)
+
+
+# ----------------------------------------------------------------------
+# Serving integration: visible now, durable at the seal
+# ----------------------------------------------------------------------
+
+
+class TestServingDurability:
+    def _windowed_repo(self, tmp_path, window_size=3):
+        shard_map = ShardMap(2)
+        sharded = ShardedGraphStore(
+            shard_map=shard_map, labels={n: "a" for n in range(6)}
+        )
+        engine = Engine(sharded)
+        engine.register("scc", lambda g, m: SCCIndex(g, meter=m))
+        store = SnapshotStore(tmp_path / "store", shard_map=shard_map)
+        store.attach(engine)
+        # in-process windowed mode: deterministic, no worker processes
+        store.log.window_size = window_size
+        store.log.executor = "serial"
+        return Repository(engine), store
+
+    def test_durable_generation_trails_until_flush(self, tmp_path):
+        repo, store = self._windowed_repo(tmp_path)
+        assert repo.durable_generation == repo.generation == 0
+        repo.apply([insert(0, 1, "a", "a")])
+        repo.apply([insert(1, 2, "a", "a")])
+        assert repo.generation == 2
+        assert repo.durable_generation == 0  # window still open
+        assert repo.stats()["durable_generation"] == 0
+        assert repo.flush() == 2
+        assert repo.durable_generation == 2
+
+    def test_auto_seal_catches_durability_up(self, tmp_path):
+        repo, store = self._windowed_repo(tmp_path, window_size=3)
+        for step in range(3):
+            repo.apply([insert(step, step + 1, "a", "a")])
+        # the third append filled the window and sealed it mid-apply
+        assert repo.generation == 3
+        assert repo.durable_generation == 3
+        repo.apply([insert(3, 4, "a", "a")])
+        assert repo.durable_generation == 3  # a fresh window opened
+
+    def test_save_is_a_durability_point(self, tmp_path):
+        repo, store = self._windowed_repo(tmp_path)
+        repo.apply([insert(0, 1, "a", "a")])
+        assert repo.durable_generation == 0
+        store.save(repo.engine)  # save flushes the open window
+        assert repo.durable_generation == 1
+        recovered = store.load(attach_journal=False)
+        assert recovered.graph == repo.engine.graph
+
+    def test_unwindowed_repository_is_always_durable(self, tmp_path):
+        engine = Engine(DiGraph(labels={1: "a", 2: "a"}))
+        engine.register("scc", lambda g, m: SCCIndex(g, meter=m))
+        store = SnapshotStore(tmp_path / "store")
+        store.attach(engine)
+        repo = Repository(engine)
+        repo.apply([insert(1, 2)])
+        assert repo.durable_generation == repo.generation == 1
+        assert repo.flush() == 1
+
+    def test_rollback_durability_follows_the_same_window(self, tmp_path):
+        repo, store = self._windowed_repo(tmp_path)
+        repo.apply([insert(0, 1, "a", "a")])
+        repo.rollback(0)
+        assert repo.generation == 2
+        assert repo.durable_generation == 0  # undo rode the open window
+        assert repo.flush() == 2

@@ -8,6 +8,7 @@ from tools.analysis.checkers.concurrency import ConcurrencyChecker
 from tools.analysis.checkers.docstrings import DocstringChecker
 from tools.analysis.checkers.durability import DurabilityChecker
 from tools.analysis.checkers.exceptions import ExceptionHygieneChecker
+from tools.analysis.checkers.ipc import IpcChecker
 from tools.analysis.checkers.serving import ServingChecker
 from tools.analysis.checkers.spec_drift import SpecDriftChecker
 from tools.analysis.checkers.view_protocol import ViewProtocolChecker
@@ -23,6 +24,7 @@ ALL_CHECKERS = (
     ViewProtocolChecker(),
     ExceptionHygieneChecker(),
     DocstringChecker(),
+    IpcChecker(),
 )
 
 

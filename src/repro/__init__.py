@@ -27,6 +27,7 @@ Quickstart::
 
 from repro.core.cost import CostLedger, CostMeter
 from repro.core.delta import Delta, InvalidDeltaError, Update, delete, insert
+from repro.dataflow import Dataflow, DataflowView, register_program
 from repro.engine import (
     Engine,
     EngineError,
@@ -59,6 +60,8 @@ __version__ = "1.2.0"
 __all__ = [
     "CostLedger",
     "CostMeter",
+    "Dataflow",
+    "DataflowView",
     "Delta",
     "DeltaLog",
     "DiGraph",
@@ -85,6 +88,7 @@ __all__ = [
     "insert",
     "load_session",
     "random_delta",
+    "register_program",
     "save_session",
     "__version__",
 ]

@@ -45,6 +45,7 @@ from typing import Optional, Union
 
 from repro.core.cost import CostMeter
 from repro.core.delta import InvalidDeltaError, concat
+from repro.dataflow import DataflowView
 from repro.engine.session import Engine, EngineError
 from repro.engine.view import IncrementalView, ViewSnapshot
 from repro.graph.digraph import DiGraph
@@ -96,6 +97,7 @@ VIEW_KINDS: dict[str, type] = {
     "rpq": RPQIndex,
     "scc": SCCIndex,
     "iso": ISOIndex,
+    "dataflow": DataflowView,
 }
 
 

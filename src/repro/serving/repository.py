@@ -167,10 +167,11 @@ def default_queries(view: Any) -> dict[str, QueryFn]:
     """The standing queries a view exposes, discovered by duck-typing.
 
     The four paper indexes map to ``roots`` (KWS), ``matches`` (RPQ and
-    ISO — a set attribute), and ``components`` (SCC); any view carrying
-    one of those surfaces gets it registered automatically by
-    ``Repository(auto_queries=True)``.  Custom queries are added with
-    :meth:`Repository.register_query`.
+    ISO — a set attribute), and ``components`` (SCC); dataflow views
+    (and anything else exposing a callable ``value``) map to ``value``.
+    Any view carrying one of those surfaces gets it registered
+    automatically by ``Repository(auto_queries=True)``.  Custom queries
+    are added with :meth:`Repository.register_query`.
     """
     queries: dict[str, QueryFn] = {}
     if callable(getattr(view, "roots", None)):
@@ -179,6 +180,8 @@ def default_queries(view: Any) -> dict[str, QueryFn]:
         queries["components"] = lambda v: v.components()
     if isinstance(getattr(view, "matches", None), (set, frozenset)):
         queries["matches"] = lambda v: v.matches
+    if callable(getattr(view, "value", None)):
+        queries["value"] = lambda v: v.value()
     return queries
 
 

@@ -1,0 +1,23 @@
+"""Fixture: a user-defined dataflow view that dodges the pair trigger.
+
+Defines ``apply`` + ``snapshot`` but never ``absorb`` — outside
+``src/repro/dataflow/`` this is not a view candidate at all; inside it,
+the strict any-method trigger holds the class to the full table.
+"""
+
+
+class PartialUserView:
+    """Implements the interactive half of the protocol, forgets the
+    engine fan-out and persistence half entirely."""
+
+    def apply(self, delta):
+        """Batch path."""
+        return None
+
+    def snapshot(self):
+        """Serialize."""
+        return ()
+
+    def relevance(self):
+        """Routing filter."""
+        return None

@@ -127,6 +127,51 @@ def test_spec_drift_reports_both_directions(tmp_path):
     assert doc_paths == {"docs/FORMATS.md"}
 
 
+def _install_dataflow_fixture(tmp_path, kind: str, target: str) -> Path:
+    """Install a dataflow view-protocol fixture at ``target`` in a
+    synthetic tree (outside the RULES table: the rule id already has a
+    fixture row, and ``test_all_rules_registered`` pins the key set)."""
+    source = FIXTURES / "view_protocol" / f"{kind}_view_protocol_dataflow.py"
+    destination = tmp_path / target
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    destination.write_text(
+        source.read_text(encoding="utf-8"), encoding="utf-8"
+    )
+    return tmp_path
+
+
+def test_view_protocol_dataflow_any_method_triggers(tmp_path):
+    """Under ``src/repro/dataflow/`` a class defining any protocol
+    method is held to the full table: the partial view (apply/snapshot/
+    relevance, no absorb) is missing the other five methods."""
+    root = _install_dataflow_fixture(tmp_path, "flag", "src/repro/dataflow/mod.py")
+    findings = run_rule(root, "view-protocol")
+    assert len(findings) == 5, [finding.render() for finding in findings]
+    missing = {
+        name
+        for finding in findings
+        for name in ("insert_edge", "delete_edge", "absorb", "restore",
+                     "empty_output")
+        if f"missing {name}" in finding.message
+    }
+    assert missing == {
+        "insert_edge", "delete_edge", "absorb", "restore", "empty_output"
+    }
+
+
+def test_view_protocol_pair_trigger_unchanged_outside_dataflow(tmp_path):
+    """The same partial class outside ``src/repro/dataflow/`` never
+    becomes a candidate — the absorb+snapshot pair trigger is intact."""
+    root = _install_dataflow_fixture(tmp_path, "flag", "src/repro/kws/mod.py")
+    assert run_rule(root, "view-protocol") == []
+
+
+def test_view_protocol_dataflow_conforming_view_is_clean(tmp_path):
+    root = _install_dataflow_fixture(tmp_path, "pass", "src/repro/dataflow/mod.py")
+    findings = run_rule(root, "view-protocol")
+    assert findings == [], [finding.render() for finding in findings]
+
+
 def test_view_protocol_drift_guard(tmp_path):
     """Extending the protocol class forces the rule table to catch up."""
     view = tmp_path / "src" / "repro" / "engine" / "view.py"

@@ -28,6 +28,7 @@ from repro import (
     delete,
     insert,
 )
+from repro.dataflow import DataflowView
 from repro.iso import ISOIndex, Pattern
 from repro.kws import KWSIndex, KWSQuery
 from repro.persist import DeltaLog, SegmentedDeltaLog, SnapshotStore
@@ -71,11 +72,17 @@ def sample_graph() -> DiGraph:
 
 
 def four_view_engine(graph: DiGraph) -> Engine:
+    """The four paper indexes plus a ``dataflow`` section (triangle
+    count), so every save/load kill point also tortures the dataflow
+    view kind's snapshot + restore + replay path."""
     engine = Engine(graph)
     engine.register("kws", lambda g, m: KWSIndex(g, KWS_QUERY, meter=m))
     engine.register("rpq", lambda g, m: RPQIndex(g, RPQ_QUERY, meter=m))
     engine.register("scc", lambda g, m: SCCIndex(g, meter=m))
     engine.register("iso", lambda g, m: ISOIndex(g, ISO_PATTERN, meter=m))
+    engine.register(
+        "tri", lambda g, m: DataflowView(g, "triangle-count", meter=m)
+    )
     return engine
 
 
@@ -85,6 +92,8 @@ def assert_recovered_equals(recovered: Engine, reference: Engine) -> None:
     assert recovered["rpq"].matches == reference["rpq"].matches
     assert recovered["scc"].components() == reference["scc"].components()
     assert recovered["iso"].matches == reference["iso"].matches
+    assert recovered["tri"].value() == reference["tri"].value()
+    assert recovered["tri"].snapshot() == reference["tri"].snapshot()
 
 
 # ----------------------------------------------------------------------

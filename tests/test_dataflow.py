@@ -1,0 +1,422 @@
+"""Property tests for the incremental dataflow runtime itself.
+
+The four contracts the runtime documents, asserted directly:
+
+* **stabilize() idempotence** — a second stabilize with no staged input
+  evaluates nothing (counted via the per-node evaluation counters);
+* **cutoff correctness** — a node whose recomputation leaves its value
+  unchanged must not cause downstream re-evaluation;
+* **topological re-evaluation order** — every parent evaluates before
+  any child that reads it, across diamonds;
+* **snapshot → restore → absorb equivalence** — a restored
+  :class:`DataflowView` is behaviorally identical to the original under
+  further batches (same ΔO, same canonical snapshot).
+
+Plus the fixpoint semantics (transitive closure vs brute force, under
+deletions; divergence bound), reduce invertibility, the
+change-proportional CostMeter story, and the runtime's loud error
+paths.
+"""
+
+import random
+
+import pytest
+
+from repro import Delta, DiGraph, delete, insert
+from repro.core.cost import CostMeter
+from repro.dataflow import (
+    Dataflow,
+    DataflowError,
+    DataflowView,
+    FixpointDivergenceError,
+    registered_programs,
+)
+from repro.engine.view import IncrementalView
+
+LABELS = ["a", "b", "c", "d"]
+
+
+def random_graph(rng: random.Random) -> DiGraph:
+    size = rng.randint(5, 9)
+    graph = DiGraph(labels={node: rng.choice(LABELS) for node in range(size)})
+    pairs = [(s, t) for s in range(size) for t in range(size) if s != t]
+    for edge in rng.sample(pairs, k=min(len(pairs), rng.randint(size, 3 * size))):
+        graph.add_edge(*edge)
+    return graph
+
+
+def random_batch(rng: random.Random, graph: DiGraph, next_node: list) -> Delta:
+    edges = list(graph.edges())
+    nodes = list(graph.nodes())
+    non_edges = [
+        (s, t) for s in nodes for t in nodes if s != t and not graph.has_edge(s, t)
+    ]
+    updates = []
+    for edge in rng.sample(edges, k=min(len(edges), rng.randint(0, 3))):
+        updates.append(delete(*edge))
+    for edge in rng.sample(non_edges, k=min(len(non_edges), rng.randint(0, 3))):
+        updates.append(insert(*edge))
+    if rng.random() < 0.35 and nodes:
+        fresh = next_node[0]
+        next_node[0] += 1
+        updates.append(
+            insert(rng.choice(nodes), fresh, target_label=rng.choice(LABELS))
+        )
+    rng.shuffle(updates)
+    return Delta(updates)
+
+
+# ----------------------------------------------------------------------
+# stabilize(): idempotence, cutoff, topological order
+# ----------------------------------------------------------------------
+
+
+class TestStabilize:
+    def test_stabilize_is_idempotent(self):
+        flow = Dataflow()
+        edges = flow.var()
+        degree = flow.count_by(edges, lambda row: row[0])
+        total = flow.count(degree)
+        flow.observe(total)
+        edges.update({("a", "b"): 1, ("a", "c"): 1, ("b", "c"): 1})
+        assert flow.stabilize() > 0
+        counts = {node.id: node.eval_count for node in flow.nodes}
+        assert flow.stabilize() == 0  # nothing staged, nothing evaluated
+        assert {node.id: node.eval_count for node in flow.nodes} == counts
+
+    def test_cutoff_stops_scalar_propagation(self):
+        """count is unchanged by a +1/-1 batch, so its map_value child
+        must not re-evaluate (asserted via evaluation counters)."""
+        flow = Dataflow()
+        edges = flow.var()
+        total = flow.count(edges)
+        parity = flow.map_value(total, lambda n: n % 2)
+        edges.update({("a", "b"): 1, ("c", "d"): 1})
+        flow.stabilize()
+        assert parity.value == 0
+        before = parity.eval_count
+        edges.update({("a", "b"): -1, ("x", "y"): 1})  # count stays 2
+        flow.stabilize()
+        assert total.eval_count > 1  # the count itself did recompute
+        assert parity.eval_count == before  # ...but cut off downstream
+
+    def test_cutoff_stops_relation_propagation(self):
+        """A filter that drops the whole delta leaves its child alone."""
+        flow = Dataflow()
+        rows = flow.var()
+        kept = flow.filter(rows, lambda row: row[0] == "keep")
+        downstream = flow.distinct(kept)
+        rows.update({("keep", 1): 1})
+        flow.stabilize()
+        before = downstream.eval_count
+        rows.update({("drop", 2): 1, ("drop", 3): 1})
+        flow.stabilize()
+        assert kept.eval_count >= 2  # the filter saw the delta
+        assert downstream.eval_count == before  # empty delta: cutoff
+
+    def test_map2_equality_cutoff(self):
+        flow = Dataflow()
+        left, right = flow.var(), flow.var()
+        combined = flow.map2(
+            flow.count(left), flow.count(right), lambda a, b: a + b
+        )
+        sink = flow.map_value(combined, lambda n: -n)
+        left.update({("x",): 2})
+        flow.stabilize()
+        assert combined.value == 2 and sink.value == -2
+        before = sink.eval_count
+        left.update({("x",): -1})
+        right.update({("y",): 1})  # 1 + 1 == 2: combined unchanged
+        flow.stabilize()
+        assert combined.eval_count >= 2
+        assert sink.eval_count == before
+
+    def test_topological_reevaluation_order(self):
+        """Diamond: both middle nodes evaluate before the join reading
+        them, and the source before everything."""
+        order = []
+
+        def trace(tag, fn):
+            def wrapped(row):
+                order.append(tag)
+                return fn(row)
+
+            return wrapped
+
+        flow = Dataflow()
+        source = flow.var()
+        left = flow.map(source, trace("left", lambda r: (r[0],)))
+        right = flow.map(source, trace("right", lambda r: (r[1],)))
+        joined = flow.join(
+            left,
+            right,
+            left_key=lambda r: r[0],
+            right_key=lambda r: r[0],
+            merge=lambda l, r: (order.append("join"), l[0])[1:],
+        )
+        flow.observe(joined)
+        source.update({("p", "p"): 1, ("q", "p"): 1})
+        flow.stabilize()
+        assert "join" in order
+        first_join = order.index("join")
+        assert order.index("left") < first_join
+        assert order.index("right") < first_join
+
+    def test_heights_rank_parents_below_children(self):
+        flow = Dataflow()
+        source = flow.var()
+        mapped = flow.map(source, lambda r: r)
+        dist = flow.distinct(mapped)
+        joined = flow.join(dist, source, lambda r: r, lambda r: r)
+        assert source.height < mapped.height < dist.height < joined.height
+
+
+# ----------------------------------------------------------------------
+# combinator semantics
+# ----------------------------------------------------------------------
+
+
+class TestCombinators:
+    def test_reduce_is_invertible_under_deletion(self):
+        flow = Dataflow()
+        sales = flow.var()
+        by_key = flow.reduce(
+            sales,
+            key=lambda row: row[0],
+            zero=0,
+            step=lambda acc, row, count: acc + row[1] * count,
+        )
+        flow.stabilize()
+        sales.update({("a", 5): 1, ("a", 3): 1, ("b", 2): 1})
+        flow.stabilize()
+        assert dict.fromkeys(by_key.rows()) == {("a", 8): None, ("b", 2): None}
+        sales.update({("a", 5): -1, ("b", 2): -1})
+        flow.stabilize()
+        assert list(by_key.rows()) == [("a", 3)]  # b's group vanished
+
+    def test_join_multiplicities_are_bilinear(self):
+        flow = Dataflow()
+        left, right = flow.var(), flow.var()
+        joined = flow.join(
+            left, right, left_key=lambda r: r[0], right_key=lambda r: r[0]
+        )
+        left.update({("k", "l1"): 2})
+        right.update({("k", "r1"): 3})
+        flow.stabilize()
+        assert joined.value == {("k", "l1", "k", "r1"): 6}
+        left.update({("k", "l1"): -1})
+        flow.stabilize()
+        assert joined.value == {("k", "l1", "k", "r1"): 3}
+
+    def test_distinct_tracks_support_transitions(self):
+        flow = Dataflow()
+        rows = flow.var()
+        dist = flow.distinct(rows)
+        rows.update({("x",): 2})
+        flow.stabilize()
+        assert dist.value == {("x",): 1}
+        rows.update({("x",): -1})
+        flow.stabilize()
+        assert dist.value == {("x",): 1}  # still supported
+        rows.update({("x",): -1})
+        flow.stabilize()
+        assert dist.value == {}
+
+    def test_fixpoint_matches_brute_force_transitive_closure(self):
+        """Reachability as base=edges, step=recur⋈edges — checked against
+        brute force across seeded insert/delete streams (deletions are
+        the hard case: the fixpoint must not retain ghost paths)."""
+        for seed in range(6):
+            rng = random.Random(0xF1C + seed)
+            flow = Dataflow()
+            edges = flow.var()
+            closure = flow.fixpoint(
+                edges,
+                lambda recur: flow.join(
+                    recur,
+                    edges,
+                    left_key=lambda p: p[1],
+                    right_key=lambda e: e[0],
+                    merge=lambda p, e: (p[0], e[1]),
+                ),
+            )
+            flow.observe(closure)
+            live: set = set()
+            universe = [(s, t) for s in range(6) for t in range(6) if s != t]
+            for _ in range(12):
+                additions = {
+                    e for e in rng.sample(universe, rng.randint(0, 3))
+                } - live
+                removals = set(
+                    rng.sample(sorted(live), min(len(live), rng.randint(0, 2)))
+                )
+                removals -= additions
+                live = (live - removals) | additions
+                staged = {(s, t): 1 for s, t in additions}
+                staged.update({(s, t): -1 for s, t in removals})
+                edges.update(staged)
+                flow.stabilize()
+                expected = set()
+                frontier = {(s, t) for s, t in live}
+                while frontier - expected:
+                    expected |= frontier
+                    frontier = {
+                        (a, d)
+                        for a, b in expected
+                        for c, d in live
+                        if b == c
+                    }
+                assert set(closure.rows()) == expected
+
+    def test_fixpoint_divergence_bound_raises(self):
+        flow = Dataflow()
+        edges = flow.var()
+        closure = flow.fixpoint(
+            edges,
+            lambda recur: flow.join(
+                recur,
+                edges,
+                left_key=lambda p: p[1],
+                right_key=lambda e: e[0],
+                merge=lambda p, e: (p[0], e[1]),
+            ),
+            bound=2,
+        )
+        flow.observe(closure)
+        edges.update({(k, k + 1): 1 for k in range(8)})  # needs ~8 rounds
+        with pytest.raises(FixpointDivergenceError):
+            flow.stabilize()
+
+
+# ----------------------------------------------------------------------
+# error paths stay loud
+# ----------------------------------------------------------------------
+
+
+class TestErrors:
+    def test_scalar_into_relation_combinator(self):
+        flow = Dataflow()
+        total = flow.count(flow.var())
+        with pytest.raises(DataflowError, match="scalar"):
+            flow.distinct(total)
+
+    def test_nested_fixpoint_rejected(self):
+        flow = Dataflow()
+        edges = flow.var()
+
+        def step(recur):
+            return flow.fixpoint(recur, lambda inner: inner)
+
+        with pytest.raises(DataflowError, match="nest"):
+            flow.fixpoint(edges, step)
+
+    def test_negative_multiset_count_rejected(self):
+        flow = Dataflow()
+        rows = flow.var()
+        flow.stabilize()
+        rows.update({("ghost",): -1})
+        with pytest.raises(DataflowError, match="negative|become"):
+            flow.stabilize()
+
+    def test_unknown_program_and_bad_args(self):
+        graph = DiGraph(labels={1: "a"})
+        with pytest.raises(ValueError, match="unknown dataflow program"):
+            DataflowView(graph, "no-such-program")
+        with pytest.raises(ValueError, match="tokens"):
+            DataflowView(graph, "rpq", object())
+
+    def test_observing_fixpoint_internal_node_rejected(self):
+        flow = Dataflow()
+        edges = flow.var()
+        grabbed = {}
+
+        def step(recur):
+            grabbed["recur"] = recur
+            return flow.join(
+                recur, edges, left_key=lambda p: p[1], right_key=lambda e: e[0]
+            )
+
+        flow.fixpoint(edges, step)
+        with pytest.raises(DataflowError, match="internal"):
+            flow.observe(grabbed["recur"])
+
+
+# ----------------------------------------------------------------------
+# DataflowView: protocol, snapshot → restore → absorb equivalence
+# ----------------------------------------------------------------------
+
+
+class TestDataflowView:
+    def test_satisfies_incremental_view_protocol(self):
+        graph = DiGraph(labels={1: "a", 2: "b"}, edges=[(1, 2)])
+        view = DataflowView(graph, "edge-label-count")
+        assert isinstance(view, IncrementalView)
+        assert view.empty_output().is_empty
+        assert "edge-label-count" in registered_programs()
+
+    @pytest.mark.parametrize(
+        "program, args",
+        [
+            ("rpq", ("a . (b + c)* . c",)),
+            ("edge-label-count", ()),
+            ("two-hop", ()),
+            ("triangle-count", ()),
+        ],
+    )
+    def test_snapshot_restore_absorb_equivalence(self, program, args):
+        """restore(graph, snapshot()) is behaviorally identical to the
+        live view: same answers, same ΔO, same canonical snapshot —
+        through further seeded batches."""
+        for seed in range(4):
+            rng = random.Random(0xDF0 + seed)
+            graph = random_graph(rng)
+            twin_graph = graph.copy()
+            view = DataflowView(graph, program, *args)
+            twin = DataflowView.restore(twin_graph, view.snapshot())
+            assert twin.value() == view.value()
+            next_node = [1000]
+            for _ in range(6):
+                batch = random_batch(rng, graph, next_node)
+                if not batch:
+                    continue
+                out = view.apply(batch)
+                twin_out = twin.apply(batch)
+                assert twin_out == out
+                assert twin.value() == view.value()
+                assert twin.snapshot() == view.snapshot()
+
+    def test_restore_detects_section_graph_divergence(self):
+        graph = DiGraph(labels={1: "a", 2: "a", 3: "a"})
+        graph.add_edge(1, 2)
+        view = DataflowView(graph, "edge-label-count")
+        state = view.snapshot()
+        graph.add_edge(2, 3)  # the section no longer matches the graph
+        with pytest.raises(ValueError, match="diverged"):
+            DataflowView.restore(graph, state)
+
+    def test_scalar_snapshot_round_trip(self):
+        graph = DiGraph(
+            labels={1: "a", 2: "a", 3: "a"}, edges=[(1, 2), (2, 3), (3, 1)]
+        )
+        view = DataflowView(graph, "triangle-count")
+        state = view.snapshot()
+        assert state.kind == "dataflow"
+        assert state.config == ("triangle-count",)
+        assert state.records == ((1,),)
+        assert DataflowView.restore(graph, state).value() == 1
+
+    def test_maintenance_cost_is_change_proportional(self):
+        """One unit update on a large graph must move the meter far less
+        than the from-scratch build did — the per-view CostMeter story
+        the engine's dirty tracking and the benchmarks rely on."""
+        graph = DiGraph(labels={n: "a" for n in range(300)})
+        for n in range(299):
+            graph.add_edge(n, n + 1)
+        meter = CostMeter()
+        view = DataflowView(graph, "edge-label-count", meter=meter)
+        build_cost = meter.total()
+        before = meter.snapshot()
+        view.apply(Delta([insert(299, 0)]))
+        maintenance = meter.snapshot().since(before).total()
+        assert maintenance > 0  # the update was not free...
+        assert maintenance * 20 < build_cost  # ...but nowhere near a rebuild

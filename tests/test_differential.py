@@ -2,9 +2,10 @@
 
 Seeded random update streams interleave batch applies, rollbacks, full
 and incremental snapshots, relevance-aware log compactions, and
-mid-stream recoveries; after *every* mutation the engine's four view
+mid-stream recoveries; after *every* mutation the engine's five view
 answers are compared against from-scratch recomputation (BLINKS-style
-KWS BFS, RPQ_NFA product BFS, Tarjan, VF2) on the materialized graph —
+KWS BFS, RPQ_NFA product BFS, Tarjan, VF2, and a brute-force triangle
+count for the registered dataflow view) on the materialized graph —
 the correctness methodology both Szárnyas (2018) and Dexter et al.
 (2019) prescribe for incremental view/log machinery.
 
@@ -41,6 +42,7 @@ from repro import (
     delete,
     insert,
 )
+from repro.dataflow import DataflowView
 from repro.iso import ISOIndex, Pattern, vf2_matches
 from repro.kws import KWSIndex, KWSQuery, batch_kws
 from repro.persist import SnapshotStore
@@ -76,12 +78,29 @@ ISO_PATTERN = Pattern.from_edges({0: "a", 1: "b"}, [(0, 1)])
 
 
 def four_view_engine(graph: DiGraph) -> Engine:
+    """The four paper indexes plus a :class:`DataflowView` (triangle
+    count) — the dataflow layer rides every apply/rollback/save/compact/
+    mid-stream-load against its own from-scratch oracle."""
     engine = Engine(graph)
     engine.register("kws", lambda g, m: KWSIndex(g, KWS_QUERY, meter=m))
     engine.register("rpq", lambda g, m: RPQIndex(g, RPQ_QUERY, meter=m))
     engine.register("scc", lambda g, m: SCCIndex(g, meter=m))
     engine.register("iso", lambda g, m: ISOIndex(g, ISO_PATTERN, meter=m))
+    engine.register(
+        "tri", lambda g, m: DataflowView(g, "triangle-count", meter=m)
+    )
     return engine
+
+
+def batch_triangle_count(graph) -> int:
+    """From-scratch oracle: the number of directed 3-cycles."""
+    third = 0
+    for source, target in graph.edges():
+        for closer in graph.successors(target):
+            if graph.has_edge(closer, source):
+                third += 1  # counts every cycle once per rotation
+    assert third % 3 == 0
+    return third // 3
 
 
 def serving_surface_answers(graph):
@@ -92,6 +111,7 @@ def serving_surface_answers(graph):
         ("rpq", "matches"): frozenset(matches_only(graph, RPQ_QUERY)),
         ("scc", "components"): frozenset(tarjan_scc(graph).partition()),
         ("iso", "matches"): frozenset(vf2_matches(graph, ISO_PATTERN)),
+        ("tri", "value"): batch_triangle_count(graph),
     }
 
 
@@ -110,6 +130,7 @@ def assert_oracle(engine: Engine) -> None:
     assert engine["rpq"].matches == matches_only(graph, RPQ_QUERY)
     assert engine["scc"].components() == tarjan_scc(graph).partition()
     assert engine["iso"].matches == vf2_matches(graph, ISO_PATTERN)
+    assert engine["tri"].value() == batch_triangle_count(graph)
     engine["scc"].check_consistency()
     engine["iso"].check_consistency()
 
@@ -120,6 +141,8 @@ def assert_sessions_equal(recovered: Engine, reference: Engine) -> None:
     assert recovered["rpq"].matches == reference["rpq"].matches
     assert recovered["scc"].components() == reference["scc"].components()
     assert recovered["iso"].matches == reference["iso"].matches
+    assert recovered["tri"].value() == reference["tri"].value()
+    assert recovered["tri"].snapshot() == reference["tri"].snapshot()
 
 
 def random_graph(rng: random.Random) -> DiGraph:

@@ -7,6 +7,9 @@ import doctest
 
 import pytest
 
+import repro.dataflow.library
+import repro.dataflow.runtime
+import repro.dataflow.view
 import repro.engine.relevance
 import repro.engine.scheduler
 import repro.engine.session
@@ -17,6 +20,9 @@ import repro.persist.format
 import repro.persist.snapshot
 
 MODULES = [
+    repro.dataflow.library,
+    repro.dataflow.runtime,
+    repro.dataflow.view,
     repro.engine.relevance,
     repro.engine.scheduler,
     repro.engine.session,

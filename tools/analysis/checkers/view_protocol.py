@@ -12,7 +12,12 @@ at ``isinstance`` time, and only for the methods the protocol itself
 declares — this rule checks the whole table, statically.
 
 A class is a *view candidate* when it defines both ``absorb`` and
-``snapshot`` methods (the pair nothing but a view defines).  Every
+``snapshot`` methods (the pair nothing but a view defines).  Under
+``src/repro/dataflow/`` the trigger is stricter: the dataflow package
+exists to let users define *new* view classes, so there a class
+defining **any** method from the table is a candidate — a user view
+that implements ``apply`` and ``snapshot`` but forgets ``restore``
+must be caught even though it never defined ``absorb``.  Every
 candidate must then define the complete method table below, each
 callable with the engine's calling convention (positional arity range,
 ``classmethod`` where required):
@@ -49,6 +54,11 @@ __all__ = ["ViewProtocolChecker"]
 #: The structural protocol class (skipped as an implementation — its
 #: bodies are docstring stubs) and its defining module.
 _PROTOCOL_CLASS = "IncrementalView"
+
+#: Under this prefix, defining *any* protocol method makes a class a
+#: candidate (the package hosts user-defined views; partial
+#: implementations must not slip through the absorb+snapshot trigger).
+_STRICT_PREFIX = "src/repro/dataflow/"
 
 
 @dataclass(frozen=True)
@@ -134,7 +144,10 @@ class ViewProtocolChecker(Checker):
             if node.name == _PROTOCOL_CLASS:
                 yield from self._check_protocol_drift(source, node, methods)
                 continue
-            if "absorb" not in methods or "snapshot" not in methods:
+            if source.rel.startswith(_STRICT_PREFIX):
+                if not any(name in methods for name in _REQUIRED):
+                    continue
+            elif "absorb" not in methods or "snapshot" not in methods:
                 continue
             yield from self._check_candidate(source, node, methods)
 

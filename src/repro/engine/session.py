@@ -58,6 +58,7 @@ emphasizes the checkpoint/rollback lifecycle, "engine" the fan-out.
 
 from __future__ import annotations
 
+import time
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field
 from typing import Any, Optional, Union
@@ -179,6 +180,12 @@ class Engine:
         self._meters: dict[str, CostMeter] = {}
         self._filters: dict[str, Optional[DeltaFilter]] = {}
         self._pending: dict[str, ViewFactory] = {}
+        #: Factories retained from :meth:`register` (eager or lazy) —
+        #: what lets :meth:`bulk_load` rebuild a view from scratch
+        #: instead of streaming the import through ``absorb``.  Views
+        #: adopted via :meth:`attach` have none and fall back to a
+        #: routed delivery.
+        self._factories: dict[str, ViewFactory] = {}
         self._history: list[Delta] = []
         #: View names whose auxiliary state changed since the last
         #: snapshot of this engine (see :meth:`dirty_views`).
@@ -240,6 +247,7 @@ class Engine:
                 f"unknown build mode {build!r}; expected one of {BUILD_MODES}"
             )
         self._check_name_free(name)
+        self._factories[name] = factory
         if build == "on_first_apply":
             self._views[name] = None
             self._pending[name] = factory
@@ -271,6 +279,7 @@ class Engine:
         self._meters.pop(name, None)
         self._filters.pop(name, None)
         self._pending.pop(name, None)
+        self._factories.pop(name, None)
         self._dirty.discard(name)
         self._clean_marks.pop(name, None)
         self._route_stats.pop(name, None)
@@ -431,6 +440,137 @@ class Engine:
     def delete_edge(self, source: Node, target: Node) -> EngineReport:
         """Unit deletion through the session."""
         return self.apply(Delta([delete(source, target)]))
+
+    def bulk_load(self, edges: Union[Delta, Iterable]) -> EngineReport:
+        """Bulk-import edge insertions with view maintenance suspended.
+
+        The import path for *getting big*: where :meth:`apply` pays
+        per-batch absorb cost in every view, ``bulk_load`` applies the
+        whole batch straight into the graph and then brings each
+        registered view current **once** — rebuilding it from scratch
+        through the factory retained at :meth:`register` (for a
+        million-edge import, one from-scratch build is far cheaper than
+        a million absorbed deliveries).  Views adopted via
+        :meth:`attach` have no factory and fall back to a single routed
+        delivery of the net batch; lazy views simply materialize over
+        the imported graph.
+
+        ``edges`` is a :class:`~repro.core.delta.Delta`, an iterable of
+        insert :class:`~repro.core.delta.Update`\\ s, or an iterable of
+        ``(source, target)`` / ``(source, target, source_label,
+        target_label)`` tuples.  Deletions are refused — they belong to
+        the maintenance stream, not the import path.
+
+        Durability matches :meth:`apply`: the whole import is journaled
+        write-ahead as **one** batch, and a windowed (format v4) journal
+        is sealed immediately after — one logical group-commit window —
+        so recovery replays the import atomically: all of it (sealed
+        window) or none of it (torn window discarded whole).  The
+        import joins the rollback history as one batch, publishes one
+        :class:`EngineReport` to apply listeners, and drives the
+        auto-snapshot hook, exactly like an applied batch.
+
+        >>> from repro import DiGraph, Engine
+        >>> from repro.scc import SCCIndex
+        >>> engine = Engine(DiGraph())
+        >>> _ = engine.register("scc", lambda g, m: SCCIndex(g, meter=m))
+        >>> report = engine.bulk_load([(1, 2), (2, 1), (2, 3)])
+        >>> len(report.delta), engine["scc"].components() >= {frozenset({1, 2})}
+        (3, True)
+        """
+        updates = []
+        for item in (edges if isinstance(edges, Delta) else list(edges)):
+            if isinstance(item, Update):
+                if not item.is_insert:
+                    raise EngineError(
+                        "bulk_load imports insertions only; deletions go "
+                        "through apply()"
+                    )
+                updates.append(item)
+            else:
+                source, target, *labels = item
+                updates.append(insert(source, target, *labels))
+        delta = Delta(updates)
+        if not delta.is_normalized():
+            delta = delta.normalized()
+        self._validate(delta)  # before any mutation: a bad batch stays free
+        seq = None
+        if self.journal is not None:
+            seq = self.journal.append(delta)  # write-ahead, as in apply()
+            flush = getattr(self.journal, "flush", None)
+            if flush is not None:
+                # Seal right away: the import is one logical window,
+                # admitted (or discarded) atomically on recovery.
+                flush()
+        new_nodes = frozenset(
+            node for node in delta.touched_nodes() if node not in self.graph
+        )
+        delta.apply_to(self.graph)  # the single G ⊕ ΔG — no fan-out
+        views = self._rebuild_views(delta, new_nodes)
+        if seq is not None:
+            self._last_journaled_seq = seq
+        report = EngineReport(
+            delta=delta, new_nodes=new_nodes, views=views, seq=seq
+        )
+        for listener in tuple(self._apply_listeners):
+            listener(report)
+        self._history.append(delta)
+        if self._autosnapshot is not None:
+            try:
+                self._autosnapshot(self)
+            except Exception as exc:
+                raise AutosnapshotError(report, exc) from exc
+        return report
+
+    def _rebuild_views(
+        self, delta: Delta, new_nodes: frozenset[Node]
+    ) -> dict[str, ViewReport]:
+        """Bring every view current after a bulk import: rebuild views
+        with retained factories from scratch over the imported graph,
+        materialize lazy views (their first build already sees the
+        import), and route one delivery to factory-less views."""
+        reports: dict[str, ViewReport] = {}
+        fallback: list[str] = []
+        for name in self.names():
+            started = time.perf_counter()
+            if name in self._pending:
+                self._materialize(name)
+                view = self._views[name]
+                cost = self._meters[name].snapshot()
+            else:
+                factory = self._factories.get(name)
+                if factory is None:
+                    fallback.append(name)
+                    continue
+                meter = self._meters[name]
+                before = meter.snapshot()
+                view = factory(self.graph, meter)
+                self._admit(name, view, meter)
+                cost = meter.snapshot().since(before)
+            empty = getattr(view, "empty_output", None)
+            reports[name] = ViewReport(
+                name=name,
+                output=empty() if empty is not None else None,
+                cost=cost,
+                wall_seconds=time.perf_counter() - started,
+                skipped=False,
+                routed_updates=len(delta),
+            )
+        self._record_reports(reports)
+        if fallback:
+            # attach()ed views: one routed delivery of the net batch —
+            # the graph already holds it, so this is deliver() with the
+            # batch's true new-node set.
+            views = {name: self._views[name] for name in fallback}
+            meters = {name: self._meters[name] for name in fallback}
+            filters = {name: self._filters[name] for name in fallback}
+            plans = self.scheduler.partition(
+                delta, new_nodes, self.graph, views, meters, filters
+            )
+            delivered = self.scheduler.dispatch(plans)
+            self._record_reports(delivered)
+            reports.update(delivered)
+        return reports
 
     def _validate(self, delta: Delta) -> None:
         """Check sequence-order applicability without mutating anything."""

@@ -93,6 +93,24 @@ def stable_shard_hash(node: Node) -> int:
     return zlib.crc32(repr(node).encode("utf-8"))
 
 
+def _split_token(node: Node) -> bytes:
+    """Canonical bytes of a node id, matching the type normalization of
+    :func:`stable_shard_hash` (bool folds into int, etc.)."""
+    if isinstance(node, int):
+        return str(int(node)).encode("utf-8")
+    if isinstance(node, str):
+        return node.encode("utf-8")
+    return repr(node).encode("utf-8")
+
+
+def _split_bit(node: Node, child: int) -> bool:
+    """Deterministic coin flip deciding whether a hash split moves
+    ``node`` to the child shard.  Salted by the child index so repeated
+    splits of the same parent partition independently instead of moving
+    the same half every time."""
+    return bool(zlib.crc32(b"split:%d:" % child + _split_token(node)) & 1)
+
+
 class ShardMap:
     """Deterministic node → shard assignment.
 
@@ -107,20 +125,28 @@ class ShardMap:
 
     A map is immutable; the layout is stamped into snapshot files
     (``%meta sharding``) so recovery rebuilds identical ownership.
+    :meth:`split` derives a *new* map with one more shard — the base
+    layout plus an ordered tuple of recorded splits, each stamped as a
+    ``%meta shard-split`` line (format v5) so recovery replays the same
+    growth history.
 
     >>> ShardMap(4).shard_of(7) == ShardMap(4).shard_of(7)
     True
     >>> ShardMap(kind="range", boundaries=[100, 200]).shard_of(150)
     1
+    >>> grown = ShardMap(kind="range", boundaries=[100]).split(1, boundary=200)
+    >>> grown.count, grown.shard_of(150), grown.shard_of(250)
+    (3, 1, 2)
     """
 
-    __slots__ = ("count", "kind", "boundaries")
+    __slots__ = ("count", "kind", "boundaries", "splits")
 
     def __init__(
         self,
         count: int = 1,
         kind: str = "hash",
         boundaries: Optional[Iterable] = None,
+        splits: Iterable[tuple] = (),
     ) -> None:
         if kind not in SHARD_KINDS:
             raise ValueError(
@@ -143,14 +169,80 @@ class ShardMap:
             self.boundaries = ()
         if count < 1:
             raise ValueError(f"shard count must be >= 1, got {count}")
-        self.count = count
+        entries = tuple(tuple(entry) for entry in splits)
+        want = 3 if kind == "range" else 2
+        for position, entry in enumerate(entries):
+            child = count + position
+            if (
+                len(entry) != want
+                or not isinstance(entry[0], int)
+                or not 0 <= entry[0] < child
+                or entry[1] != child
+            ):
+                raise ValueError(
+                    f"malformed split entry {entry!r} at position {position}: "
+                    f"expected (parent < {child}, child == {child}"
+                    + (", boundary)" if kind == "range" else ")")
+                )
+        self.count = count + len(entries)
         self.kind = kind
+        self.splits = entries
+
+    def split(self, parent: int, boundary=None) -> "ShardMap":
+        """A new map with one more shard, carved out of shard ``parent``.
+
+        The child takes the next shard index (``self.count``).  Which of
+        the parent's nodes move is deterministic: a *range* split moves
+        every node ``>= boundary`` (mirroring the ``bisect_right`` base
+        rule); a *hash* split moves the half of the parent's nodes whose
+        child-salted hash bit is set, so repeated splits keep carving
+        evenly without reshuffling other shards.
+
+        The receiver is unchanged — callers that adopt the new map must
+        migrate storage themselves (see
+        :meth:`ShardedGraphStore.repartition` and
+        :meth:`repro.persist.snapshot.SnapshotStore.split_shard`).
+        """
+        if not isinstance(parent, int) or not 0 <= parent < self.count:
+            raise ValueError(
+                f"parent shard {parent!r} out of range 0..{self.count - 1}"
+            )
+        child = self.count
+        if self.kind == "range":
+            if boundary is None:
+                raise ValueError(
+                    "a range split needs the boundary separating parent "
+                    "from child"
+                )
+            entry = (parent, child, boundary)
+        else:
+            if boundary is not None:
+                raise ValueError("hash splits take no boundary")
+            entry = (parent, child)
+        base_count = self.count - len(self.splits)
+        if self.kind == "range":
+            return ShardMap(
+                kind="range",
+                boundaries=self.boundaries,
+                splits=self.splits + (entry,),
+            )
+        return ShardMap(base_count, splits=self.splits + (entry,))
 
     def shard_of(self, node: Node) -> int:
         """The shard index owning ``node`` (0-based, stable)."""
         if self.kind == "hash":
-            return stable_shard_hash(node) % self.count
-        return bisect_right(self.boundaries, node)
+            index = stable_shard_hash(node) % (self.count - len(self.splits))
+        else:
+            index = bisect_right(self.boundaries, node)
+        for entry in self.splits:
+            if entry[0] != index:
+                continue
+            if self.kind == "range":
+                if not node < entry[2]:
+                    index = entry[1]
+            elif _split_bit(node, entry[1]):
+                index = entry[1]
+        return index
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, ShardMap):
@@ -159,15 +251,20 @@ class ShardMap:
             self.count == other.count
             and self.kind == other.kind
             and self.boundaries == other.boundaries
+            and self.splits == other.splits
         )
 
     def __hash__(self) -> int:
-        return hash((self.count, self.kind, self.boundaries))
+        return hash((self.count, self.kind, self.boundaries, self.splits))
 
     def __repr__(self) -> str:
+        extra = f", splits={list(self.splits)!r}" if self.splits else ""
         if self.kind == "range":
-            return f"ShardMap(kind='range', boundaries={list(self.boundaries)!r})"
-        return f"ShardMap({self.count})"
+            return (
+                f"ShardMap(kind='range', "
+                f"boundaries={list(self.boundaries)!r}{extra})"
+            )
+        return f"ShardMap({self.count - len(self.splits)}{extra})"
 
 
 def route_updates(delta, shard_map: ShardMap) -> dict[int, list]:
@@ -336,6 +433,91 @@ class ShardedGraphStore:
         clone._num_edges = self._num_edges
         clone._oob_version = self._oob_version
         return clone
+
+    def repartition(self, shard_map: ShardMap) -> None:
+        """Re-place nodes under a new shard layout, in memory.
+
+        The logical graph is untouched — same nodes, labels, edges,
+        iteration order, :attr:`num_edges`, and :attr:`oob_version`
+        (re-placement is storage movement, not a graph mutation, so it
+        must not trip the incremental-save tripwire).  Only nodes whose
+        owner changes between the old and new map are migrated, so the
+        cost of an online split tracks the carved-off region, not
+        ``|G|``.
+
+        Migration keeps the ownership invariants intact: each moved
+        node's complete out-adjacency follows it to the new owner,
+        ghost copies of remote targets are created at the destination
+        and garbage-collected at the source once no local in-link needs
+        them.  Growing appends empty shards; shrinking (the split
+        rollback path) drops trailing shards, which must have been
+        emptied by the re-placement.
+        """
+        old_map = self.shard_map
+        if shard_map == old_map:
+            return
+        while len(self._shards) < shard_map.count:
+            self._shards.append(DiGraph())
+        moved: dict[Node, tuple[int, int]] = {}
+        for node in self._hosts:
+            source_index = old_map.shard_of(node)
+            target_index = shard_map.shard_of(node)
+            if source_index != target_index:
+                moved[node] = (source_index, target_index)
+        labels: dict[Node, Label] = {}
+        outs: dict[Node, list[Node]] = {}
+        for node, (source_index, _) in moved.items():
+            shard = self._shards[source_index]
+            labels[node] = shard.label(node)
+            outs[node] = list(shard.successors(node))
+
+        def label_of(node: Node) -> Label:
+            if node in labels:
+                return labels[node]
+            return self._shards[old_map.shard_of(node)].label(node)
+
+        # Detach every moved node's out-adjacency first, so the
+        # ghost-keep decisions below see post-move in-degrees.
+        for node, (source_index, _) in moved.items():
+            shard = self._shards[source_index]
+            for target in outs[node]:
+                shard.remove_edge(node, target)
+        # Place each moved node, with its out-edges, at its new owner.
+        for node, (_, target_index) in moved.items():
+            shard = self._shards[target_index]
+            if not shard.has_node(node):
+                shard.add_node(node, label=labels[node])
+            self._hosts[node].add(target_index)
+            for target in outs[node]:
+                if not shard.has_node(target):
+                    shard.add_node(target, label=label_of(target))
+                shard.add_edge(node, target)
+                self._hosts[target].add(target_index)
+        # Drop source-shard residents stranded by the move: a moved node
+        # stays behind only as a ghost (if local in-links remain), and a
+        # ghost whose in-links all departed goes with them.
+        candidates: set[tuple[int, Node]] = set()
+        for node, (source_index, _) in moved.items():
+            candidates.add((source_index, node))
+            for target in outs[node]:
+                candidates.add((source_index, target))
+        for source_index, node in candidates:
+            shard = self._shards[source_index]
+            if shard_map.shard_of(node) == source_index:
+                continue
+            if not shard.has_node(node):
+                continue
+            if shard.in_degree(node) == 0 and shard.out_degree(node) == 0:
+                shard.remove_node(node)
+                self._hosts[node].discard(source_index)
+        if len(self._shards) > shard_map.count:
+            for shard in self._shards[shard_map.count :]:
+                if len(shard):
+                    raise ValueError(
+                        "cannot drop a shard that still hosts nodes"
+                    )
+            del self._shards[shard_map.count :]
+        self.shard_map = shard_map
 
     # ------------------------------------------------------------------
     # Nodes

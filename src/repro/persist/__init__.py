@@ -23,8 +23,10 @@ The on-disk format is a documented contract: ``docs/PERSISTENCE.md``.
 from repro.persist.deltalog import DeltaLog, LogEntry, SegmentedDeltaLog
 from repro.persist.format import (
     FORMAT_VERSION,
+    SNAPSHOT_CODECS,
     SUPPORTED_VERSIONS,
     PersistFormatError,
+    available_codecs,
     split_snapshot_sections,
     split_view_sections,
 )
@@ -43,10 +45,12 @@ __all__ = [
     "LoadReport",
     "LogEntry",
     "PersistFormatError",
+    "SNAPSHOT_CODECS",
     "SUPPORTED_VERSIONS",
     "SegmentedDeltaLog",
     "SnapshotPolicy",
     "SnapshotStore",
+    "available_codecs",
     "load_session",
     "register_view_kind",
     "save_session",

@@ -1264,6 +1264,39 @@ class SegmentedDeltaLog:
                 DeltaLog(self.root / self.SEGMENT_FORMAT.format(index))
             )
 
+    def rebind_map(self, shard_map: ShardMap) -> None:
+        """Adopt a changed shard layout on a live log — the online
+        shard-split path (:meth:`repro.persist.snapshot.SnapshotStore.
+        split_shard`).
+
+        Unlike :meth:`bind_map`, which only attaches a map to a log
+        opened in discovery mode, this *replaces* an existing binding.
+        The open group-commit window, if any, is sealed first: entries
+        appended under the old layout stay in their old segments — the
+        seq space is global and replay merges all segments, so recovery
+        is layout-agnostic — and only future appends route under the new
+        map.  Segment objects for new shard indexes are created lazily
+        (their files appear on first append), so the rebind itself
+        leaves no on-disk trace and the split's commit point stays the
+        snapshot rename.  Shrinking is allowed only over trailing
+        segments whose files were never created — the split's failure
+        rollback.
+        """
+        self.seal_window()
+        if shard_map.count < len(self._segments):
+            for segment in self._segments[shard_map.count :]:
+                if segment.path.exists():
+                    raise ValueError(
+                        f"cannot shrink to {shard_map.count} shards: "
+                        f"segment file {segment.path} already exists"
+                    )
+            del self._segments[shard_map.count :]
+        for index in range(len(self._segments), shard_map.count):
+            self._segments.append(
+                DeltaLog(self.root / self.SEGMENT_FORMAT.format(index))
+            )
+        self.shard_map = shard_map
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------

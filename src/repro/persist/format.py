@@ -21,24 +21,36 @@ lines, and the versioned snapshot header.
 
 from __future__ import annotations
 
+import base64
+import zlib
 from dataclasses import dataclass, field
-from typing import NamedTuple, Optional
+from typing import Callable, NamedTuple, Optional
 
 from repro.graph.io_tokens import format_token, tokenize
 
 __all__ = [
     "FORMAT_VERSION",
+    "SNAPSHOT_CODECS",
     "SNAPSHOT_MAGIC",
     "SUPPORTED_VERSIONS",
     "PersistFormatError",
     "SnapshotSections",
     "ViewSection",
+    "available_codecs",
+    "encode_packed_block",
+    "decode_packed_payload",
+    "expand_packed_lines",
     "is_directive",
+    "parse_codec_meta",
     "parse_directive",
+    "parse_packed_operands",
     "parse_record",
+    "parse_shard_split_meta",
     "parse_sharding_meta",
+    "render_codec_meta",
     "render_directive",
     "render_record",
+    "render_shard_split_meta",
     "render_sharding_meta",
     "split_snapshot_sections",
     "split_view_sections",
@@ -56,14 +68,26 @@ SNAPSHOT_MAGIC = "repro-snapshot"
 #: ``%batch <seq> <participants>`` framing; version 4 added
 #: group-commit windows in the delta log (``%window <id>`` entry tags
 #: sealed by ``%seal <id> <participants>``), which let per-segment
-#: appends pipeline across batches and defer the fsync to the seal.
-FORMAT_VERSION = 4
+#: appends pipeline across batches and defer the fsync to the seal;
+#: version 5 added compressed section bodies (a ``%meta codec`` stamp
+#: plus ``%packed <codec> <count>`` base64 blocks) and the
+#: ``%meta shard-split`` layout stamp produced by online shard splits.
+FORMAT_VERSION = 5
 
 #: Versions this reader understands.  Version-1 files (no cursors, no
-#: ``%graphdiff``), version-2 files (no sharding stamp), and version-3
-#: files (no group-commit windows) load unchanged; the writer always
-#: emits version 4.
-SUPPORTED_VERSIONS = (1, 2, 3, 4)
+#: ``%graphdiff``), version-2 files (no sharding stamp), version-3
+#: files (no group-commit windows), and version-4 files (no packed
+#: bodies, no shard splits) load unchanged; the writer always emits
+#: version 5.
+SUPPORTED_VERSIONS = (1, 2, 3, 4, 5)
+
+#: Codec names a version-5 snapshot may stamp.  ``zlib`` is always
+#: available; ``zstd`` only when the interpreter ships
+#: :mod:`compression.zstd` (see :func:`available_codecs`).
+SNAPSHOT_CODECS = ("zlib", "zstd")
+
+#: Column width of base64 payload lines inside a ``%packed`` block.
+PACKED_WRAP = 76
 
 
 class PersistFormatError(ValueError):
@@ -160,6 +184,203 @@ def check_graphdiff_context(
         )
 
 
+def _codec_functions(
+    name: str,
+) -> Optional[tuple[Callable[[bytes], bytes], Callable[[bytes], bytes]]]:
+    """``(compress, decompress)`` for a codec name, or ``None`` when the
+    codec is unknown or its library is absent from this interpreter."""
+    if name == "zlib":
+        return (lambda data: zlib.compress(data, 6), zlib.decompress)
+    if name == "zstd":
+        try:
+            from compression import zstd  # Python >= 3.14
+        except ImportError:
+            return None
+        return (zstd.compress, zstd.decompress)
+    return None
+
+
+def available_codecs() -> tuple[str, ...]:
+    """The subset of :data:`SNAPSHOT_CODECS` usable in this interpreter.
+
+    >>> "zlib" in available_codecs()
+    True
+    """
+    return tuple(
+        name for name in SNAPSHOT_CODECS if _codec_functions(name) is not None
+    )
+
+
+def encode_packed_block(lines, codec: str) -> list[str]:
+    """Pack a run of section body lines into a ``%packed`` block.
+
+    Returns the directive line followed by base64 payload lines: the
+    body lines are joined, UTF-8 encoded, compressed with ``codec``,
+    and base64-wrapped at :data:`PACKED_WRAP` columns.  Base64 is the
+    armor (not base85, whose alphabet includes ``%`` and ``#``) so no
+    payload line can ever be mistaken for a directive or comment.
+
+    >>> block = encode_packed_block(["n 1 a\\n", "e 1 1\\n"], "zlib")
+    >>> block[0]
+    '%packed zlib 1\\n'
+    >>> decode_packed_payload("zlib", block[1:], "<doc>", 1)
+    ['n 1 a\\n', 'e 1 1\\n']
+    """
+    functions = _codec_functions(codec)
+    if functions is None:
+        raise ValueError(f"codec {codec!r} is not available in this interpreter")
+    compress, _ = functions
+    payload = base64.b64encode(
+        compress("".join(lines).encode("utf-8"))
+    ).decode("ascii")
+    rows = [
+        payload[offset : offset + PACKED_WRAP] + "\n"
+        for offset in range(0, len(payload), PACKED_WRAP)
+    ]
+    return [render_directive("packed", codec, len(rows))] + rows
+
+
+def decode_packed_payload(
+    codec: str, payload_lines, source: str, line_number: int
+) -> list[str]:
+    """Decode a ``%packed`` block's payload lines back into the original
+    body lines (newline-terminated).  ``line_number`` is the directive's,
+    used to anchor error context."""
+    functions = _codec_functions(codec)
+    if functions is None:
+        raise PersistFormatError(
+            source,
+            line_number,
+            f"snapshot is packed with codec {codec!r}, which is not "
+            "available in this interpreter",
+        )
+    _, decompress = functions
+    try:
+        blob = base64.b64decode(
+            "".join(line.strip() for line in payload_lines).encode("ascii"),
+            validate=True,
+        )
+        text = decompress(blob).decode("utf-8")
+    except Exception as exc:
+        raise PersistFormatError(
+            source, line_number, f"undecodable %packed payload: {exc}"
+        ) from None
+    return text.splitlines(keepends=True)
+
+
+def parse_packed_operands(
+    operands, version: int, source: str, line_number: int
+) -> tuple[str, int]:
+    """Validate ``%packed`` operands; returns ``(codec, payload_count)``
+    and enforces the version gate (packed bodies are a version-5
+    construct, so pre-v5 readers reject rather than mis-parse them)."""
+    if version < 5:
+        raise PersistFormatError(
+            source,
+            line_number,
+            f"%packed is a version-5 construct in a version-{version} file",
+        )
+    if (
+        len(operands) != 2
+        or operands[0] not in SNAPSHOT_CODECS
+        or not isinstance(operands[1], int)
+        or operands[1] < 0
+    ):
+        raise PersistFormatError(
+            source,
+            line_number,
+            f"malformed %packed operands {operands!r}; expected "
+            "<codec> <payload-line-count>",
+        )
+    return operands[0], operands[1]
+
+
+def expand_packed_lines(lines, source: str = "<snapshot>") -> list[tuple[int, str]]:
+    """Expand every ``%packed`` block in a snapshot's raw lines.
+
+    Returns ``(line_number, line)`` pairs: plaintext lines keep their
+    file line number, decoded body lines inherit the number of their
+    ``%packed`` directive (error context points at the block).  This is
+    the single decompression point — both the snapshot reader and the
+    carry-forward record scan run over expanded lines, so everything
+    downstream stays codec-oblivious.
+    """
+    expanded: list[tuple[int, str]] = []
+    version = FORMAT_VERSION
+    pending = 0
+    payload: list[str] = []
+    codec = ""
+    packed_at = 0
+    for line_number, raw in enumerate(lines, start=1):
+        if pending:
+            # Payload lines are consumed verbatim by count — never
+            # skipped as blanks/comments, never parsed as directives.
+            payload.append(raw)
+            pending -= 1
+            if not pending:
+                for line in decode_packed_payload(
+                    codec, payload, source, packed_at
+                ):
+                    expanded.append((packed_at, line))
+                payload = []
+            continue
+        stripped = raw.strip()
+        if stripped and is_directive(stripped):
+            try:
+                keyword, operands = parse_directive(stripped)
+            except ValueError as exc:
+                raise PersistFormatError(source, line_number, str(exc)) from None
+            if keyword == SNAPSHOT_MAGIC:
+                version = check_snapshot_version(operands, source, line_number)
+            elif keyword == "packed":
+                codec, pending = parse_packed_operands(
+                    operands, version, source, line_number
+                )
+                packed_at = line_number
+                if not pending:
+                    for line in decode_packed_payload(
+                        codec, [], source, packed_at
+                    ):
+                        expanded.append((packed_at, line))
+                continue
+        expanded.append((line_number, raw))
+    if pending:
+        raise PersistFormatError(
+            source, packed_at, "truncated %packed block (payload cut short)"
+        )
+    return expanded
+
+
+def parse_codec_meta(operands, version: int, source: str, line_number: int) -> str:
+    """Parse ``%meta codec`` operands back into the codec name;
+    validates the version gate (a codec stamp is a version-5
+    construct)."""
+    if version < 5:
+        raise PersistFormatError(
+            source,
+            line_number,
+            f"%meta codec is a version-5 construct in a version-{version} file",
+        )
+    if len(operands) != 2 or operands[1] not in SNAPSHOT_CODECS:
+        raise PersistFormatError(
+            source,
+            line_number,
+            f"malformed %meta codec operands {operands!r}; expected "
+            f"'codec' followed by one of {SNAPSHOT_CODECS}",
+        )
+    return operands[1]
+
+
+def render_codec_meta(codec: str) -> str:
+    """Render the ``%meta codec`` stamp (version-5 construct).
+
+    The stamp is informative — each ``%packed`` block names its own
+    codec — but lets operators ``head`` a snapshot and see how it was
+    written, and lets readers fail early when the codec is absent.
+    """
+    return render_directive("meta", "codec", codec)
+
+
 def render_sharding_meta(shard_map) -> str:
     """Render the ``%meta sharding`` layout stamp for a
     :class:`~repro.graph.sharding.ShardMap` (version-3 construct).
@@ -167,10 +388,78 @@ def render_sharding_meta(shard_map) -> str:
     ``%meta sharding hash <count>`` for hash maps; ``%meta sharding
     range <count> <boundary>...`` for range maps (``count`` is
     redundant with the boundary list but kept so readers can validate).
+
+    The stamp always describes the **base** layout; shards grown by
+    online splits are stamped separately, one ``%meta shard-split``
+    line each (see :func:`render_shard_split_meta`), so pre-split
+    readers of pre-split files are unaffected.
     """
+    base_count = shard_map.count - len(shard_map.splits)
     return render_directive(
-        "meta", "sharding", shard_map.kind, shard_map.count, *shard_map.boundaries
+        "meta", "sharding", shard_map.kind, base_count, *shard_map.boundaries
     )
+
+
+def render_shard_split_meta(shard_map) -> str:
+    """Render one ``%meta shard-split`` line per recorded split of a
+    :class:`~repro.graph.sharding.ShardMap` (version-5 construct).
+
+    ``%meta shard-split <parent> <child>`` for hash maps;
+    ``%meta shard-split <parent> <child> <boundary>`` for range maps.
+    Lines follow the ``%meta sharding`` stamp in split order, so a
+    reader replays them one :meth:`~repro.graph.sharding.ShardMap.split`
+    at a time.
+    """
+    return "".join(
+        render_directive("meta", "shard-split", *entry)
+        for entry in shard_map.splits
+    )
+
+
+def parse_shard_split_meta(
+    operands, shard_map, version: int, source: str, line_number: int
+):
+    """Apply one ``%meta shard-split`` line to the ShardMap parsed so
+    far; returns the grown map.  Validates the version gate (splits are
+    a version-5 construct) and that the stamped child index matches the
+    deterministic split order."""
+    if version < 5:
+        raise PersistFormatError(
+            source,
+            line_number,
+            f"%meta shard-split is a version-5 construct in a "
+            f"version-{version} file",
+        )
+    if shard_map is None:
+        raise PersistFormatError(
+            source, line_number, "%meta shard-split before %meta sharding"
+        )
+    want = 4 if shard_map.kind == "range" else 3
+    if (
+        len(operands) != want
+        or not isinstance(operands[1], int)
+        or not isinstance(operands[2], int)
+    ):
+        raise PersistFormatError(
+            source,
+            line_number,
+            f"malformed %meta shard-split operands {operands!r}; expected "
+            "'shard-split' <parent> <child>"
+            + (" <boundary>" if shard_map.kind == "range" else ""),
+        )
+    parent, child = operands[1], operands[2]
+    if child != shard_map.count:
+        raise PersistFormatError(
+            source,
+            line_number,
+            f"shard-split declares child {child} but the next shard "
+            f"index is {shard_map.count}",
+        )
+    boundary = operands[3] if shard_map.kind == "range" else None
+    try:
+        return shard_map.split(parent, boundary=boundary)
+    except ValueError as exc:
+        raise PersistFormatError(source, line_number, str(exc)) from None
 
 
 def parse_sharding_meta(operands, version: int, source: str, line_number: int):
@@ -286,7 +575,15 @@ def split_snapshot_sections(lines, source: str = "<snapshot>") -> SnapshotSectio
     body: list[str] | None = None
     in_graph = False
     versioned = False
+    packed_remaining = 0
     for line_number, raw in enumerate(lines, start=1):
+        if packed_remaining:
+            # Base64 payload of a %packed block: counted lines carried
+            # verbatim (checked before blank/comment skipping so the
+            # payload is never reinterpreted).
+            packed_remaining -= 1
+            body.append(raw if raw.endswith("\n") else raw + "\n")
+            continue
         stripped = raw.strip()
         if not stripped or stripped.startswith("#"):
             continue  # reader-skipped lines are not part of any body
@@ -314,6 +611,18 @@ def split_snapshot_sections(lines, source: str = "<snapshot>") -> SnapshotSectio
                 result.graphdiff_chunks += 1
                 body.append(raw)  # carried as part of the graph replay script
                 continue
+            if keyword == "packed":
+                _, packed_remaining = parse_packed_operands(
+                    operands, result.version, source, line_number
+                )
+                if body is None:
+                    raise PersistFormatError(
+                        source, line_number, "%packed outside any section"
+                    )
+                # Carried verbatim — compressed bytes are compared and
+                # copied, never re-encoded, on incremental saves.
+                body.append(raw)
+                continue
             if keyword == "section":
                 body = None
                 in_graph = False
@@ -333,6 +642,10 @@ def split_snapshot_sections(lines, source: str = "<snapshot>") -> SnapshotSectio
                 continue
         if body is not None:
             body.append(raw)
+    if packed_remaining:
+        raise PersistFormatError(
+            source, line_number, "truncated %packed block (payload cut short)"
+        )
     if not versioned:
         raise PersistFormatError(source, 0, f"missing %{SNAPSHOT_MAGIC} header")
     return result

@@ -65,15 +65,22 @@ from repro.persist.format import (
     SNAPSHOT_MAGIC,
     PersistFormatError,
     SnapshotSections,
+    available_codecs,
     check_graphdiff_context,
     check_snapshot_version,
+    encode_packed_block,
+    expand_packed_lines,
     is_directive,
+    parse_codec_meta,
     parse_directive,
     parse_record,
+    parse_shard_split_meta,
     parse_sharding_meta,
     parse_view_section_operands,
+    render_codec_meta,
     render_directive,
     render_record,
+    render_shard_split_meta,
     render_sharding_meta,
     split_snapshot_sections,
 )
@@ -265,10 +272,21 @@ class SnapshotStore:
         root: PathLike,
         graphdiff_limit: int = 8,
         shard_map: Optional[ShardMap] = None,
+        codec: Optional[str] = None,
     ) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.snapshot_path = self.root / self.SNAPSHOT_NAME
+        if codec is not None and codec not in available_codecs():
+            raise ValueError(
+                f"codec {codec!r} is not available; this interpreter "
+                f"offers {available_codecs()}"
+            )
+        #: Compression codec for freshly-written section bodies (format
+        #: v5 ``%packed`` blocks), or ``None`` for plaintext.  Reading
+        #: is codec-oblivious either way; incremental saves copy carried
+        #: sections byte-for-byte, whichever way they were written.
+        self.codec = codec
         #: The shard layout this store journals under (``None`` for a
         #: monolithic log; adopted from the snapshot's ``%meta
         #: sharding`` stamp by :meth:`load` when absent).
@@ -485,19 +503,24 @@ class SnapshotStore:
         with open(temp, "w", encoding="utf-8") as stream:
             stream.write(render_directive(SNAPSHOT_MAGIC, FORMAT_VERSION))
             stream.write(render_directive("meta", "last-seq", last_seq))
+            if self.codec is not None:
+                # v5 codec stamp: informative (each %packed block names
+                # its codec), but lets readers fail early and loudly
+                stream.write(render_codec_meta(self.codec))
             if isinstance(engine.graph, ShardedGraphStore):
                 # v3 layout stamp: recovery rebuilds identical ownership
+                # (base layout; online splits stamp one line each, v5)
                 stream.write(render_sharding_meta(engine.graph.shard_map))
+                stream.write(render_shard_split_meta(engine.graph.shard_map))
             stream.write(render_directive("section", "graph"))
             if graph_plan is None:
-                for line in graph_record_lines(engine.graph):
-                    stream.write(line)
+                self._write_fresh_body(stream, graph_record_lines(engine.graph))
             else:
                 carried_graph, diff_lines = graph_plan
                 stream.writelines(carried_graph)
                 if diff_lines:
                     stream.write(render_directive("graphdiff", last_seq))
-                    stream.writelines(diff_lines)
+                    self._write_fresh_body(stream, diff_lines)
             for name in engine.names():
                 if name in carried_names:
                     section = previous.views[name]
@@ -521,9 +544,9 @@ class SnapshotStore:
                         "section", "view", name, state.kind, last_seq
                     )
                 )
-                stream.write(render_directive("config", *state.config))
-                for row in state.records:
-                    stream.write(render_record(row))
+                body = [render_directive("config", *state.config)]
+                body.extend(render_record(row) for row in state.records)
+                self._write_fresh_body(stream, body)
                 cursors[name] = last_seq
             stream.write(render_directive("end"))
             stream.flush()
@@ -539,6 +562,19 @@ class SnapshotStore:
         if compact:                 # the log below it is compacted
             self.compact_log(engine)
         return self.snapshot_path
+
+    def _write_fresh_body(self, stream, lines) -> None:
+        """Write freshly-rendered section body lines, packed into one
+        ``%packed`` block when the store has a codec.  Carried lines
+        never pass through here — incremental saves copy them verbatim
+        (compressed bytes are compared and copied, never re-encoded)."""
+        if self.codec is None:
+            for line in lines:
+                stream.write(line)
+            return
+        body = list(lines)
+        if body:
+            stream.writelines(encode_packed_block(body, self.codec))
 
     def _plan_graph_carry(
         self, engine: Engine, previous: SnapshotSections, last_seq: int
@@ -702,9 +738,17 @@ class SnapshotStore:
         if not self.snapshot_path.exists():
             return nodes
         with open(self.snapshot_path, "r", encoding="utf-8") as stream:
-            sections = split_snapshot_sections(
-                stream, source=str(self.snapshot_path)
-            )
+            # Expand %packed blocks first — the record scan below must
+            # see graph records, not base64 payload lines.
+            expanded = [
+                line
+                for _, line in expand_packed_lines(
+                    stream, source=str(self.snapshot_path)
+                )
+            ]
+        sections = split_snapshot_sections(
+            expanded, source=str(self.snapshot_path)
+        )
         for raw in sections.graph_lines:
             line = raw.strip()
             if is_directive(line):
@@ -719,6 +763,76 @@ class SnapshotStore:
                 nodes.add(row[1])
                 nodes.add(row[2])
         return nodes
+
+    # ------------------------------------------------------------------
+    # Online shard split
+    # ------------------------------------------------------------------
+
+    def split_shard(self, engine: Engine, parent: int, boundary=None) -> ShardMap:
+        """Split one shard of a live session online; returns the new map.
+
+        Grows the engine's :class:`~repro.graph.sharding.ShardMap` by
+        one shard (``graph.shard_map.split(parent, boundary)``), migrates
+        the carved-off sub-graph to the new shard in memory
+        (:meth:`~repro.graph.sharding.ShardedGraphStore.repartition` —
+        cost tracks the moved region, not |G|), re-routes future log
+        appends (:meth:`~repro.persist.deltalog.SegmentedDeltaLog.
+        rebind_map` — existing segment tails stay where they are; the
+        seq space is global, so replay is layout-agnostic), and writes a
+        full snapshot carrying the ``%meta shard-split`` stamp.
+
+        **The snapshot's atomic rename is the commit point.**  Before
+        it, nothing on disk mentions the child shard — the open window
+        is sealed up front and the child's segment file is created
+        lazily, on its first append — so a crash at any kill point
+        recovers to a complete pre-split or post-split state, never a
+        torn one.  On a non-crash failure the in-memory migration is
+        rolled back before re-raising, so the live engine cannot journal
+        into a child segment that recovery would refuse.
+
+        A resident :class:`~repro.shardexec.pool.ShardWorkerPool`, if
+        installed, is respawned against the new layout after the commit
+        (workers reload their shard replicas from the new snapshot).
+
+        The logical graph, every view, and MVCC read generations are
+        unchanged — :meth:`repro.serving.repository.Repository.
+        split_shard` wraps this under the write lock so concurrent
+        readers simply observe the same answers throughout.
+        """
+        graph = engine.graph
+        if not isinstance(graph, ShardedGraphStore):
+            raise ValueError(
+                "shard splitting needs an engine backed by a "
+                "ShardedGraphStore"
+            )
+        self._check_segmented_layout(engine)
+        segmented = isinstance(self.log, SegmentedDeltaLog)
+        if segmented and self.log.shard_map is None:
+            self.log.bind_map(graph.shard_map)
+        old_map = graph.shard_map
+        new_map = old_map.split(parent, boundary=boundary)
+        # Seal the open window first: the split must not share a
+        # group-commit window with ordinary batches.
+        self._flush_log()
+        graph.repartition(new_map)
+        try:
+            if segmented:
+                self.log.rebind_map(new_map)
+            self.shard_map = new_map
+            self.save(engine)
+        except BaseException:
+            graph.repartition(old_map)
+            if segmented:
+                self.log.rebind_map(old_map)
+            self.shard_map = old_map
+            raise
+        if segmented and self.log._worker_pool is not None:
+            # Function-level import: shardexec sits above persist in the
+            # layer order (it journals through DeltaLog).
+            from repro.shardexec.pool import ShardWorkerPool
+
+            ShardWorkerPool.install(engine, self.log)
+        return new_map
 
     # ------------------------------------------------------------------
     # Load
@@ -927,8 +1041,12 @@ class SnapshotStore:
             current_records.clear()
 
         with open(self.snapshot_path, "r", encoding="utf-8") as stream:
+            # One decompression pass up front: %packed blocks expand to
+            # their body lines (numbered at the directive), everything
+            # else keeps its file line number.  The state machine below
+            # is codec-oblivious.
             line_number = 0
-            for line_number, raw in enumerate(stream, start=1):
+            for line_number, raw in expand_packed_lines(stream, source=source):
                 line = raw.strip()
                 if not line or line.startswith("#"):
                     continue
@@ -969,6 +1087,25 @@ class SnapshotStore:
                                 operands, version, source, line_number
                             )
                             graph = ShardedGraphStore(shard_map=shard_map)
+                        elif operands and operands[0] == "shard-split":
+                            if section is not None or view_states:
+                                raise PersistFormatError(
+                                    source,
+                                    line_number,
+                                    "%meta shard-split must precede every "
+                                    "section, like %meta sharding",
+                                )
+                            shard_map = parse_shard_split_meta(
+                                operands, shard_map, version, source, line_number
+                            )
+                            graph = ShardedGraphStore(shard_map=shard_map)
+                        elif operands and operands[0] == "codec":
+                            # validate the stamp (and its version gate);
+                            # decoding already happened in the expansion
+                            # pass, block by block
+                            parse_codec_meta(
+                                operands, version, source, line_number
+                            )
                         continue  # unknown meta keys are ignored, not fatal
                     if keyword == "section":
                         close_view_section()

@@ -75,13 +75,14 @@ class SCCIndex:
         self.lowlink: dict[Node, int] = dict(result.lowlink)
         # Edge classification per component, from that component's latest
         # Tarjan pass; consulted by the reverse-frond deletion fast path.
-        self._edge_kinds: dict[CompId, dict[Edge, EdgeKind]] = {}
-        for comp_id, members in self.cond.members.items():
-            self._edge_kinds[comp_id] = {
-                edge: kind
-                for edge, kind in result.edge_kinds.items()
-                if edge[0] in members and edge[1] in members
-            }
+        self._edge_kinds: dict[CompId, dict[Edge, EdgeKind]] = {
+            comp_id: {} for comp_id in self.cond.members
+        }
+        comp_of = self.cond.comp_of
+        for edge, kind in result.edge_kinds.items():
+            comp_id = comp_of[edge[0]]
+            if comp_of[edge[1]] == comp_id:
+                self._edge_kinds[comp_id][edge] = kind
         # Components whose num/lowlink/edge-kind caches are out of date.
         # Partition correctness never depends on them; they are refreshed
         # by the next restricted Tarjan that actually needs them.

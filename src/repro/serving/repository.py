@@ -764,6 +764,59 @@ class Repository:
         with self._engine_lock.read():
             return self.engine.checkpoint()
 
+    def bulk_load(
+        self, edges: Union[Delta, Iterable[Any]]
+    ) -> EngineReport:
+        """Bulk-import ``edges`` and publish the import as *one*
+        generation.
+
+        Delegates to :meth:`repro.engine.session.Engine.bulk_load`:
+        view maintenance is suspended while the edges stream into the
+        graph and every view is rebuilt once at the end, so the rebuild
+        cost is paid per view, not per edge.  Every view's registered
+        queries are frozen first (a rebuild changes every view, so the
+        conservative preview is *all* of them), which keeps pinned
+        sessions reading their admitted generation throughout — readers
+        admitted before the import never see a partially-loaded graph,
+        readers admitted after it see the whole import or none of it."""
+        with self._engine_lock.write():
+            with self._meta_lock:
+                self._check_serving_locked()
+                pinned = bool(self._pins)
+            if pinned and self._cache_enabled:
+                self._freeze_views(self.engine.names())
+            self._applying = True
+            try:
+                report = self.engine.bulk_load(edges)
+            except AutosnapshotError as error:
+                self._publish_locked(error.report)
+                raise
+            finally:
+                self._applying = False
+            self._publish_locked(report)
+        return report
+
+    def split_shard(
+        self, store: Any, parent: int, boundary: Optional[Any] = None
+    ) -> Any:
+        """Split shard ``parent`` of the served engine's store online.
+
+        Delegates to :meth:`repro.persist.SnapshotStore.split_shard`
+        under the write side of the engine lock: readers drain, the
+        split migrates the sub-graph and commits (or rolls back whole),
+        then readers resume.  No generation is published and no view
+        version moves — a split relocates state without changing any
+        answer, so open sessions keep their pins and the cache keeps
+        every entry.  Returns the new shard map."""
+        with self._engine_lock.write():
+            with self._meta_lock:
+                self._check_serving_locked()
+            self._applying = True
+            try:
+                return store.split_shard(self.engine, parent, boundary)
+            finally:
+                self._applying = False
+
     def _prepare_write(self, delta: Delta) -> None:
         """Freeze what the batch will overwrite (write lock held)."""
         with self._meta_lock:
@@ -771,7 +824,13 @@ class Repository:
             pinned = bool(self._pins)
         if not pinned or not self._cache_enabled:
             return
-        for name in self._preview_changed_views(delta):
+        self._freeze_views(self._preview_changed_views(delta))
+
+    def _freeze_views(self, names: Iterable[str]) -> None:
+        """Freeze every registered query of ``names`` at the views'
+        current versions (write lock held, pins + cache checked by the
+        caller)."""
+        for name in names:
             with self._meta_lock:
                 version = self._changes[name][-1]
                 missing = [

@@ -1,5 +1,6 @@
 """Fixture: every write below violates the durability discipline."""
 
+import gzip
 import os
 from pathlib import Path
 
@@ -7,6 +8,12 @@ from pathlib import Path
 def naked_write(path):
     """Write-mode open with no os.fsync in the function."""
     with open(path, "w", encoding="utf-8") as stream:
+        stream.write("data")
+
+
+def compressed_naked_write(path):
+    """A codec wrapper does not exempt the stream from fsync."""
+    with gzip.open(path, "wt", encoding="utf-8") as stream:
         stream.write("data")
 
 

@@ -1,5 +1,6 @@
 """Fixture: the sanctioned temp-and-rename + fsync discipline."""
 
+import gzip
 import os
 
 
@@ -22,7 +23,23 @@ def durable_write(path, temp):
     fsync_directory(path.parent)
 
 
+def durable_compressed_write(path, temp):
+    """Compressed bytes ride the identical discipline."""
+    with gzip.open(temp, "wt", encoding="utf-8") as stream:
+        stream.write("data")
+        stream.flush()
+        os.fsync(stream.fileno())
+    os.replace(temp, path)
+    fsync_directory(path.parent)
+
+
 def read_only(path):
     """Read-mode opens are not writes."""
     with open(path, "r", encoding="utf-8") as stream:
+        return stream.read()
+
+
+def compressed_read_only(path):
+    """Default (read) codec opens are not writes either."""
+    with gzip.open(path, "rt", encoding="utf-8") as stream:
         return stream.read()

@@ -35,7 +35,7 @@ FIXTURES = REPO_ROOT / "tests" / "analysis_fixtures"
 #: rule id -> (fixture dir, where the .py fixture lands in the
 #: synthetic project, expected finding count from the flag fixture)
 RULES = {
-    "durability": ("durability", "src/repro/persist/mod.py", 3),
+    "durability": ("durability", "src/repro/persist/mod.py", 4),
     "spec-drift": ("spec_drift", "src/repro/persist/mod.py", 2),
     "concurrency": ("concurrency", "src/repro/engine/mod.py", 2),
     "serving": ("serving", "src/repro/serving/mod.py", 2),
@@ -115,6 +115,8 @@ def test_specific_durability_messages(tmp_path):
     assert "without an os.fsync" in rendered
     assert "fsync_directory" in rendered
     assert "write_text" in rendered
+    assert "gzip.open" in rendered
+    assert "codec wrapper" in rendered
 
 
 def test_spec_drift_reports_both_directions(tmp_path):

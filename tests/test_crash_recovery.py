@@ -299,6 +299,46 @@ class TestTornCompactingSave(SaveTorture):
         self.run(tmp_path)
 
 
+class TestTornCompressedFullSave(SaveTorture):
+    """The v5 compressed writer: ``%packed`` bodies flow through the
+    same temp-write/fsync/rename discipline as plaintext, so a torn
+    compressed save must leave the previous snapshot intact and a
+    completed one must read back exactly."""
+
+    def build(self, root):
+        engine = four_view_engine(sample_graph())
+        store = SnapshotStore(root, codec="zlib")
+        store.attach(engine)
+        store.save(engine)
+        for batch in self.TAIL:
+            engine.apply(batch)
+        return engine, store
+
+    def tortured_save(self, engine, store):
+        store.save(engine)
+
+    def test_compressed_full_save(self, tmp_path):
+        self.run(tmp_path)
+
+
+class TestTornCompressedIncrementalSave(TestTornCompressedFullSave):
+    """Compressed incremental saves carry earlier ``%packed`` blocks
+    byte-for-byte and append fresh ones; a kill anywhere in that copy
+    must not corrupt the carried bytes the next load depends on."""
+
+    def build(self, root):
+        engine, store = super().build(root)
+        store.save(engine, incremental=True)
+        engine.apply(Delta([insert(7, 2, "d", "b")]))
+        return engine, store
+
+    def tortured_save(self, engine, store):
+        store.save(engine, incremental=True)
+
+    def test_compressed_incremental_save(self, tmp_path):
+        self.run(tmp_path)
+
+
 class TestTornAppendInSession:
     """A crash inside the journal append of ``engine.apply``: the batch
     was never acknowledged, so recovery must equal the session *without*
@@ -487,6 +527,49 @@ class TestTornShardedIncrementalSave(TestTornShardedSave):
 
     def test_sharded_incremental_save(self, tmp_path):
         self.run(tmp_path)
+
+
+class TestTornShardSplit:
+    """Every kill point of an online shard split — the pre-split seal,
+    the snapshot temp write, and the committing rename.  Recovery must
+    see the whole split (new map, migrated sub-graph) or none of it
+    (the live session rolls the migration back and the disk still holds
+    the old layout) — never a torn hybrid, and never a lost tail
+    batch."""
+
+    def test_split_recovers_at_every_kill_point(self, tmp_path):
+        root = tmp_path / "store"
+        old_map = SHARD_MAP
+        new_map = SHARD_MAP.split(1)
+        state = {}
+
+        def setup():
+            clear_dir(root)
+            engine = four_view_engine(sharded_sample_graph())
+            store = SnapshotStore(root, shard_map=old_map)
+            store.log.executor = "serial"
+            store.attach(engine)
+            store.save(engine)
+            for batch in SaveTorture.TAIL:
+                engine.apply(batch)
+            state["engine"], state["store"] = engine, store
+
+        def operation():
+            state["store"].split_shard(state["engine"], 1)
+
+        def recover(completed):
+            engine = state["engine"]
+            # in-process rollback: a failed split restores the old map
+            # before the error propagates, so the live session and the
+            # disk agree on the layout either way
+            live_map = engine.graph.shard_map
+            assert live_map == (new_map if completed else old_map)
+            revived = SnapshotStore(root).load(attach_journal=False)
+            assert revived.graph.shard_map == live_map
+            assert_recovered_equals(revived, engine)
+
+        harness = FaultyStore(root, setup, operation, recover, stride=SAVE_STRIDE)
+        assert harness.torture() > 10
 
 
 class TestTornSegmentedAppendInSession:

@@ -1,9 +1,11 @@
 """Differential oracle torture test.
 
-Seeded random update streams interleave batch applies, rollbacks, full
-and incremental snapshots, relevance-aware log compactions, and
-mid-stream recoveries; after *every* mutation the engine's five view
-answers are compared against from-scratch recomputation (BLINKS-style
+Seeded random update streams interleave batch applies, bulk loads,
+rollbacks, full and incremental snapshots (each stream picks a format
+v5 codec, or plaintext), relevance-aware log compactions, online shard
+splits (sharded layouts), and mid-stream recoveries; after *every*
+mutation the engine's five view answers are compared against
+from-scratch recomputation (BLINKS-style
 KWS BFS, RPQ_NFA product BFS, Tarjan, VF2, and a brute-force triangle
 count for the registered dataflow view) on the materialized graph —
 the correctness methodology both Szárnyas (2018) and Dexter et al.
@@ -45,7 +47,7 @@ from repro import (
 from repro.dataflow import DataflowView
 from repro.iso import ISOIndex, Pattern, vf2_matches
 from repro.kws import KWSIndex, KWSQuery, batch_kws
-from repro.persist import SnapshotStore
+from repro.persist import SnapshotStore, available_codecs
 from repro.rpq import RPQIndex, matches_only
 from repro.scc import SCCIndex, tarjan_scc
 from repro.shardexec import shutdown_pools
@@ -185,6 +187,20 @@ def random_batch(rng: random.Random, graph: DiGraph, next_node: list) -> Delta:
     return Delta(updates)
 
 
+def random_bulk_edges(rng: random.Random, graph, next_node: list) -> list:
+    """An insert-only import: a chain of brand-new nodes hung off an
+    existing one (``bulk_load`` refuses deletions by contract)."""
+    anchor = rng.choice(list(graph.nodes()))
+    prev, prev_label = anchor, graph.label(anchor)
+    updates = []
+    for _ in range(rng.randint(2, 5)):
+        fresh, fresh_label = next_node[0], rng.choice(LABELS)
+        next_node[0] += 1
+        updates.append(insert(prev, fresh, prev_label, fresh_label))
+        prev, prev_label = fresh, fresh_label
+    return updates
+
+
 @pytest.mark.parametrize("layout", LAYOUTS)
 @pytest.mark.parametrize(
     "seed", range(STREAMS), ids=[f"stream-{seed}" for seed in range(STREAMS)]
@@ -192,12 +208,15 @@ def random_batch(rng: random.Random, graph: DiGraph, next_node: list) -> Delta:
 def test_differential_stream(seed, layout, tmp_path):
     rng = random.Random(0xD1FF + seed)
     graph = random_graph(rng)
+    codec = rng.choice((None,) + available_codecs())
     if layout in ("sharded", "windowed"):
         shard_map = ShardMap(SHARDS)
         graph = ShardedGraphStore.from_digraph(graph, shard_map)
-        store = SnapshotStore(tmp_path / "store", shard_map=shard_map)
+        store = SnapshotStore(
+            tmp_path / "store", shard_map=shard_map, codec=codec
+        )
     else:
-        store = SnapshotStore(tmp_path / "store")
+        store = SnapshotStore(tmp_path / "store", codec=codec)
     engine = four_view_engine(graph)
     if layout == "windowed":
         engine.scheduler.executor = "workers"
@@ -213,14 +232,20 @@ def test_differential_stream(seed, layout, tmp_path):
     next_node = [1000]
     checkpoints = [repo.checkpoint()]
     mutations = 0
+    splits = 0
 
     for _ in range(STEPS):
         action = rng.random()
-        if action < 0.55:
+        if action < 0.50:
             batch = random_batch(rng, engine.graph, next_node)
             if not batch:
                 continue
             repo.apply(batch)
+            mutations += 1
+            if rng.random() < 0.3:
+                checkpoints.append(repo.checkpoint())
+        elif action < 0.58:
+            repo.bulk_load(random_bulk_edges(rng, engine.graph, next_node))
             mutations += 1
             if rng.random() < 0.3:
                 checkpoints.append(repo.checkpoint())
@@ -230,6 +255,10 @@ def test_differential_stream(seed, layout, tmp_path):
                 continue
             repo.rollback(rng.choice(valid))
             mutations += 1
+        elif action < 0.72 and layout != "plain" and splits < 2:
+            parent = rng.randrange(engine.graph.shard_map.count)
+            repo.split_shard(store, parent)
+            splits += 1
         elif action < 0.80:
             store.save(engine, incremental=rng.random() < 0.7)
         elif action < 0.90:

@@ -202,6 +202,119 @@ def test_torture_readers_vs_writer():
         assert repo.read_latest(view, query) == expected[(view, query)]
 
 
+def test_split_under_live_mixed_load(tmp_path):
+    """An online shard split under a live reader/writer mix: zero
+    failed reads, no generation published by the split, and sessions
+    held open *across* the splits keep answering their admission-time
+    oracle — relocating state must be invisible to MVCC."""
+    from repro import ShardedGraphStore, ShardMap
+    from repro.persist import SnapshotStore
+
+    rng = random.Random(0x5117)
+    shadow = random_graph(rng)
+    shard_map = ShardMap(2)
+    engine = four_view_engine(
+        ShardedGraphStore.from_digraph(shadow, shard_map)
+    )
+    store = SnapshotStore(tmp_path / "store", shard_map=shard_map)
+    store.log.executor = "serial"
+    store.attach(engine)
+    store.save(engine)
+    repo = Repository(engine, max_sessions=READERS + 4)
+
+    oracle = {0: scratch_answers(shadow)}
+    oracle_lock = threading.Condition()
+    failures = []
+    split_generations = []
+    writer_done = threading.Event()
+    # Sessions pinned before any write or split, held across them all.
+    held = [repo.session() for _ in range(2)]
+    held_expected = scratch_answers(shadow)
+
+    def writer():
+        next_node = [1000]
+        try:
+            for index in range(BATCHES):
+                batch = random_batch(rng, shadow, next_node)
+                if not batch:
+                    continue
+                repo.apply(batch)
+                batch.apply_to(shadow)
+                with oracle_lock:
+                    oracle[repo.generation] = scratch_answers(shadow)
+                    oracle_lock.notify_all()
+                if index in (BATCHES // 3, 2 * BATCHES // 3):
+                    before = repo.generation
+                    parent = engine.graph.shard_map.count - 1
+                    repo.split_shard(store, parent)
+                    assert repo.generation == before, (
+                        "a split must not publish a generation"
+                    )
+                    split_generations.append(before)
+                time.sleep(0.001)
+        except Exception as error:  # pragma: no cover - failure path
+            failures.append(("writer", error))
+        finally:
+            writer_done.set()
+            with oracle_lock:
+                oracle_lock.notify_all()
+
+    def reader(index):
+        thread_rng = random.Random(0xFACE + index)
+        try:
+            while True:
+                done_before = writer_done.is_set()
+                with repo.session() as session:
+                    pinned = session.generation
+                    with oracle_lock:
+                        while pinned not in oracle:
+                            oracle_lock.wait(1.0)
+                        expected = oracle[pinned]
+                    for _ in range(2):
+                        for view, query in SURFACE:
+                            answer = session.read(view, query)
+                            assert answer == expected[(view, query)], (
+                                f"view {view} at pinned generation "
+                                f"{pinned} diverged across a split"
+                            )
+                        time.sleep(thread_rng.uniform(0.0, 0.002))
+                if done_before:
+                    break
+        except Exception as error:  # pragma: no cover - failure path
+            failures.append((f"reader-{index}", error))
+
+    threads = [threading.Thread(target=writer)]
+    threads += [
+        threading.Thread(target=reader, args=(index,))
+        for index in range(READERS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+        assert not thread.is_alive(), "split torture test deadlocked"
+
+    # Zero failed reads: any SessionExpiredError / ServingError /
+    # oracle divergence in any thread lands in ``failures``.
+    assert not failures, failures
+    assert repo.poisoned is None
+    assert len(split_generations) == 2
+    assert engine.graph.shard_map.count == 4
+    # The held sessions rode out every batch and both splits.
+    for session in held:
+        for view, query in SURFACE:
+            assert session.read(view, query) == held_expected[(view, query)]
+        session.close()
+    # The final state matches the shadow, and so does a fresh recovery
+    # of the split store.
+    expected = scratch_answers(shadow)
+    for view, query in SURFACE:
+        assert repo.read_latest(view, query) == expected[(view, query)]
+    recovered = SnapshotStore(tmp_path / "store").load(attach_journal=False)
+    assert recovered.graph.shard_map == engine.graph.shard_map
+    assert recovered.graph == engine.graph
+
+
 def test_admission_after_publication_reflects_the_batch():
     """The linearizability check in isolation, without thread timing:
     after ``apply`` returns, a newly admitted session must observe the

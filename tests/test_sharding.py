@@ -593,7 +593,7 @@ class TestShardedSnapshots:
         engine.apply(Delta([delete(6, 7), insert(6, 1, "d", "a")]))
         engine.apply(Delta([insert(8, 2, "e", "b"), delete(3, 1)]))
         text = store.snapshot_path.read_text(encoding="utf-8")
-        assert "%repro-snapshot 4" in text
+        assert "%repro-snapshot 5" in text
         assert "%meta sharding hash 3" in text
         revived = SnapshotStore(tmp_path / "store").load(attach_journal=False)
         assert isinstance(revived.graph, ShardedGraphStore)

@@ -15,6 +15,12 @@ Concretely, inside ``src/repro/persist/`` the rule flags:
 * a write-mode builtin ``open`` (mode containing ``w``/``a``/``x``/
   ``+``) in a function that never calls ``os.fsync`` — the content was
   never made durable before the caller returns;
+* the same for write-mode *codec wrapper* opens (``gzip.open``,
+  ``bz2.open``, ``lzma.open``, ``zstd.open``) — compression changes
+  the bytes, not the durability contract: the compressed stream must
+  still be fsynced before the rename commits it (format v5's
+  ``%packed`` writer compresses in memory and flows through the plain
+  ``open`` path precisely so this rule keeps applying);
 * an ``os.replace`` in a function that never calls ``os.fsync`` or
   never calls ``fsync_directory`` — the renamed content (or the rename
   itself) may not survive a crash;
@@ -33,6 +39,12 @@ from tools.analysis.core import Checker, Finding, SourceFile
 __all__ = ["DurabilityChecker"]
 
 _WRITE_MODE_CHARS = set("wax+")
+
+#: Codec wrappers whose ``open`` mirrors the builtin's (path, mode)
+#: signature; a write-mode call is held to the same fsync discipline.
+_CODEC_OPENS = frozenset(
+    {"gzip.open", "bz2.open", "lzma.open", "zstd.open", "compression.zstd.open"}
+)
 
 _FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
 
@@ -111,7 +123,7 @@ class DurabilityChecker(Checker):
                             "never fsyncs); write a temp file, fsync it, "
                             "then os.replace",
                         )
-                elif name == "open":
+                elif name == "open" or name in _CODEC_OPENS:
                     for site in sites:
                         if not _open_write_mode(site):
                             continue
@@ -120,18 +132,25 @@ class DurabilityChecker(Checker):
                                 source.rel,
                                 site.lineno,
                                 self.name,
-                                "write-mode open() at module level; "
+                                f"write-mode {name}() at module level; "
                                 "durable writes belong in a named helper "
                                 "that fsyncs before returning",
                             )
                         elif not fsyncs:
+                            qualifier = (
+                                " (a codec wrapper does not change the "
+                                "durability contract)"
+                                if name in _CODEC_OPENS
+                                else ""
+                            )
                             yield Finding(
                                 source.rel,
                                 site.lineno,
                                 self.name,
-                                f"write-mode open() in {where} without an "
+                                f"write-mode {name}() in {where} without an "
                                 "os.fsync in the same function — content "
-                                "is not durable when the caller returns",
+                                "is not durable when the caller "
+                                f"returns{qualifier}",
                             )
                 elif name == "os.replace":
                     for site in sites:
